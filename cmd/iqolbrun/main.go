@@ -1,0 +1,117 @@
+// Command iqolbrun assembles a program in the simulated ISA and runs it on
+// the modeled multiprocessor — the playground for writing custom kernels.
+//
+//	iqolbrun -procs 4 -mode iqolb prog.s
+//	iqolbrun -dump prog.s          # show the disassembly and exit
+//	iqolbrun -peek 0x2000 prog.s   # print a memory word after the run
+//
+// Programs see the documented ISA (ll/sc, swap, enqolb/deqolb, work, bar,
+// cpuid, rand, ...); all processors run the same program and branch on
+// cpuid for per-processor roles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"iqolb"
+)
+
+func main() {
+	var (
+		procs = flag.Int("procs", 4, "processor count")
+		mode  = flag.String("mode", "baseline", "hardware mode: baseline | aggressive | delayed | iqolb")
+		limit = flag.Uint64("limit", 1_000_000_000, "cycle limit (0 = none)")
+		dump  = flag.Bool("dump", false, "print the disassembly and exit")
+		peeks peekList
+		locks lockList
+	)
+	flag.Var(&peeks, "peek", "memory address to print after the run (repeatable; 0x hex ok)")
+	flag.Var(&locks, "lock", "lock address to register for hand-off statistics (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: iqolbrun [flags] program.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+	prog, err := iqolb.Assemble(string(src))
+	fail(err)
+	if *dump {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	var m iqolb.Mode
+	switch *mode {
+	case "baseline":
+		m = iqolb.ModeBaseline
+	case "aggressive":
+		m = iqolb.ModeAggressive
+	case "delayed":
+		m = iqolb.ModeDelayed
+	case "iqolb":
+		m = iqolb.ModeIQOLB
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	cfg := iqolb.DefaultMachineConfig(*procs, m)
+	cfg.CycleLimit = iqolb.Time(*limit)
+	mach, err := iqolb.NewMachine(cfg, prog, nil)
+	fail(err)
+	for _, l := range locks {
+		mach.RegisterLockAddr(iqolb.Addr(l))
+	}
+	res, err := mach.Run()
+	fail(err)
+	if res.HitLimit {
+		fail(fmt.Errorf("hit the cycle limit (%d); raise -limit or fix the kernel", *limit))
+	}
+
+	fmt.Printf("completed in %d cycles on %d processors (%s mode)\n", res.Cycles, *procs, *mode)
+	fmt.Printf("  bus transactions: %d   SC failure rate: %.3f\n",
+		res.Stats.BusTransactions, res.Stats.SCFailureRate())
+	for i, c := range res.PerCPU {
+		fmt.Printf("  cpu %-2d: %8d instructions, %6d mem ops, halted at %d\n",
+			i, c.Instructions, c.MemOps, c.HaltedAt)
+	}
+	for _, a := range peeks {
+		fmt.Printf("  mem[%#x] = %d\n", a, mach.Peek(iqolb.Addr(a)))
+	}
+}
+
+type peekList []uint64
+
+func (p *peekList) String() string { return fmt.Sprint(*p) }
+func (p *peekList) Set(s string) error {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return err
+	}
+	*p = append(*p, v)
+	return nil
+}
+
+type lockList []uint64
+
+func (p *lockList) String() string { return fmt.Sprint(*p) }
+func (p *lockList) Set(s string) error {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return err
+	}
+	*p = append(*p, v)
+	return nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iqolbrun:", err)
+		os.Exit(1)
+	}
+}

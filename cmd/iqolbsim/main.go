@@ -1,0 +1,98 @@
+// Command iqolbsim runs one benchmark under one synchronization system on
+// the simulated multiprocessor and reports the measurements.
+//
+// Usage:
+//
+//	iqolbsim -bench raytrace -system iqolb -procs 32
+//	iqolbsim -bench hotlock -system tts -procs 8 -scale 4 -v
+//	iqolbsim -print-config     # the paper's Table 1
+//	iqolbsim -list-workloads   # the paper's Table 2
+//	iqolbsim -list-systems
+//	iqolbsim -taxonomy         # the Figure 1 design-space progression
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iqolb"
+)
+
+func main() {
+	var (
+		bench       = flag.String("bench", "raytrace", "benchmark or microbenchmark name")
+		system      = flag.String("system", "iqolb", "synchronization system (see -list-systems)")
+		procs       = flag.Int("procs", 32, "processor count")
+		scale       = flag.Int("scale", 1, "divide the workload by this factor")
+		verbose     = flag.Bool("v", false, "print detailed statistics")
+		printConfig = flag.Bool("print-config", false, "print the Table 1 system configuration and exit")
+		listWl      = flag.Bool("list-workloads", false, "print the Table 2 benchmark inventory and exit")
+		listSys     = flag.Bool("list-systems", false, "print the available systems and exit")
+		taxonomy    = flag.Bool("taxonomy", false, "run the Figure 1 progression on a hot lock and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *printConfig:
+		fmt.Print(iqolb.Table1())
+		return
+	case *listWl:
+		fmt.Print(iqolb.Table2())
+		return
+	case *listSys:
+		for _, s := range iqolb.Systems() {
+			fmt.Printf("  %-16s primitive=%-7s mode=%-10s retention=%-5v tearoff=%v\n",
+				s.Name, s.Primitive, s.Mode, s.Retention, s.TearOff)
+		}
+		return
+	case *taxonomy:
+		out, _, err := iqolb.Figure1(*procs, 1024)
+		fail(err)
+		fmt.Print(out)
+		return
+	}
+
+	sys, err := iqolb.SystemByName(*system)
+	fail(err)
+	res, err := iqolb.Run(iqolb.Experiment{
+		Benchmark:  *bench,
+		System:     sys,
+		Processors: *procs,
+		ScaleFactor: func() int {
+			if *scale < 1 {
+				return 1
+			}
+			return *scale
+		}(),
+	})
+	fail(err)
+
+	fmt.Printf("%s on %s, %d processors: %d cycles\n", sys.Name, *bench, *procs, res.Cycles)
+	fmt.Printf("  bus transactions : %d\n", res.BusTransactions)
+	fmt.Printf("  SC failure rate  : %.3f\n", res.SCFailureRate)
+	fmt.Printf("  lock hand-off    : mean %.0f cycles\n", res.LockHandoffMean)
+	fmt.Printf("  tear-offs        : %d\n", res.TearOffs)
+	fmt.Printf("  delay time-outs  : %d\n", res.Timeouts)
+	fmt.Printf("  queue breakdowns : %d\n", res.Breakdowns)
+	if *verbose {
+		st := res.Stats
+		fmt.Printf("  memory reads     : %d (writebacks %d)\n", st.MemReads, st.MemWritebacks)
+		fmt.Printf("  hand-off hist    : %s\n", st.LockHandoff.String())
+		fmt.Printf("  acquire wait     : %s\n", st.AcquireWait.String())
+		fmt.Printf("  miss latency     : %s\n", st.MissLatency.String())
+		names := []string{"GETS", "GETX", "UPGR", "LPRFO", "WB", "QOLB"}
+		fmt.Printf("  tx mix           :")
+		for k, n := range names {
+			fmt.Printf(" %s=%d", n, st.TotalTx(k))
+		}
+		fmt.Println()
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iqolbsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Command report regenerates every experimental artifact in one run — the
+// data behind EXPERIMENTS.md. At full scale (the default) it reproduces
+// the paper's configuration: 32 processors, unscaled workloads.
+//
+//	report             # full scale (about a minute)
+//	report -quick      # 8 processors, workloads divided by 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iqolb"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small machine, scaled-down workloads")
+	flag.Parse()
+
+	procs, scale, sweepProcs, sweepCS := 32, 1, 16, 1024
+	if *quick {
+		procs, scale, sweepProcs, sweepCS = 8, 8, 8, 256
+	}
+
+	emit := func(section string, body string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %s: %v\n", section, err)
+			os.Exit(1)
+		}
+		fmt.Println(body)
+	}
+
+	fmt.Println(iqolb.Table1())
+	fmt.Println(iqolb.Table2())
+
+	t3, _, err := iqolb.Table3(procs, scale)
+	emit("table3", t3, err)
+
+	f1, _, err := iqolb.Figure1(sweepProcs, sweepCS)
+	emit("figure1", f1, err)
+
+	f2, _, err := iqolb.Figure2()
+	emit("figure2", f2, err)
+	f3, _, err := iqolb.Figure3()
+	emit("figure3", f3, err)
+	f4, _, err := iqolb.Figure4()
+	emit("figure4", f4, err)
+
+	sc, err := iqolb.SweepScaling("raytrace", []int{1, 2, 4, 8, 16, 32}, scale)
+	emit("scaling", sc, err)
+
+	to, err := iqolb.SweepTimeout(sweepProcs, sweepCS,
+		[]iqolb.Time{200, 500, 1000, 5000, 10000, 50000})
+	emit("timeout", to, err)
+
+	re, err := iqolb.SweepRetention(sweepProcs, sweepCS)
+	emit("retention", re, err)
+
+	co, err := iqolb.SweepCollocation(sweepProcs, sweepCS)
+	emit("collocation", co, err)
+
+	pr, err := iqolb.SweepPredictor(sweepProcs, sweepCS)
+	emit("predictor", pr, err)
+
+	ge, err := iqolb.SweepGeneralized(sweepProcs, sweepCS)
+	emit("generalized", ge, err)
+}

@@ -1,0 +1,48 @@
+// Command seqtrace regenerates the paper's message-sequence figures as
+// coherence traces of the simulated bus:
+//
+//	seqtrace -figure 2   # traditional LL/SC (baseline): read, upgrade, retry
+//	seqtrace -figure 3   # delayed response: LPRFO queue, no retries
+//	seqtrace -figure 4   # IQOLB: tear-offs, critical sections, hand-offs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iqolb"
+)
+
+func main() {
+	figure := flag.Int("figure", 4, "paper figure to regenerate (2, 3 or 4)")
+	columns := flag.Bool("columns", false, "render a per-processor columnar chart (like the paper's figures)")
+	flag.Parse()
+
+	var (
+		out string
+		rec *iqolb.Recorder
+		err error
+	)
+	procs := 3
+	switch *figure {
+	case 2:
+		out, rec, err = iqolb.Figure2()
+		procs = 2
+	case 3:
+		out, rec, err = iqolb.Figure3()
+	case 4:
+		out, rec, err = iqolb.Figure4()
+	default:
+		err = fmt.Errorf("unknown figure %d (want 2, 3 or 4)", *figure)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqtrace:", err)
+		os.Exit(1)
+	}
+	if *columns {
+		fmt.Print(rec.RenderColumns(procs))
+		return
+	}
+	fmt.Print(out)
+}

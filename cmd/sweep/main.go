@@ -1,0 +1,55 @@
+// Command sweep runs the ablation and extension studies listed in
+// DESIGN.md:
+//
+//	sweep -study scaling -bench raytrace       # contention scaling 1..32
+//	sweep -study timeout                       # §3.2/§3.3 time-out budgets
+//	sweep -study retention                     # queue retention vs breakdown
+//	sweep -study collocation                   # §6 collocation extension
+//	sweep -study predictor                     # §3.4 predictor vs always-lock
+//	sweep -study generalized                   # §6 Generalized IQOLB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iqolb"
+)
+
+func main() {
+	var (
+		study = flag.String("study", "scaling", "scaling | timeout | retention | collocation | predictor | generalized")
+		bench = flag.String("bench", "raytrace", "benchmark for the scaling study")
+		procs = flag.Int("procs", 16, "processor count for the fixed-size studies")
+		cs    = flag.Int("cs", 1024, "critical sections for the fixed-size studies")
+		scale = flag.Int("scale", 1, "divide the scaling-study workload by this factor")
+	)
+	flag.Parse()
+
+	var (
+		out string
+		err error
+	)
+	switch *study {
+	case "scaling":
+		out, err = iqolb.SweepScaling(*bench, []int{1, 2, 4, 8, 16, 32}, *scale)
+	case "timeout":
+		out, err = iqolb.SweepTimeout(*procs, *cs, []iqolb.Time{200, 500, 1000, 5000, 10000, 50000})
+	case "retention":
+		out, err = iqolb.SweepRetention(*procs, *cs)
+	case "collocation":
+		out, err = iqolb.SweepCollocation(*procs, *cs)
+	case "predictor":
+		out, err = iqolb.SweepPredictor(*procs, *cs)
+	case "generalized":
+		out, err = iqolb.SweepGeneralized(*procs, *cs)
+	default:
+		err = fmt.Errorf("unknown study %q", *study)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,28 @@
+// Command table3 reproduces the paper's Table 3: absolute TTS speedups and
+// QOLB/IQOLB speedups relative to TTS for the five benchmarks, side by side
+// with the published numbers.
+//
+//	table3                 # full scale, 32 processors (the paper's setup)
+//	table3 -procs 8 -scale 4   # quick smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iqolb"
+)
+
+func main() {
+	procs := flag.Int("procs", 32, "processor count")
+	scale := flag.Int("scale", 1, "divide the workloads by this factor")
+	flag.Parse()
+
+	out, _, err := iqolb.Table3(*procs, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table3:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

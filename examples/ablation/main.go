@@ -1,0 +1,34 @@
+// Ablation walks the paper's Figure 1 design space — baseline, aggressive
+// baseline, delayed response (with/without queue retention), IQOLB
+// (with/without retention, without tear-offs) — on one contended lock, and
+// then runs the retention and predictor studies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iqolb"
+)
+
+func main() {
+	const procs = 16
+
+	out, _, err := iqolb.Figure1(procs, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	ret, err := iqolb.SweepRetention(procs, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ret)
+
+	pred, err := iqolb.SweepPredictor(procs, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(pred)
+}

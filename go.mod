@@ -1,0 +1,3 @@
+module iqolb
+
+go 1.22

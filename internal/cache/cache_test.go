@@ -1,0 +1,199 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iqolb/internal/mem"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways.
+	return New(Config{SizeBytes: 4 * 2 * mem.LineSize, Ways: 2})
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{SizeBytes: 64 * 1024, Ways: 2},
+		{SizeBytes: 512 * 1024, Ways: 4},
+		{SizeBytes: 2 * mem.LineSize, Ways: 2}, // 1 set
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{
+		{SizeBytes: 0, Ways: 2},
+		{SizeBytes: 64 * 1024, Ways: 0},
+		{SizeBytes: 3 * mem.LineSize, Ways: 1}, // 3 sets: not a power of two
+		{SizeBytes: 100, Ways: 1},              // not line-divisible
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestTable1Geometries(t *testing.T) {
+	l1 := Config{SizeBytes: 64 * 1024, Ways: 2}
+	if l1.Sets() != 512 {
+		t.Errorf("L1 sets = %d, want 512", l1.Sets())
+	}
+	l2 := Config{SizeBytes: 512 * 1024, Ways: 4}
+	if l2.Sets() != 2048 {
+		t.Errorf("L2 sets = %d, want 2048", l2.Sets())
+	}
+}
+
+func TestInstallLookup(t *testing.T) {
+	c := small()
+	c.Install(7, mem.Shared)
+	if got := c.State(7); got != mem.Shared {
+		t.Fatalf("State(7) = %s, want S", got)
+	}
+	if c.State(8) != mem.Invalid {
+		t.Fatal("absent line not Invalid")
+	}
+	c.SetState(7, mem.Modified)
+	if got := c.State(7); got != mem.Modified {
+		t.Fatalf("State(7) = %s, want M", got)
+	}
+}
+
+func TestInstallOverResidentReplacesInPlace(t *testing.T) {
+	c := small()
+	c.Install(7, mem.Shared)
+	_, _, evicted := c.Install(7, mem.Exclusive)
+	if evicted {
+		t.Fatal("reinstall of resident line evicted something")
+	}
+	if c.State(7) != mem.Exclusive {
+		t.Fatal("reinstall did not update state")
+	}
+	if len(c.Lines()) != 1 {
+		t.Fatalf("duplicate entries for one line: %v", c.Lines())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 4 sets, 2 ways; lines 0,4,8,12 share set 0
+	c.Install(0, mem.Shared)
+	c.Install(4, mem.Shared)
+	c.Touch(0) // 4 is now LRU
+	victim, state, evicted := c.Install(8, mem.Modified)
+	if !evicted || victim != 4 || state != mem.Shared {
+		t.Fatalf("evicted %v (line %d, %s), want line 4 Shared", evicted, victim, state)
+	}
+	if c.State(0) != mem.Shared || c.State(8) != mem.Modified {
+		t.Fatal("survivors corrupted by eviction")
+	}
+}
+
+func TestVictimPreview(t *testing.T) {
+	c := small()
+	if _, _, full := c.Victim(0); full {
+		t.Fatal("empty set reported full")
+	}
+	c.Install(0, mem.Shared)
+	c.Install(4, mem.Modified)
+	c.Touch(4)
+	victim, state, full := c.Victim(8)
+	if !full || victim != 0 || state != mem.Shared {
+		t.Fatalf("Victim = %d %s %v, want line 0 Shared true", victim, state, full)
+	}
+	// Preview must not evict.
+	if c.State(0) != mem.Shared {
+		t.Fatal("Victim() mutated the cache")
+	}
+}
+
+func TestInvalidateAndStats(t *testing.T) {
+	c := small()
+	c.Install(3, mem.Exclusive)
+	if !c.Touch(3) {
+		t.Fatal("touch of resident line missed")
+	}
+	if c.Touch(99) {
+		t.Fatal("touch of absent line hit")
+	}
+	if !c.Invalidate(3) || c.Invalidate(3) {
+		t.Fatal("invalidate semantics wrong")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", c.Hits, c.Misses)
+	}
+}
+
+func TestSetStateOnAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetState on absent line did not panic")
+		}
+	}()
+	small().SetState(1, mem.Shared)
+}
+
+func TestInstallInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Install(Invalid) did not panic")
+		}
+	}()
+	small().Install(1, mem.Invalid)
+}
+
+// Property: after any sequence of installs, (a) no set exceeds its
+// associativity, (b) no line appears twice, (c) the most recently installed
+// line of each set is always resident.
+func TestPropertyAssociativityRespected(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := small()
+		lastPerSet := map[uint64]mem.LineID{}
+		for _, op := range ops {
+			line := mem.LineID(op % 64)
+			c.Install(line, mem.Shared)
+			lastPerSet[uint64(line)&c.mask] = line
+		}
+		seen := map[mem.LineID]bool{}
+		perSet := map[uint64]int{}
+		for _, l := range c.Lines() {
+			if seen[l] {
+				return false
+			}
+			seen[l] = true
+			perSet[uint64(l)&c.mask]++
+		}
+		for _, n := range perSet {
+			if n > c.cfg.Ways {
+				return false
+			}
+		}
+		for _, l := range lastPerSet {
+			if !c.Contains(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: eviction count equals installs minus distinct resident lines
+// when every install targets a distinct line.
+func TestPropertyEvictionAccounting(t *testing.T) {
+	f := func(n uint8) bool {
+		c := small()
+		distinct := int(n%100) + 1
+		for i := 0; i < distinct; i++ {
+			c.Install(mem.LineID(i), mem.Exclusive)
+		}
+		return int(c.Evictions) == distinct-len(c.Lines())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package coherence
+
+import (
+	"fmt"
+	"strings"
+
+	"iqolb/internal/interconnect"
+	"iqolb/internal/mem"
+)
+
+// DebugLine renders one line's full coherence state across the machine —
+// the fabric registers, every node's cache state, MSHR, loan and duty
+// bookkeeping. It is the first tool to reach for when a protocol-level
+// hang or invariant violation needs diagnosing.
+func (f *Fabric) DebugLine(line mem.LineID) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "line %d (base %#x): owner=%s holder=%s\n",
+		line, uint64(line.Base()), f.ownerOf(line), f.holderOf(line))
+	if n := f.memory.wbInFlight[line]; n > 0 {
+		fmt.Fprintf(&sb, "  memory: %d writeback(s) in flight, %d deferred supplies\n",
+			n, len(f.memory.deferred[line]))
+	}
+	for _, c := range f.nodes {
+		s := c.debugLine(line)
+		if s != "" {
+			sb.WriteString(s)
+		}
+	}
+	return sb.String()
+}
+
+func (c *Controller) debugLine(line mem.LineID) string {
+	state := c.l2.State(line)
+	m := c.mshrs[line]
+	duties := c.duties[line]
+	loaned := c.loanedOut[line]
+	waiting := len(c.loanWait[line])
+	linked := c.linkValid && c.linkAddr.Line() == line
+	holding := c.policy.HoldingLockOn(line)
+	if state == mem.Invalid && m == nil && len(duties) == 0 && !loaned && waiting == 0 && !linked && !holding {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  %s: state=%s", c.id, state)
+	if m != nil {
+		fmt.Fprintf(&sb, " mshr{tx=%s observed=%v opDone=%v tear=%v pending=%d}",
+			m.txKind, m.observed, m.opDone, m.hasTear, len(m.pending))
+	}
+	if loaned {
+		fmt.Fprintf(&sb, " LOANED-OUT(waiters=%d)", waiting)
+	}
+	if linked {
+		fmt.Fprintf(&sb, " linked(fragile=%v)", c.linkFragile)
+	}
+	if holding {
+		sb.WriteString(" holding-lock")
+	}
+	for _, d := range duties {
+		fmt.Fprintf(&sb, " duty{%s from %s delayed=%v inService=%v removed=%v loan=%v}",
+			d.tx.Kind, d.tx.Requester, d.delayed, d.inService, d.removed, d.loan)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// SetDebugInstall wires a stdout dump of every install on line 16 (debug).
+func SetDebugInstall() {
+	dbgInstall = func(c *Controller, line mem.LineID, state mem.State, data mem.LineData) {
+		if line == 16 {
+			fmt.Printf("t=%-8d %s INSTALL state=%s w0=%d\n", uint64(c.eng.Now()), c.id, state, data[0])
+		}
+	}
+}
+
+// SetDebugDuty wires a stdout dump of duty routing on one line (debug).
+func SetDebugDuty(line mem.LineID) {
+	dbgDuty = func(c *Controller, action string, tx interconnect.Tx) {
+		if tx.Line == line {
+			fmt.Printf("t=%-8d %s %s duty %s(from %s, id %d) [owner=%s holder=%s]\n",
+				uint64(c.eng.Now()), c.id, action, tx.Kind, tx.Requester, tx.ID,
+				c.f.ownerOf(tx.Line), c.f.holderOf(tx.Line))
+		}
+	}
+}
+
+// SetDebugObserve wires a stdout dump of observations on one line (debug).
+func SetDebugObserve(line mem.LineID) {
+	dbgObserve = func(f *Fabric, tx interconnect.Tx) {
+		if tx.Line == line {
+			fmt.Printf("t=%-8d OBSERVE %s(from %s, id %d) [owner=%s holder=%s]\n",
+				uint64(f.eng.Now()), tx.Kind, tx.Requester, tx.ID,
+				f.ownerOf(tx.Line), f.holderOf(tx.Line))
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package coherence
+
+import (
+	"fmt"
+
+	"iqolb/internal/engine"
+	"iqolb/internal/interconnect"
+	"iqolb/internal/mem"
+)
+
+// Memory is the home memory controller: the default owner of every line.
+// It supplies lines after the DRAM access latency and absorbs writebacks.
+// Supplies for a line with a writeback in flight wait for the writeback
+// data, preserving per-line data ordering.
+type Memory struct {
+	f    *Fabric
+	data map[mem.LineID]*mem.LineData
+
+	wbInFlight map[mem.LineID]int
+	deferred   map[mem.LineID][]deferredSupply
+
+	// bankFree[b] is the cycle DRAM bank b next becomes available; banks
+	// are selected by line interleaving, so aggregate bandwidth is
+	// MemBanks lines per MemAccess cycles.
+	bankFree []engine.Time
+
+	// Statistics.
+	Reads      uint64
+	Writebacks uint64
+	BankStall  uint64 // cycles requests waited for a busy bank
+}
+
+// claimBank reserves the line's DRAM bank and returns when the access
+// completes.
+func (m *Memory) claimBank(line mem.LineID) engine.Time {
+	b := int(uint64(line) % uint64(len(m.bankFree)))
+	now := m.f.eng.Now()
+	start := m.bankFree[b]
+	if start < now {
+		start = now
+	}
+	m.BankStall += uint64(start - now)
+	done := start + m.f.timing.MemAccess
+	m.bankFree[b] = done
+	return done
+}
+
+type deferredSupply struct {
+	tx        interconnect.Tx
+	exclusive bool
+	tracked   bool
+}
+
+func newMemory(f *Fabric) *Memory {
+	return &Memory{
+		f:          f,
+		data:       make(map[mem.LineID]*mem.LineData),
+		wbInFlight: make(map[mem.LineID]int),
+		deferred:   make(map[mem.LineID][]deferredSupply),
+		bankFree:   make([]engine.Time, f.timing.MemBanks),
+	}
+}
+
+// lineData returns the canonical line image, allocating zeroes lazily.
+func (m *Memory) lineData(line mem.LineID) *mem.LineData {
+	d := m.data[line]
+	if d == nil {
+		d = new(mem.LineData)
+		m.data[line] = d
+	}
+	return d
+}
+
+// Poke initializes memory contents before a run (workload setup).
+func (m *Memory) Poke(addr mem.Addr, v uint64) {
+	m.lineData(addr.Line())[addr.WordIndex()] = v
+}
+
+// Peek reads memory contents directly (verification after a run). It does
+// not snoop caches; callers must only use it once the machine is quiescent
+// or tolerate staleness.
+func (m *Memory) Peek(addr mem.Addr) uint64 {
+	return m.lineData(addr.Line())[addr.WordIndex()]
+}
+
+// supply services a bus transaction from DRAM.
+func (m *Memory) supply(tx interconnect.Tx, exclusive bool) {
+	m.supplyInternal(tx, exclusive, true)
+}
+
+// supplyUntracked services a synthetic (QOLB grant) request that holds no
+// bus slot.
+func (m *Memory) supplyUntracked(tx interconnect.Tx) {
+	m.supplyInternal(tx, true, false)
+}
+
+func (m *Memory) supplyInternal(tx interconnect.Tx, exclusive, tracked bool) {
+	if m.wbInFlight[tx.Line] > 0 {
+		m.deferred[tx.Line] = append(m.deferred[tx.Line],
+			deferredSupply{tx: tx, exclusive: exclusive, tracked: tracked})
+		return
+	}
+	m.Reads++
+	kind := mem.DataShared
+	if exclusive {
+		kind = mem.DataExclusive
+	}
+	line := tx.Line
+	data := *m.lineData(line)
+	txID := tx.ID
+	if !tracked {
+		txID = 0
+	}
+	m.f.eng.At(m.claimBank(line), func(engine.Time) {
+		m.f.send(interconnect.Msg{
+			Kind: kind, Line: line, Data: data, Dirty: false,
+			From: mem.MemoryNode, To: tx.Requester, TxID: txID,
+		})
+	})
+}
+
+// expectWriteback registers an in-flight writeback so supplies defer.
+func (m *Memory) expectWriteback(line mem.LineID) {
+	m.wbInFlight[line]++
+}
+
+// onData absorbs writeback data and drains deferred supplies.
+func (m *Memory) onData(msg interconnect.Msg) {
+	if msg.Kind != mem.DataWriteback {
+		panic(fmt.Sprintf("coherence: memory received %s", msg.Kind))
+	}
+	m.Writebacks++
+	m.claimBank(msg.Line) // the writeback occupies the bank too
+	*m.lineData(msg.Line) = msg.Data
+	if m.wbInFlight[msg.Line] == 0 {
+		panic("coherence: unexpected writeback")
+	}
+	m.wbInFlight[msg.Line]--
+	if m.wbInFlight[msg.Line] > 0 {
+		return
+	}
+	delete(m.wbInFlight, msg.Line)
+	pend := m.deferred[msg.Line]
+	delete(m.deferred, msg.Line)
+	for _, d := range pend {
+		m.supplyInternal(d.tx, d.exclusive, d.tracked)
+	}
+}

@@ -1,0 +1,92 @@
+// Package coherence implements the broadcast MOESI snooping protocol, the
+// per-node cache controllers, and the home memory controller, together with
+// the IQOLB extensions (LPRFO routing, delayed responses, tear-off copies,
+// queue retention) driven by the policy in package core.
+package coherence
+
+import (
+	"fmt"
+
+	"iqolb/internal/cache"
+	"iqolb/internal/engine"
+	"iqolb/internal/interconnect"
+)
+
+// Timing carries the latency parameters of Table 1, in processor cycles.
+type Timing struct {
+	// L1Hit is the L1 data cache hit latency.
+	L1Hit engine.Time
+	// L2Hit is the (uncontended) unified L2 hit latency.
+	L2Hit engine.Time
+	// AddrLatency is the address-bus access latency (grant to global
+	// observation).
+	AddrLatency engine.Time
+	// GrantInterval is the address-bus bandwidth (cycles between grants).
+	GrantInterval engine.Time
+	// MaxOutstanding caps in-flight address transactions.
+	MaxOutstanding int
+	// DataLatency is the crossbar's per-line transfer latency.
+	DataLatency engine.Time
+	// DataPortInterval serializes transfers leaving one port.
+	DataPortInterval engine.Time
+	// MemAccess is the DRAM access time for a full line (first-part
+	// latency plus the remaining bursts: 40 + 7x4 for Table 1's 8-byte-
+	// wide, 64-byte-line memory).
+	MemAccess engine.Time
+	// MemBanks is the number of independently busy DRAM banks; a bank is
+	// occupied for MemAccess cycles per line it supplies or absorbs, so
+	// aggregate memory bandwidth is MemBanks lines per MemAccess cycles.
+	MemBanks int
+}
+
+// DefaultTiming returns Table 1's parameters.
+func DefaultTiming() Timing {
+	return Timing{
+		L1Hit:            1,
+		L2Hit:            6,
+		AddrLatency:      12,
+		GrantInterval:    6,
+		MaxOutstanding:   117,
+		DataLatency:      40,
+		DataPortInterval: 32,
+		MemAccess:        40 + 7*4,
+		MemBanks:         8,
+	}
+}
+
+// Validate rejects unusable timings.
+func (t Timing) Validate() error {
+	if t.L1Hit == 0 || t.L2Hit == 0 || t.GrantInterval == 0 ||
+		t.DataPortInterval == 0 || t.MaxOutstanding <= 0 || t.MemBanks <= 0 {
+		return fmt.Errorf("coherence: bad timing %+v", t)
+	}
+	return nil
+}
+
+// BusConfig derives the interconnect bus parameters.
+func (t Timing) BusConfig() interconnect.BusConfig {
+	return interconnect.BusConfig{
+		Latency:        t.AddrLatency,
+		GrantInterval:  t.GrantInterval,
+		MaxOutstanding: t.MaxOutstanding,
+	}
+}
+
+// NetConfig derives the crossbar parameters.
+func (t Timing) NetConfig() interconnect.NetConfig {
+	return interconnect.NetConfig{Latency: t.DataLatency, PortInterval: t.DataPortInterval}
+}
+
+// CacheGeometry carries the Table 1 cache sizes.
+type CacheGeometry struct {
+	L1 cache.Config
+	L2 cache.Config
+}
+
+// DefaultCacheGeometry returns Table 1's 64-KB 2-way L1 and 512-KB 4-way L2.
+func DefaultCacheGeometry() CacheGeometry {
+	return CacheGeometry{
+		L1: cache.Config{SizeBytes: 64 * 1024, Ways: 2},
+		L2: cache.Config{SizeBytes: 512 * 1024, Ways: 4},
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iqolb/internal/mem"
+)
+
+func TestModeParseRoundTrip(t *testing.T) {
+	for m := ModeBaseline; m <= ModeIQOLB; m++ {
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("ParseMode(%s) = %v, %v", m, back, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("bogus mode parsed")
+	}
+}
+
+func TestTxForLLPerMode(t *testing.T) {
+	want := map[Mode]mem.TxKind{
+		ModeBaseline:   mem.TxGETS,
+		ModeAggressive: mem.TxGETX,
+		ModeDelayed:    mem.TxLPRFO,
+		ModeIQOLB:      mem.TxLPRFO,
+	}
+	for m, tx := range want {
+		p, err := NewPolicy(DefaultConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.TxForLL(); got != tx {
+			t.Errorf("mode %s: TxForLL = %s, want %s", m, got, tx)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := DefaultConfig(ModeIQOLB)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.SCTimeout = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero SCTimeout accepted for LPRFO mode")
+	}
+	c = DefaultConfig(ModeIQOLB)
+	c.LockTimeout = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero LockTimeout accepted for iqolb")
+	}
+	c = DefaultConfig(ModeBaseline)
+	c.SCTimeout = 0 // irrelevant in baseline
+	if err := c.Validate(); err != nil {
+		t.Errorf("baseline rejected: %v", err)
+	}
+	c.Mode = Mode(99)
+	if err := c.Validate(); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestPredictorDefaultsToFetchPhi(t *testing.T) {
+	p := NewPredictor(16)
+	if p.PredictLock(1234) {
+		t.Fatal("unknown PC predicted lock")
+	}
+}
+
+func TestPredictorLearnsLockOnRelease(t *testing.T) {
+	p := NewPredictor(16)
+	p.TrainLock(42)
+	if !p.PredictLock(42) {
+		t.Fatal("trained PC not predicted lock")
+	}
+	if p.Confidence(42) != confMax {
+		t.Fatalf("confidence = %d, want %d", p.Confidence(42), confMax)
+	}
+}
+
+func TestPredictorDecaysOnTimeout(t *testing.T) {
+	p := NewPredictor(16)
+	p.TrainLock(42)
+	p.TrainNotLock(42)
+	if !p.PredictLock(42) { // 3 -> 2, still confident
+		t.Fatal("single timeout flipped a strongly trained PC")
+	}
+	p.TrainNotLock(42)
+	if p.PredictLock(42) { // 2 -> 1
+		t.Fatal("repeated timeouts did not turn prediction off")
+	}
+	for i := 0; i < 5; i++ {
+		p.TrainNotLock(42) // must saturate at 0, not wrap
+	}
+	if p.Confidence(42) != 0 {
+		t.Fatalf("confidence = %d, want 0", p.Confidence(42))
+	}
+}
+
+func TestPredictorAliasReplacement(t *testing.T) {
+	p := NewPredictor(4) // pcs 1 and 5 alias
+	p.TrainLock(1)
+	p.TrainNotLock(5)
+	if p.PredictLock(1) {
+		t.Fatal("aliased entry survived replacement")
+	}
+	if p.Confidence(5) != 0 {
+		t.Fatal("fresh not-lock entry has nonzero confidence")
+	}
+}
+
+// Property: a PC trained by k releases and no timeouts always predicts
+// lock for k >= 1; and Confidence never leaves [0, confMax].
+func TestPropertyPredictorSaturation(t *testing.T) {
+	f := func(ops []bool, pc uint16) bool {
+		p := NewPredictor(64)
+		for _, lock := range ops {
+			if lock {
+				p.TrainLock(int(pc))
+			} else {
+				p.TrainNotLock(int(pc))
+			}
+			if c := p.Confidence(int(pc)); c < 0 || c > confMax {
+				return false
+			}
+		}
+		if len(ops) > 0 && ops[len(ops)-1] {
+			return p.PredictLock(int(pc))
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeldTableInsertLookupRemove(t *testing.T) {
+	ht := NewHeldTable(2)
+	ht.Insert(HeldLock{Line: 1, Addr: 64, PC: 7, Delaying: true})
+	if e, ok := ht.Lookup(64); !ok || e.PC != 7 {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := ht.Lookup(72); ok {
+		t.Fatal("lookup of collocated word matched lock word")
+	}
+	if e, ok := ht.LookupLine(1); !ok || !e.Delaying {
+		t.Fatal("line lookup failed")
+	}
+	if _, ok := ht.Remove(64); !ok {
+		t.Fatal("remove failed")
+	}
+	if ht.Len() != 0 {
+		t.Fatal("entry not removed")
+	}
+}
+
+func TestHeldTableEvictsOldestOnOverflow(t *testing.T) {
+	ht := NewHeldTable(2)
+	ht.Insert(HeldLock{Addr: 0, PC: 1})
+	ht.Insert(HeldLock{Addr: 64, PC: 2})
+	evicted, was := ht.Insert(HeldLock{Addr: 128, PC: 3})
+	if !was || evicted.PC != 1 {
+		t.Fatalf("evicted %+v (was=%v), want oldest PC 1", evicted, was)
+	}
+	if _, ok := ht.Lookup(0); ok {
+		t.Fatal("evicted entry still present")
+	}
+}
+
+func TestHeldTableReacquireRefreshesInPlace(t *testing.T) {
+	ht := NewHeldTable(2)
+	ht.Insert(HeldLock{Addr: 8, PC: 1, Since: 10})
+	_, was := ht.Insert(HeldLock{Addr: 8, PC: 1, Since: 99})
+	if was {
+		t.Fatal("refresh evicted")
+	}
+	if e, _ := ht.Lookup(8); e.Since != 99 {
+		t.Fatal("refresh did not update")
+	}
+	if ht.Len() != 1 {
+		t.Fatal("duplicate entries")
+	}
+}
+
+func TestPolicyClassification(t *testing.T) {
+	// Non-IQOLB modes never classify as lock.
+	for _, m := range []Mode{ModeBaseline, ModeAggressive, ModeDelayed} {
+		p, _ := NewPolicy(DefaultConfig(m))
+		if p.ClassifyAcquire(5) != ClassFetchPhi {
+			t.Errorf("mode %s classified lock", m)
+		}
+	}
+	// IQOLB with predictor: unknown -> fetchphi, after release -> lock.
+	p, _ := NewPolicy(DefaultConfig(ModeIQOLB))
+	if p.ClassifyAcquire(5) != ClassFetchPhi {
+		t.Error("unknown PC classified lock")
+	}
+	class, _, _ := p.OnSCSuccess(5, 64, 100)
+	if class != ClassFetchPhi {
+		t.Error("first acquire classified lock")
+	}
+	if _, ok := p.OnStore(64); !ok {
+		t.Fatal("release store not recognized")
+	}
+	if p.ClassifyAcquire(5) != ClassLock {
+		t.Error("PC not lock after observed release")
+	}
+	// IQOLB without predictor: always lock.
+	cfg := DefaultConfig(ModeIQOLB)
+	cfg.PredictorEntries = 0
+	p2, _ := NewPolicy(cfg)
+	if p2.ClassifyAcquire(5) != ClassLock {
+		t.Error("predictor-less iqolb not always-lock")
+	}
+}
+
+func TestPolicyTimeoutTrainsAway(t *testing.T) {
+	p, _ := NewPolicy(DefaultConfig(ModeIQOLB))
+	p.Predictor().TrainLock(5)
+	class, _, _ := p.OnSCSuccess(5, 64, 100)
+	if class != ClassLock {
+		t.Fatal("trained PC not classified lock")
+	}
+	if !p.HoldingLockOn(mem.Addr(64).Line()) {
+		t.Fatal("held table missing delaying entry")
+	}
+	p.OnDelayTimeout(mem.Addr(64).Line())
+	if p.Predictor().Confidence(5) != confMax-1 {
+		t.Fatal("timeout did not decay confidence")
+	}
+	if p.HoldingLockOn(mem.Addr(64).Line()) {
+		t.Fatal("timeout did not clear held entry")
+	}
+}
+
+func TestHeldEntrySurvivesLineLoss(t *testing.T) {
+	// Holding a lock is a program property, not line residence: the held
+	// entry must persist so the eventual release store still trains the
+	// predictor and triggers the hand-off (there is deliberately no
+	// "line lost" hook on the policy).
+	p, _ := NewPolicy(DefaultConfig(ModeIQOLB))
+	p.OnSCSuccess(9, 128, 1)
+	if _, ok := p.Held().Lookup(mem.Addr(128)); !ok {
+		t.Fatal("held entry missing after acquire")
+	}
+	if _, ok := p.OnStore(128); !ok {
+		t.Fatal("release after (conceptual) line loss not recognized")
+	}
+	if !p.Predictor().PredictLock(9) {
+		t.Fatal("release did not train predictor")
+	}
+}
+
+func TestPolicyNestedOverflowDiscardsOldest(t *testing.T) {
+	cfg := DefaultConfig(ModeIQOLB)
+	cfg.HeldLockEntries = 1
+	p, _ := NewPolicy(cfg)
+	p.Predictor().TrainLock(1)
+	p.Predictor().TrainLock(2)
+	p.OnSCSuccess(1, 64, 10)
+	_, evicted, was := p.OnSCSuccess(2, 128, 20)
+	if !was || evicted.PC != 1 {
+		t.Fatalf("nested acquire did not evict outer speculation: %+v %v", evicted, was)
+	}
+}
+
+func TestDelayBudget(t *testing.T) {
+	p, _ := NewPolicy(DefaultConfig(ModeIQOLB))
+	if p.DelayBudget(false) != p.Config().SCTimeout {
+		t.Error("SC budget wrong")
+	}
+	if p.DelayBudget(true) != p.Config().LockTimeout {
+		t.Error("lock budget wrong")
+	}
+	pb, _ := NewPolicy(DefaultConfig(ModeBaseline))
+	if pb.DelayBudget(true) != 0 {
+		t.Error("baseline mode has a delay budget")
+	}
+}
+
+func TestOnStoreNonReleaseIgnored(t *testing.T) {
+	p, _ := NewPolicy(DefaultConfig(ModeIQOLB))
+	if _, ok := p.OnStore(4096); ok {
+		t.Fatal("random store treated as release")
+	}
+}

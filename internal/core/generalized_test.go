@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"iqolb/internal/mem"
+)
+
+func genPolicy(t *testing.T, footprint int) *Policy {
+	t.Helper()
+	cfg := DefaultConfig(ModeIQOLB)
+	cfg.GeneralizedData = true
+	cfg.FootprintLines = footprint
+	p, err := NewPolicy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// acquireLock establishes a delaying tenure on lockAddr at PC pc.
+func acquireLock(t *testing.T, p *Policy, pc int, lockAddr mem.Addr) {
+	t.Helper()
+	p.Predictor().TrainLock(pc)
+	class, _, _ := p.OnSCSuccess(pc, lockAddr, 1)
+	if class != ClassLock {
+		t.Fatal("setup: acquire not classified lock")
+	}
+}
+
+func TestFootprintGrowsOnCSWrites(t *testing.T) {
+	p := genPolicy(t, 4)
+	acquireLock(t, p, 7, 64)
+	p.OnStore(1024) // CS data write, not a release
+	p.OnStore(2048)
+	if !p.HoldingLockOn(mem.Addr(1024).Line()) || !p.HoldingLockOn(mem.Addr(2048).Line()) {
+		t.Fatal("footprint lines not covered by the speculation")
+	}
+	if p.HoldingLockOn(mem.Addr(4096).Line()) {
+		t.Fatal("unwritten line covered")
+	}
+	// Duplicate writes must not duplicate entries.
+	p.OnStore(1032) // same line as 1024
+	e, _ := p.Held().Lookup(64)
+	if len(e.Footprint) != 2 {
+		t.Fatalf("footprint has %d lines, want 2", len(e.Footprint))
+	}
+}
+
+func TestFootprintBounded(t *testing.T) {
+	p := genPolicy(t, 2)
+	acquireLock(t, p, 7, 64)
+	for i := 1; i <= 5; i++ {
+		p.OnStore(mem.Addr(1024 * i))
+	}
+	e, _ := p.Held().Lookup(64)
+	if len(e.Footprint) != 2 {
+		t.Fatalf("footprint has %d lines, budget 2", len(e.Footprint))
+	}
+}
+
+func TestFootprintReleasedWithLock(t *testing.T) {
+	p := genPolicy(t, 4)
+	acquireLock(t, p, 7, 64)
+	p.OnStore(1024)
+	e, ok := p.OnStore(64) // the release
+	if !ok {
+		t.Fatal("release not recognized")
+	}
+	if len(e.Footprint) != 1 || e.Footprint[0] != mem.Addr(1024).Line() {
+		t.Fatalf("release did not carry the footprint: %+v", e.Footprint)
+	}
+	if p.HoldingLockOn(mem.Addr(1024).Line()) {
+		t.Fatal("footprint survived the release")
+	}
+}
+
+func TestFootprintTimeoutDropsOnlyThatLine(t *testing.T) {
+	p := genPolicy(t, 4)
+	acquireLock(t, p, 7, 64)
+	p.OnStore(1024)
+	p.OnStore(2048)
+	conf := p.Predictor().Confidence(7)
+	p.OnDelayTimeout(mem.Addr(1024).Line())
+	if p.HoldingLockOn(mem.Addr(1024).Line()) {
+		t.Fatal("timed-out footprint line still covered")
+	}
+	if !p.HoldingLockOn(mem.Addr(2048).Line()) || !p.HoldingLockOn(mem.Addr(64).Line()) {
+		t.Fatal("footprint timeout killed the whole tenure")
+	}
+	if p.Predictor().Confidence(7) != conf {
+		t.Fatal("footprint timeout trained the lock predictor")
+	}
+	// A lock-line timeout, by contrast, ends the tenure and trains away.
+	p.OnDelayTimeout(mem.Addr(64).Line())
+	if p.HoldingLockOn(mem.Addr(64).Line()) || p.HoldingLockOn(mem.Addr(2048).Line()) {
+		t.Fatal("lock timeout did not end the tenure")
+	}
+	if p.Predictor().Confidence(7) != conf-1 {
+		t.Fatal("lock timeout did not train away")
+	}
+}
+
+func TestFootprintDisabledByDefault(t *testing.T) {
+	p, _ := NewPolicy(DefaultConfig(ModeIQOLB))
+	p.Predictor().TrainLock(7)
+	p.OnSCSuccess(7, 64, 1)
+	p.OnStore(1024)
+	if p.HoldingLockOn(mem.Addr(1024).Line()) {
+		t.Fatal("footprint active without GeneralizedData")
+	}
+}
+
+func TestFootprintAttachesToInnermostDelayingTenure(t *testing.T) {
+	p := genPolicy(t, 4)
+	acquireLock(t, p, 7, 64)
+	acquireLock(t, p, 8, 128) // nested
+	p.OnStore(4096)
+	inner, _ := p.Held().Lookup(128)
+	outer, _ := p.Held().Lookup(64)
+	if len(inner.Footprint) != 1 || len(outer.Footprint) != 0 {
+		t.Fatalf("footprint attached wrong: inner=%v outer=%v", inner.Footprint, outer.Footprint)
+	}
+}
+
+func TestFootprintIgnoresFetchPhiTenures(t *testing.T) {
+	p := genPolicy(t, 4)
+	// Untrained acquire: entry exists but is not delaying.
+	p.OnSCSuccess(7, 64, 1)
+	p.OnStore(1024)
+	e, _ := p.Held().Lookup(64)
+	if len(e.Footprint) != 0 {
+		t.Fatal("non-delaying tenure collected a footprint")
+	}
+}

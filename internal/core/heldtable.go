@@ -1,0 +1,119 @@
+package core
+
+import (
+	"iqolb/internal/engine"
+	"iqolb/internal/mem"
+)
+
+// HeldLock is one entry of the held-locks table: a location this node
+// recently acquired with a successful LL/SC and has not yet released.
+type HeldLock struct {
+	Line  mem.LineID
+	Addr  mem.Addr // exact word, so collocated-data stores are not misread as releases
+	PC    int      // acquiring LL's PC, for predictor training
+	Since engine.Time
+	// Delaying marks entries whose speculation extends response delays
+	// past the SC (predicted locks). Non-delaying entries exist purely to
+	// observe the release store for training.
+	Delaying bool
+	// Footprint lists protected-data lines written during this lock
+	// tenure; under Generalized IQOLB (§6) requests for them are delayed
+	// and answered speculatively exactly like the lock line itself.
+	Footprint []mem.LineID
+}
+
+// InFootprint reports whether the line is part of the entry's protected
+// data.
+func (e *HeldLock) InFootprint(line mem.LineID) bool {
+	for _, l := range e.Footprint {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// HeldTable is the small fully-associative table of locks currently held
+// (§3.4). Capacity overflow discards the oldest entry — the paper's rule
+// that on entering a nested critical section the outer speculation can be
+// discarded.
+type HeldTable struct {
+	cap     int
+	entries []HeldLock
+}
+
+// NewHeldTable builds a table with the given capacity (minimum 1).
+func NewHeldTable(capacity int) *HeldTable {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &HeldTable{cap: capacity}
+}
+
+// Len reports the live entry count.
+func (t *HeldTable) Len() int { return len(t.entries) }
+
+// Cap reports the capacity.
+func (t *HeldTable) Cap() int { return t.cap }
+
+// Insert adds an entry, returning the evicted oldest entry when the table
+// was full. Re-acquiring an address already present refreshes the entry in
+// place (no eviction).
+func (t *HeldTable) Insert(e HeldLock) (evicted HeldLock, wasEvicted bool) {
+	for i := range t.entries {
+		if t.entries[i].Addr == e.Addr {
+			t.entries[i] = e
+			return HeldLock{}, false
+		}
+	}
+	if len(t.entries) == t.cap {
+		evicted = t.entries[0]
+		copy(t.entries, t.entries[1:])
+		t.entries[len(t.entries)-1] = e
+		return evicted, true
+	}
+	t.entries = append(t.entries, e)
+	return HeldLock{}, false
+}
+
+// Lookup finds the entry for an exact word address.
+func (t *HeldTable) Lookup(addr mem.Addr) (HeldLock, bool) {
+	for _, e := range t.entries {
+		if e.Addr == addr {
+			return e, true
+		}
+	}
+	return HeldLock{}, false
+}
+
+// LookupLine finds any entry on the given line.
+func (t *HeldTable) LookupLine(line mem.LineID) (HeldLock, bool) {
+	for _, e := range t.entries {
+		if e.Line == line {
+			return e, true
+		}
+	}
+	return HeldLock{}, false
+}
+
+// Remove deletes and returns the entry for an exact word address.
+func (t *HeldTable) Remove(addr mem.Addr) (HeldLock, bool) {
+	for i, e := range t.entries {
+		if e.Addr == addr {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return e, true
+		}
+	}
+	return HeldLock{}, false
+}
+
+// RemoveLine deletes and returns the first entry on the given line.
+func (t *HeldTable) RemoveLine(line mem.LineID) (HeldLock, bool) {
+	for i, e := range t.entries {
+		if e.Line == line {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return e, true
+		}
+	}
+	return HeldLock{}, false
+}

@@ -1,0 +1,366 @@
+// Package core implements the paper's primary contribution: the speculation
+// and delay machinery that turns ordinary LL/SC code into an implicit
+// hardware lock queue (IQOLB).
+//
+// It provides the four hardware modes of the paper's Figure 1 progression —
+// baseline LL/SC, aggressive baseline (RFO on LL), delayed response, and
+// implicit QOLB — plus the two queue-retention alternatives, the PC-indexed
+// lock predictor of §3.4, and the held-locks table used to recognize
+// release stores. The cache controllers in package coherence consult this
+// policy at every decision point; nothing here touches software: the same
+// programs run under every mode.
+package core
+
+import (
+	"fmt"
+
+	"iqolb/internal/engine"
+	"iqolb/internal/mem"
+)
+
+// Mode selects the hardware synchronization mechanism (Figure 1).
+type Mode int
+
+const (
+	// ModeBaseline is conventional LL/SC: LL fetches Shared, SC upgrades.
+	// At least one processor always succeeds; two bus transactions per
+	// contended read-modify-write.
+	ModeBaseline Mode = iota
+	// ModeAggressive is the aggressive baseline: the LL itself issues a
+	// read-for-ownership. One transaction per RMW when uncontended, but
+	// livelock-prone under contention (§3.1).
+	ModeAggressive
+	// ModeDelayed is the delayed-response scheme of §3.2: LL issues an
+	// LPRFO and the owner delays its response until its own SC completes
+	// (or a time-out), building a queue of requests in bus order.
+	ModeDelayed
+	// ModeIQOLB adds the lock speculation of §3.3–3.4: predicted lock
+	// acquires extend the delay past the SC until the releasing store,
+	// with tear-off copies keeping waiters spinning locally.
+	ModeIQOLB
+)
+
+var modeNames = [...]string{"baseline", "aggressive", "delayed", "iqolb"}
+
+// String returns the mode's name as used by the CLI tools.
+func (m Mode) String() string {
+	if int(m) < len(modeNames) && m >= 0 {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode resolves a mode name.
+func ParseMode(s string) (Mode, error) {
+	for i, n := range modeNames {
+		if s == n {
+			return Mode(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mode %q", s)
+}
+
+// UsesLPRFO reports whether LL misses issue low-priority RFOs in this mode.
+func (m Mode) UsesLPRFO() bool { return m == ModeDelayed || m == ModeIQOLB }
+
+// Config parameterizes the policy.
+type Config struct {
+	Mode Mode
+
+	// QueueRetention selects the "with queue retention" alternative: an
+	// external plain write to a queued line is serviced with a
+	// return-marker and the queue survives. Off, the queue breaks down
+	// and waiters re-issue their requests (§3.2, §3.3).
+	QueueRetention bool
+
+	// SCTimeout bounds how long a response may be delayed while waiting
+	// for the local SC to complete (the §3.2 time-out).
+	SCTimeout engine.Time
+
+	// LockTimeout bounds how long a predicted lock holder may delay a
+	// response while waiting for its release store (§3.3).
+	LockTimeout engine.Time
+
+	// RFOServiceDelay is the small mandatory service latency for plain
+	// (high-priority) read-for-ownership requests.
+	RFOServiceDelay engine.Time
+
+	// TearOff enables speculative tear-off responses to delayed
+	// requesters (§3.3). Disabling it is an ablation: waiters then block
+	// until ownership arrives.
+	TearOff bool
+
+	// PredictorEntries sizes the PC-indexed lock predictor. Zero disables
+	// prediction; with prediction disabled under ModeIQOLB every
+	// successful LL/SC is treated as a lock acquire (the "always lock"
+	// ablation).
+	PredictorEntries int
+
+	// HeldLockEntries sizes the table of locks currently held (§3.4
+	// "the table can be small"). The oldest speculation is discarded
+	// when a nested acquire overflows the table.
+	HeldLockEntries int
+
+	// GeneralizedData enables the paper's §6 "Generalized implicit QOLB"
+	// extension: protected-data lines written during a predicted lock's
+	// critical section join the speculation — requests for them are
+	// delayed and served with tear-offs until the release, so the data
+	// rides with the lock instead of ping-ponging mid-section. Only
+	// meaningful under ModeIQOLB.
+	GeneralizedData bool
+	// FootprintLines bounds how many data lines one lock tenure may pull
+	// into its speculation (hardware tag budget). Zero selects a default
+	// of 4 when GeneralizedData is on.
+	FootprintLines int
+}
+
+// DefaultConfig returns the policy parameters used in the evaluation.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:             mode,
+		QueueRetention:   true,
+		SCTimeout:        1000,
+		LockTimeout:      10000,
+		RFOServiceDelay:  4,
+		TearOff:          true,
+		PredictorEntries: 256,
+		HeldLockEntries:  4,
+	}
+}
+
+// Validate rejects configurations that cannot work.
+func (c Config) Validate() error {
+	if c.Mode < ModeBaseline || c.Mode > ModeIQOLB {
+		return fmt.Errorf("core: invalid mode %d", int(c.Mode))
+	}
+	if c.Mode.UsesLPRFO() {
+		if c.SCTimeout == 0 {
+			return fmt.Errorf("core: SCTimeout must be positive in %s mode (forward progress)", c.Mode)
+		}
+		if c.Mode == ModeIQOLB && c.LockTimeout == 0 {
+			return fmt.Errorf("core: LockTimeout must be positive in iqolb mode")
+		}
+	}
+	if c.HeldLockEntries < 0 || c.PredictorEntries < 0 {
+		return fmt.Errorf("core: negative table size")
+	}
+	return nil
+}
+
+// AcquireClass is the predictor's verdict for a successful LL/SC.
+type AcquireClass int
+
+const (
+	// ClassFetchPhi: treat the RMW as a simple Fetch&Phi; stop delaying
+	// once the SC has completed.
+	ClassFetchPhi AcquireClass = iota
+	// ClassLock: treat the RMW as a lock acquire; keep delaying until the
+	// release store (or LockTimeout).
+	ClassLock
+)
+
+// String names the class.
+func (c AcquireClass) String() string {
+	if c == ClassLock {
+		return "lock"
+	}
+	return "fetchphi"
+}
+
+// Policy is the per-node decision engine consulted by a cache controller.
+// It owns the node's predictor and held-locks table.
+type Policy struct {
+	cfg  Config
+	pred *Predictor
+	held *HeldTable
+}
+
+// NewPolicy builds a policy (and its tables) from the configuration.
+func NewPolicy(cfg Config) (*Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Policy{cfg: cfg, held: NewHeldTable(cfg.HeldLockEntries)}
+	if cfg.PredictorEntries > 0 {
+		p.pred = NewPredictor(cfg.PredictorEntries)
+	}
+	return p, nil
+}
+
+// Config returns the policy's configuration.
+func (p *Policy) Config() Config { return p.cfg }
+
+// Held exposes the held-locks table (the controller consults it when
+// deciding whether a store is a release and tests inspect it).
+func (p *Policy) Held() *HeldTable { return p.held }
+
+// Predictor exposes the lock predictor, nil when disabled.
+func (p *Policy) Predictor() *Predictor { return p.pred }
+
+// TxForLL returns the bus transaction an LL miss should issue.
+func (p *Policy) TxForLL() mem.TxKind {
+	switch p.cfg.Mode {
+	case ModeBaseline:
+		return mem.TxGETS
+	case ModeAggressive:
+		return mem.TxGETX
+	default:
+		return mem.TxLPRFO
+	}
+}
+
+// ClassifyAcquire is consulted when an SC succeeds: should the node keep
+// holding the line past the SC (lock behaviour) or not (Fetch&Phi)?
+// Under non-IQOLB modes the answer is always Fetch&Phi. Under IQOLB with
+// the predictor disabled, every acquire is treated as a lock.
+func (p *Policy) ClassifyAcquire(pc int) AcquireClass {
+	if p.cfg.Mode != ModeIQOLB {
+		return ClassFetchPhi
+	}
+	if p.pred == nil {
+		return ClassLock
+	}
+	if p.pred.PredictLock(pc) {
+		return ClassLock
+	}
+	return ClassFetchPhi
+}
+
+// OnSCSuccess records a completed read-modify-write in the held table so a
+// later release store can be recognized (training happens even for
+// PCs currently predicted Fetch&Phi). It returns the class driving the
+// delay decision and any entry evicted by capacity (whose speculative
+// delay the controller must abandon, per §3.3's nested-section rule).
+func (p *Policy) OnSCSuccess(pc int, addr mem.Addr, now engine.Time) (AcquireClass, *HeldLock, bool) {
+	class := p.ClassifyAcquire(pc)
+	if p.cfg.Mode != ModeIQOLB {
+		return class, nil, false
+	}
+	evicted, ok := p.held.Insert(HeldLock{Line: addr.Line(), Addr: addr, PC: pc, Since: now,
+		Delaying: class == ClassLock})
+	if ok {
+		return class, &evicted, true
+	}
+	return class, nil, false
+}
+
+// OnStore is consulted for every store the node performs. If the store
+// address matches a held-locks entry it is a release: the entry is removed,
+// the predictor is trained toward "lock", and the releasing entry is
+// returned (with its data footprint) so the controller can forward the
+// lock line and flush the footprint delays. A store that is not a release
+// instead extends the innermost delaying lock's footprint under
+// Generalized IQOLB.
+func (p *Policy) OnStore(addr mem.Addr) (HeldLock, bool) {
+	e, ok := p.held.Remove(addr)
+	if !ok {
+		p.noteCSWrite(addr)
+		return HeldLock{}, false
+	}
+	if p.pred != nil {
+		p.pred.TrainLock(e.PC)
+	}
+	return e, true
+}
+
+// footprintCap returns the per-tenure data-line budget.
+func (p *Policy) footprintCap() int {
+	if !p.cfg.GeneralizedData || p.cfg.Mode != ModeIQOLB {
+		return 0
+	}
+	if p.cfg.FootprintLines > 0 {
+		return p.cfg.FootprintLines
+	}
+	return 4
+}
+
+// noteCSWrite records a critical-section data write in the newest delaying
+// lock's footprint.
+func (p *Policy) noteCSWrite(addr mem.Addr) {
+	budget := p.footprintCap()
+	if budget == 0 {
+		return
+	}
+	line := addr.Line()
+	// Newest delaying entry wins (nested sections speculate innermost).
+	for i := len(p.held.entries) - 1; i >= 0; i-- {
+		e := &p.held.entries[i]
+		if !e.Delaying {
+			continue
+		}
+		if e.Line == line || e.InFootprint(line) {
+			return
+		}
+		if len(e.Footprint) < budget {
+			e.Footprint = append(e.Footprint, line)
+		}
+		return
+	}
+}
+
+// OnDelayTimeout is consulted when a delayed response is forced out by the
+// time-out. For the lock line itself the speculation was wrong (or the
+// critical section far too long): train away from "lock" and drop the
+// entry. For a footprint line only that line's speculation ends; the lock
+// prediction stands.
+func (p *Policy) OnDelayTimeout(line mem.LineID) {
+	for i := range p.held.entries {
+		e := &p.held.entries[i]
+		if e.Line == line {
+			if p.pred != nil {
+				p.pred.TrainNotLock(e.PC)
+			}
+			p.held.entries = append(p.held.entries[:i], p.held.entries[i+1:]...)
+			return
+		}
+		if e.InFootprint(line) {
+			for j, l := range e.Footprint {
+				if l == line {
+					e.Footprint = append(e.Footprint[:j], e.Footprint[j+1:]...)
+					break
+				}
+			}
+			return
+		}
+	}
+}
+
+// Note: there is deliberately no hook for losing a cache line. Holding a
+// lock is a property of the program, not of line residence: a node whose
+// lock line is stolen or evicted still holds the lock, must still be
+// recognized as the releaser when its store comes back around (that store
+// both trains the predictor and triggers the hand-off), and should delay
+// LPRFO responses again if the line returns to it before the release.
+// Held-table entries therefore persist until the release store, a delay
+// time-out (OnDelayTimeout), or capacity eviction.
+
+// DelayBudget returns how long a response for the line may be delayed from
+// the moment the delay starts, given whether the node is inside an LL→SC
+// window or holding a predicted lock. A zero budget means "respond
+// promptly" (after RFOServiceDelay).
+func (p *Policy) DelayBudget(holdingLock bool) engine.Time {
+	if !p.cfg.Mode.UsesLPRFO() {
+		return 0
+	}
+	if holdingLock {
+		return p.cfg.LockTimeout
+	}
+	return p.cfg.SCTimeout
+}
+
+// HoldingLockOn reports whether the node currently holds a predicted lock
+// whose delay extends past the SC on the given line — either the lock's
+// own line or, under Generalized IQOLB, a protected-data line in a
+// delaying tenure's footprint.
+func (p *Policy) HoldingLockOn(line mem.LineID) bool {
+	for i := range p.held.entries {
+		e := &p.held.entries[i]
+		if !e.Delaying {
+			continue
+		}
+		if e.Line == line || e.InFootprint(line) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package core
+
+// Predictor is the PC-indexed lock predictor of §3.4. Each entry carries a
+// saturating confidence counter; a PC predicts "lock acquire" once its
+// counter reaches the confident threshold.
+//
+// Training follows the paper's inference rule: a successful LL/SC to a
+// location followed some time later by a plain store to the same location
+// is a lock acquire/release pair — the release trains the PC strongly
+// toward "lock". A speculation that instead dies by time-out trains gently
+// away from "lock" (the pathological-case detector that "turns the
+// predictor off" for that PC).
+type Predictor struct {
+	entries []predEntry
+
+	// Lookups / outcomes, for the accuracy ablation.
+	Lookups    uint64
+	PredictsLk uint64
+	TrainsLk   uint64
+	TrainsNot  uint64
+}
+
+type predEntry struct {
+	pc    int
+	conf  int8
+	valid bool
+}
+
+const (
+	confMax       = 3
+	confThreshold = 2
+)
+
+// NewPredictor builds a direct-mapped predictor with the given entry count
+// (rounded up to a power of two).
+func NewPredictor(entries int) *Predictor {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &Predictor{entries: make([]predEntry, n)}
+}
+
+func (p *Predictor) slot(pc int) *predEntry {
+	return &p.entries[pc&(len(p.entries)-1)]
+}
+
+// PredictLock reports whether the PC is predicted to be a lock acquire.
+// Unknown PCs predict Fetch&Phi (the conservative default of §3.4).
+func (p *Predictor) PredictLock(pc int) bool {
+	p.Lookups++
+	e := p.slot(pc)
+	lock := e.valid && e.pc == pc && e.conf >= confThreshold
+	if lock {
+		p.PredictsLk++
+	}
+	return lock
+}
+
+// TrainLock records an observed release for the PC, jumping confidence to
+// the maximum ("once a lock operation is seen, one can predict with high
+// confidence that this will be true for all future executions").
+func (p *Predictor) TrainLock(pc int) {
+	p.TrainsLk++
+	e := p.slot(pc)
+	if !e.valid || e.pc != pc {
+		*e = predEntry{pc: pc, valid: true}
+	}
+	e.conf = confMax
+}
+
+// TrainNotLock records a speculation for the PC that ended in a time-out,
+// decaying confidence by one.
+func (p *Predictor) TrainNotLock(pc int) {
+	p.TrainsNot++
+	e := p.slot(pc)
+	if !e.valid || e.pc != pc {
+		*e = predEntry{pc: pc, valid: true}
+		return
+	}
+	if e.conf > 0 {
+		e.conf--
+	}
+}
+
+// Confidence exposes the counter for a PC (tests and the sweep tool).
+func (p *Predictor) Confidence(pc int) int {
+	e := p.slot(pc)
+	if !e.valid || e.pc != pc {
+		return 0
+	}
+	return int(e.conf)
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOWithinSameCycle(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(Time) { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events fired out of order: %v", order)
+		}
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %d, want 5", e.Now())
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	e := New()
+	times := []Time{9, 3, 7, 1, 8, 2, 0, 6, 5, 4}
+	var fired []Time
+	for _, at := range times {
+		e.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	e.Run(0)
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("events fired out of time order: %v", fired)
+	}
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	e := New()
+	var secondAt Time
+	e.At(10, func(Time) {
+		e.After(5, func(now Time) { secondAt = now })
+	})
+	e.Run(0)
+	if secondAt != 15 {
+		t.Fatalf("After(5) from cycle 10 fired at %d, want 15", secondAt)
+	}
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func(Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.At(3, func(Time) {})
+	})
+	e.Run(0)
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	e := New()
+	count := 0
+	for i := Time(0); i < 100; i++ {
+		e.At(i, func(now Time) {
+			count++
+			if now == 10 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run(0)
+	if count != 11 {
+		t.Fatalf("fired %d events before halt, want 11", count)
+	}
+	if e.Pending() != 89 {
+		t.Fatalf("pending = %d, want 89", e.Pending())
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(5, func(Time) { fired++ })
+	e.At(500, func(Time) { fired++ })
+	end, hit := e.Run(100)
+	if !hit {
+		t.Fatal("limit not reported as hit")
+	}
+	if end != 100 {
+		t.Fatalf("end = %d, want 100", end)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (event beyond limit must not fire)", fired)
+	}
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestCascadedScheduling(t *testing.T) {
+	e := New()
+	depth := 0
+	var recur func(Time)
+	recur = func(Time) {
+		depth++
+		if depth < 1000 {
+			e.After(1, recur)
+		}
+	}
+	e.At(0, recur)
+	end, _ := e.Run(0)
+	if depth != 1000 {
+		t.Fatalf("depth = %d, want 1000", depth)
+	}
+	if end != 999 {
+		t.Fatalf("end = %d, want 999", end)
+	}
+}
+
+// Property: for any set of (time, id) pairs, the engine dispatches them
+// sorted by time with ties broken by insertion order.
+func TestPropertyDispatchOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		type rec struct {
+			at  Time
+			idx int
+		}
+		e := New()
+		var want, got []rec
+		for i, r := range raw {
+			at := Time(r % 64) // force plenty of ties
+			want = append(want, rec{at, i})
+			idx := i
+			e.At(at, func(now Time) { got = append(got, rec{now, idx}) })
+		}
+		e.Run(0)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		if len(got) != len(raw) {
+			return false
+		}
+		for i := range got {
+			if got[i].at != want[i].at || got[i].idx != want[i].idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var out []Time
+		for i := 0; i < 500; i++ {
+			e.At(Time(rng.Intn(100)), func(now Time) { out = append(out, now) })
+		}
+		e.Run(0)
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic event count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

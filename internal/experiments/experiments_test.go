@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"iqolb/internal/engine"
+	"iqolb/internal/trace"
+	"iqolb/internal/workload"
+)
+
+func TestSystemByName(t *testing.T) {
+	for _, s := range Systems() {
+		got, err := SystemByName(s.Name)
+		if err != nil || got.Name != s.Name {
+			t.Errorf("SystemByName(%q) = %v, %v", s.Name, got, err)
+		}
+	}
+	if _, err := SystemByName("hyperlock"); err == nil {
+		t.Error("unknown system resolved")
+	}
+}
+
+func TestSameSoftwareAcrossHardwareModes(t *testing.T) {
+	// The paper's central claim in code: TTS, delayed and IQOLB systems
+	// generate byte-identical programs.
+	spec, _ := workload.ByName("hotlock")
+	p := spec.Params
+	p.TotalCS = 64
+	a, err := workload.Generate(p, SysTTS.Primitive, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := workload.Generate(p, SysDelayed.Primitive, 4)
+	c, _ := workload.Generate(p, SysIQOLB.Primitive, 4)
+	if len(a.Program.Code) != len(b.Program.Code) || len(a.Program.Code) != len(c.Program.Code) {
+		t.Fatal("programs differ across hardware modes")
+	}
+	for i := range a.Program.Code {
+		if a.Program.Code[i] != b.Program.Code[i] || a.Program.Code[i] != c.Program.Code[i] {
+			t.Fatalf("instruction %d differs across modes", i)
+		}
+	}
+}
+
+func TestRunBenchmarkScaled(t *testing.T) {
+	for _, sys := range []System{SysTTS, SysIQOLB, SysQOLB} {
+		r, err := RunBenchmark("raytrace", sys, 4, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name, err)
+		}
+		if r.Cycles == 0 {
+			t.Fatalf("%s: zero cycles", sys.Name)
+		}
+	}
+}
+
+func TestRunFetchAdd(t *testing.T) {
+	r, err := RunFetchAdd(SysDelayed, 4, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SCFailureRate != 0 {
+		t.Fatalf("delayed-response fetch&add had SC failures (%.3f)", r.SCFailureRate)
+	}
+}
+
+func TestTable1Table2Render(t *testing.T) {
+	t1 := Table1()
+	for _, want := range []string{"Table 1", "L1 data cache", "MOESI", "lock predictor"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+	t2 := Table2()
+	for _, want := range []string{"barnes", "ocean", "radiosity", "raytrace", "water-nsq", "2,048 bodies"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3SmallScaleShape(t *testing.T) {
+	// At 8 processors / heavy scaling the magnitudes shrink but the
+	// ordering must hold: QOLB and IQOLB never lose to TTS, and IQOLB
+	// tracks QOLB.
+	rows, err := Table3Data(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.QOLBRel < 0.95 {
+			t.Errorf("%s: QOLB slower than TTS (%.2f)", r.Benchmark, r.QOLBRel)
+		}
+		if r.IQOLBRel < 0.95 {
+			t.Errorf("%s: IQOLB slower than TTS (%.2f)", r.Benchmark, r.IQOLBRel)
+		}
+		ratio := float64(r.QOLBCycles) / float64(r.IQOLBCycles)
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("%s: IQOLB does not track QOLB (QOLB/IQOLB cycles = %.2f)", r.Benchmark, ratio)
+		}
+	}
+}
+
+func TestFigure1Progression(t *testing.T) {
+	out, results, err := Figure1(8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tts", "aggressive", "delayed", "iqolb", "iqolb-noret", "iqolb-notearoff"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure1 output missing %q", want)
+		}
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.System] = r
+	}
+	// IQOLB must beat baseline TTS on the hot lock and issue fewer bus
+	// transactions.
+	if byName["iqolb"].Cycles >= byName["tts"].Cycles {
+		t.Errorf("iqolb (%d) not faster than tts (%d)", byName["iqolb"].Cycles, byName["tts"].Cycles)
+	}
+	if byName["iqolb"].BusTransactions >= byName["tts"].BusTransactions {
+		t.Errorf("iqolb traffic (%d) not below tts (%d)",
+			byName["iqolb"].BusTransactions, byName["tts"].BusTransactions)
+	}
+	// Baseline suffers SC failures; the LPRFO systems avoid them.
+	if byName["tts"].SCFailureRate == 0 {
+		t.Error("tts shows no SC failures under contention")
+	}
+	if byName["iqolb"].SCFailureRate > 0.05 {
+		t.Errorf("iqolb SC failure rate %.3f, want ~0", byName["iqolb"].SCFailureRate)
+	}
+	// IQOLB sends tear-offs; delayed response does not hold locks.
+	if byName["iqolb"].TearOffs == 0 {
+		t.Error("iqolb sent no tear-offs")
+	}
+}
+
+func TestFigure2TraceShape(t *testing.T) {
+	out, rec, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := rec.Counts()
+	// The traditional sequence: both processors LL, one SC fails and
+	// retries after the invalidation.
+	if counts[trace.EvSCFail] == 0 {
+		t.Errorf("figure 2 shows no failed SC:\n%s", out)
+	}
+	if counts[trace.EvSCOk] != 2 {
+		t.Errorf("figure 2: %d successful SCs, want 2", counts[trace.EvSCOk])
+	}
+	if !strings.Contains(out, "GETS") || !strings.Contains(out, "UPGR") {
+		t.Errorf("figure 2 missing baseline transactions:\n%s", out)
+	}
+	if strings.Contains(out, "LPRFO") {
+		t.Errorf("figure 2 contains LPRFO under baseline:\n%s", out)
+	}
+}
+
+func TestFigure3TraceShape(t *testing.T) {
+	out, rec, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := rec.Counts()
+	if counts[trace.EvSCFail] != 0 {
+		t.Errorf("figure 3 shows SC retries under delayed response:\n%s", out)
+	}
+	if counts[trace.EvSCOk] != 3 {
+		t.Errorf("figure 3: %d successful SCs, want 3", counts[trace.EvSCOk])
+	}
+	if counts[trace.EvDelayStart] == 0 {
+		t.Errorf("figure 3 shows no delayed response:\n%s", out)
+	}
+	if !strings.Contains(out, "LPRFO") {
+		t.Errorf("figure 3 missing LPRFO:\n%s", out)
+	}
+}
+
+func TestFigure4TraceShape(t *testing.T) {
+	out, rec, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := rec.Counts()
+	if counts[trace.EvSCOk] != 3 {
+		t.Errorf("figure 4: %d acquires, want 3", counts[trace.EvSCOk])
+	}
+	if counts[trace.EvRelease] != 3 {
+		t.Errorf("figure 4: %d releases, want 3", counts[trace.EvRelease])
+	}
+	// The IQOLB signature: tear-off copies and release-triggered
+	// hand-offs, with no time-outs.
+	if counts[trace.EvTimeout] != 0 {
+		t.Errorf("figure 4 hand-offs degraded to timeouts:\n%s", out)
+	}
+	if !strings.Contains(out, "TearOff") {
+		t.Errorf("figure 4 missing tear-off:\n%s", out)
+	}
+	if !strings.Contains(out, "release") {
+		t.Errorf("figure 4 missing release:\n%s", out)
+	}
+}
+
+func TestSweepsRunSmall(t *testing.T) {
+	if out, err := SweepScaling("hotlock", []int{1, 2, 4}, 8); err != nil || !strings.Contains(out, "procs") {
+		t.Errorf("scaling sweep: %v", err)
+	}
+	if out, err := SweepTimeout(4, 128, []engine.Time{500, 5000}); err != nil || !strings.Contains(out, "lock budget") {
+		t.Errorf("timeout sweep: %v", err)
+	}
+	if out, err := SweepRetention(4, 128); err != nil || !strings.Contains(out, "retention") {
+		t.Errorf("retention sweep: %v", err)
+	}
+	if out, err := SweepCollocation(4, 128); err != nil || !strings.Contains(out, "collocated") {
+		t.Errorf("collocation sweep: %v", err)
+	}
+	if out, err := SweepPredictor(4, 128); err != nil || !strings.Contains(out, "always-lock") {
+		t.Errorf("predictor sweep: %v", err)
+	}
+}
+
+func TestScaleHelper(t *testing.T) {
+	p := workload.Params{Iterations: 1, TotalCS: 1024, Locks: 1}
+	s := Scale(p, 16, 4)
+	if s.TotalCS != 64 {
+		t.Fatalf("scaled TotalCS = %d, want 64", s.TotalCS)
+	}
+	s2 := Scale(p, 10000, 4)
+	if s2.TotalCS != 4 {
+		t.Fatalf("over-scaled TotalCS = %d, want 4 (one per proc)", s2.TotalCS)
+	}
+	if Scale(p, 1, 4).TotalCS != 1024 {
+		t.Fatal("factor 1 changed the workload")
+	}
+}
+
+func TestSweepGeneralizedShape(t *testing.T) {
+	out, err := SweepGeneralized(8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "iqolb-gen") {
+		t.Fatalf("missing generalized row:\n%s", out)
+	}
+}
+
+func TestGeneralizedReducesDataLineUpgrades(t *testing.T) {
+	pollers, workers := 4, 4
+	p := workload.Params{
+		Iterations: 4, TotalCS: 256, Locks: workers, HotPct: 0,
+		CSWork: 400, CSWrites: 8, ThinkWork: 100, ThinkJitter: 50,
+		PollProcs: pollers, PollReads: 128, PollThink: 20,
+	}
+	plain, err := RunParams("rw-plain", p, SysIQOLB, pollers+workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := RunParams("rw-gen", p, SysGeneralized, pollers+workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.TearOffs <= plain.TearOffs {
+		t.Errorf("generalized tear-offs %d not above plain %d (footprint inactive?)",
+			gen.TearOffs, plain.TearOffs)
+	}
+	// The footprint keeps the writers' data lines exclusive mid-section,
+	// cutting their re-upgrade traffic.
+	plainUp := plain.Stats.TotalTx(2)
+	genUp := gen.Stats.TotalTx(2)
+	if genUp >= plainUp {
+		t.Errorf("generalized UPGRs %d not below plain %d", genUp, plainUp)
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iqolb/internal/machine"
+	"iqolb/internal/mem"
+	"iqolb/internal/report"
+	"iqolb/internal/trace"
+	"iqolb/internal/workload"
+)
+
+// Figure1 runs the hot-lock microbenchmark under every step of the paper's
+// Figure 1 progression — baseline, aggressive baseline, delayed response
+// (with and without queue retention), IQOLB (with and without queue
+// retention) — and reports each step's cost profile. It is the ablation
+// over the design space rather than a data figure in the paper.
+func Figure1(procs, totalCS int) (string, []Result, error) {
+	spec, err := workload.ByName("hotlock")
+	if err != nil {
+		return "", nil, err
+	}
+	p := spec.Params
+	p.TotalCS = totalCS - totalCS%procs
+	systems := []System{SysTTS, SysAggressive, SysDelayedNoRet, SysDelayed,
+		SysIQOLBNoRet, SysIQOLB, SysIQOLBNoTear}
+	var results []Result
+	t := report.NewTable(fmt.Sprintf("Figure 1 progression: hot lock, %d processors, %d acquisitions", procs, p.TotalCS),
+		"method", "cycles", "bus txs", "SC fail rate", "tear-offs", "timeouts", "breakdowns", "handoff mean")
+	for _, sys := range systems {
+		r, err := RunParams("hotlock", p, sys, procs, nil)
+		if err != nil {
+			return "", nil, err
+		}
+		results = append(results, r)
+		t.Row(sys.Name, r.Cycles, r.BusTransactions,
+			fmt.Sprintf("%.3f", r.SCFailureRate), r.TearOffs, r.Timeouts, r.Breakdowns,
+			fmt.Sprintf("%.0f", r.LockHandoffMean))
+	}
+	return t.String(), results, nil
+}
+
+// figureTrace runs a tiny kernel with the recorder on the traced line and
+// renders the message-sequence chart.
+func figureTrace(bld *workload.Build, sys System, procs int, line mem.LineID, header string) (string, *trace.Recorder, error) {
+	rec := trace.NewRecorder(line)
+	cfg := sys.MachineConfig(procs)
+	if sys.Mode.UsesLPRFO() {
+		// Single-shot kernels give the predictor nothing to train on;
+		// the figures show the steady-state mechanism, so use the
+		// always-lock configuration.
+		cfg.Core.PredictorEntries = 0
+	}
+	m, err := machine.New(cfg, bld.Program, rec)
+	if err != nil {
+		return "", nil, err
+	}
+	for _, l := range bld.Locks {
+		m.RegisterLockAddr(l)
+	}
+	if _, err := m.Run(); err != nil {
+		return "", nil, err
+	}
+	var sb strings.Builder
+	sb.WriteString(header + "\n" + strings.Repeat("=", len(header)) + "\n")
+	sb.WriteString(rec.Render())
+	return sb.String(), rec, nil
+}
+
+// Figure2 reproduces the traditional LL/SC sequence: two processors race
+// an atomic increment under the baseline protocol; one SC fails and
+// retries after the invalidation.
+func Figure2() (string, *trace.Recorder, error) {
+	bld, err := workload.GenerateFigureRMW(2)
+	if err != nil {
+		return "", nil, err
+	}
+	return figureTrace(bld, SysTTS, 2, workload.CounterAddr.Line(),
+		"Figure 2: traditional LL/SC sequence (baseline, 2 processors)")
+}
+
+// Figure3 reproduces the delayed-response sequence: three processors issue
+// LPRFOs, form a queue in bus order, and complete their read-modify-writes
+// with no retries.
+func Figure3() (string, *trace.Recorder, error) {
+	bld, err := workload.GenerateFigureRMW(4)
+	if err != nil {
+		return "", nil, err
+	}
+	return figureTrace(bld, SysDelayed, 3, workload.CounterAddr.Line(),
+		"Figure 3: LL/SC with delayed response (3 processors, LPRFO queue)")
+}
+
+// Figure4 reproduces the IQOLB sequence: three processors contend for a
+// lock; the holder delays ownership through its critical section, waiters
+// spin on tear-off copies, and each release hands the line directly to the
+// next processor in line.
+func Figure4() (string, *trace.Recorder, error) {
+	bld, err := workload.GenerateFigureLock(4, 150)
+	if err != nil {
+		return "", nil, err
+	}
+	return figureTrace(bld, SysIQOLB, 3, mem.Addr(workload.LockBase).Line(),
+		"Figure 4: IQOLB sequence (3 processors, critical sections, tear-offs)")
+}

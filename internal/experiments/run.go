@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iqolb/internal/machine"
+	"iqolb/internal/mem"
+	"iqolb/internal/stats"
+	"iqolb/internal/trace"
+	"iqolb/internal/workload"
+)
+
+// Result is one benchmark execution's measurements.
+type Result struct {
+	System     string
+	Benchmark  string
+	Processors int
+	Cycles     uint64
+	Stats      *stats.Machine
+	// Derived headline metrics.
+	BusTransactions uint64
+	SCFailureRate   float64
+	TearOffs        uint64
+	Timeouts        uint64
+	Breakdowns      uint64
+	LockHandoffMean float64
+}
+
+func summarize(sysName, benchName string, procs int, res machine.Result) Result {
+	st := res.Stats
+	return Result{
+		System:          sysName,
+		Benchmark:       benchName,
+		Processors:      procs,
+		Cycles:          res.Cycles,
+		Stats:           st,
+		BusTransactions: st.BusTransactions,
+		SCFailureRate:   st.SCFailureRate(),
+		TearOffs:        st.Total(func(n *stats.Node) uint64 { return n.TearOffsOut }),
+		Timeouts:        st.Total(func(n *stats.Node) uint64 { return n.DelayTimeouts }),
+		Breakdowns:      st.Total(func(n *stats.Node) uint64 { return n.QueueBreakdowns }),
+		LockHandoffMean: st.LockHandoff.Mean(),
+	}
+}
+
+// Scale shrinks a benchmark's work (for fast tests and smoke runs): the
+// iteration count is kept, the per-iteration critical-section total is
+// divided by factor (floored to one per processor).
+func Scale(p workload.Params, factor, procs int) workload.Params {
+	if factor <= 1 {
+		return p
+	}
+	p.TotalCS /= factor
+	if p.TotalCS < procs {
+		p.TotalCS = procs
+	}
+	p.TotalCS -= p.TotalCS % procs
+	if p.TotalCS == 0 {
+		p.TotalCS = procs
+	}
+	return p
+}
+
+// RunParams executes one kernel under one system and verifies the
+// mutual-exclusion counters.
+func RunParams(name string, p workload.Params, sys System, procs int, rec *trace.Recorder) (Result, error) {
+	bld, err := workload.Generate(p, sys.Primitive, procs)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := sys.MachineConfig(procs)
+	m, err := machine.New(cfg, bld.Program, rec)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, l := range bld.Locks {
+		m.RegisterLockAddr(l)
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/%s/p%d: %w", name, sys.Name, procs, err)
+	}
+	if res.HitLimit {
+		return Result{}, fmt.Errorf("%s/%s/p%d: hit cycle limit %d", name, sys.Name, procs, cfg.CycleLimit)
+	}
+	if err := bld.VerifyCounters(p, m.Peek); err != nil {
+		return Result{}, fmt.Errorf("%s/%s/p%d: %w", name, sys.Name, procs, err)
+	}
+	return summarize(sys.Name, name, procs, res), nil
+}
+
+// RunBenchmark executes one Table 2 benchmark under one system at the
+// given processor count, optionally scaled down by factor.
+func RunBenchmark(benchName string, sys System, procs, scaleFactor int) (Result, error) {
+	spec, err := workload.ByName(benchName)
+	if err != nil {
+		return Result{}, err
+	}
+	p := Scale(spec.Params, scaleFactor, procs)
+	return RunParams(spec.Name, p, sys, procs, nil)
+}
+
+// RunFetchAdd executes the lock-free Fetch&Add kernel under one system.
+func RunFetchAdd(sys System, procs, totalOps int, think int64) (Result, error) {
+	totalOps -= totalOps % procs
+	if totalOps == 0 {
+		totalOps = procs
+	}
+	bld, err := workload.GenerateFetchAdd(totalOps, think, procs)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := sys.MachineConfig(procs)
+	m, err := machine.New(cfg, bld.Program, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	if res.HitLimit {
+		return Result{}, fmt.Errorf("fetchadd/%s: hit cycle limit", sys.Name)
+	}
+	if err := workload.VerifyFetchAdd(uint64(totalOps), m.Peek); err != nil {
+		return Result{}, err
+	}
+	return summarize(sys.Name, "fetchadd", procs, res), nil
+}
+
+// Peeker is the post-run memory view used by verification helpers.
+type Peeker func(mem.Addr) uint64

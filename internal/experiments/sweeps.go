@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iqolb/internal/engine"
+	"iqolb/internal/machine"
+	"iqolb/internal/report"
+	"iqolb/internal/stats"
+	"iqolb/internal/trace"
+	"iqolb/internal/workload"
+)
+
+// SweepScaling runs one benchmark across processor counts for the main
+// systems — the contention-scaling study behind the paper's motivation.
+func SweepScaling(benchName string, procCounts []int, scaleFactor int) (string, error) {
+	systems := []System{SysTTS, SysDelayed, SysIQOLB, SysQOLB}
+	t := report.NewTable(fmt.Sprintf("Scaling sweep: %s (cycles; speedup vs 1-proc TTS in parens)", benchName),
+		append([]string{"procs"}, systemNames(systems)...)...)
+	var base uint64
+	for _, procs := range procCounts {
+		row := []any{procs}
+		for _, sys := range systems {
+			r, err := RunBenchmark(benchName, sys, procs, scaleFactor)
+			if err != nil {
+				return "", err
+			}
+			if procs == procCounts[0] && sys.Name == SysTTS.Name {
+				base = r.Cycles
+			}
+			row = append(row, fmt.Sprintf("%d (%.2f)", r.Cycles, float64(base)/float64(r.Cycles)))
+		}
+		t.Row(row...)
+	}
+	return t.String(), nil
+}
+
+func systemNames(systems []System) []string {
+	names := make([]string, len(systems))
+	for i, s := range systems {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// SweepTimeout studies the §3.2/§3.3 time-out budgets: IQOLB's lock delay
+// budget must comfortably exceed critical-section length or hand-offs
+// degrade into timeouts.
+func SweepTimeout(procs, totalCS int, budgets []engine.Time) (string, error) {
+	// Long critical sections (400 cycles) so that budgets below the
+	// section length force time-outs and the hand-off degrades, while
+	// ample budgets let every hand-off ride the release.
+	p := workload.Params{
+		Iterations: 1, TotalCS: totalCS - totalCS%procs, Locks: 1, HotPct: 100,
+		CSWork: 400, ThinkWork: 300, ThinkJitter: 100,
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Timeout sweep: IQOLB on hot lock with 400-cycle sections, %d processors", procs),
+		"lock budget", "cycles", "timeouts", "releases via delay", "handoff mean")
+	for _, budget := range budgets {
+		sys := SysIQOLB
+		bld, err := workload.Generate(p, sys.Primitive, procs)
+		if err != nil {
+			return "", err
+		}
+		cfg := sys.MachineConfig(procs)
+		cfg.Core.LockTimeout = budget
+		r, err := runConfigured(cfg, bld, p, fmt.Sprintf("timeout-%d", budget), sys.Name, procs)
+		if err != nil {
+			return "", err
+		}
+		t.Row(uint64(budget), r.Cycles, r.Timeouts,
+			r.Stats.Total(func(n *stats.Node) uint64 { return n.DelaysReleased }),
+			fmt.Sprintf("%.0f", r.LockHandoffMean))
+	}
+	return t.String(), nil
+}
+
+// SweepRetention exercises the queue-retention vs. breakdown alternatives
+// on a kernel with false-shared locks, where independent lock holders
+// write each other's delayed lines.
+func SweepRetention(procs, totalCS int) (string, error) {
+	p := workload.Params{
+		Iterations: 1, TotalCS: totalCS - totalCS%procs, Locks: 8, HotPct: 0,
+		CSWork: 30, ThinkWork: 150, ThinkJitter: 100, LocksPerLine: 2,
+	}
+	systems := []System{SysDelayed, SysDelayedNoRet, SysIQOLB, SysIQOLBNoRet}
+	t := report.NewTable(fmt.Sprintf("Queue retention sweep: 8 locks packed 2/line, %d processors", procs),
+		"system", "cycles", "bus txs", "breakdowns", "retention trips", "timeouts")
+	for _, sys := range systems {
+		r, err := RunParams("falseshare", p, sys, procs, nil)
+		if err != nil {
+			return "", err
+		}
+		t.Row(sys.Name, r.Cycles, r.BusTransactions, r.Breakdowns,
+			r.Stats.Total(func(n *stats.Node) uint64 { return n.RetentionTrips }), r.Timeouts)
+	}
+	return t.String(), nil
+}
+
+// SweepCollocation studies the collocation extension (§6 / Generalized
+// IQOLB direction): protected data in the lock's line rides along with the
+// hand-off.
+func SweepCollocation(procs, totalCS int) (string, error) {
+	base := workload.Params{
+		Iterations: 1, TotalCS: totalCS - totalCS%procs, Locks: 1, HotPct: 100,
+		CSWork: 10, ThinkWork: 300, ThinkJitter: 100,
+	}
+	systems := []System{SysTTS, SysQOLB, SysIQOLB}
+	t := report.NewTable(fmt.Sprintf("Collocation sweep: hot lock + protected word, %d processors", procs),
+		"system", "separate line", "collocated", "gain")
+	for _, sys := range systems {
+		sep, err := RunParams("colloc-off", base, sys, procs, nil)
+		if err != nil {
+			return "", err
+		}
+		col := base
+		col.Collocate = true
+		c, err := RunParams("colloc-on", col, sys, procs, nil)
+		if err != nil {
+			return "", err
+		}
+		t.Row(sys.Name, sep.Cycles, c.Cycles, float64(sep.Cycles)/float64(c.Cycles))
+	}
+	return t.String(), nil
+}
+
+// SweepPredictor compares the §3.4 PC-indexed predictor against the
+// always-lock ablation and reports training accuracy.
+func SweepPredictor(procs, totalCS int) (string, error) {
+	spec, err := workload.ByName("hotlock")
+	if err != nil {
+		return "", err
+	}
+	p := spec.Params
+	p.TotalCS = totalCS - totalCS%procs
+	t := report.NewTable(fmt.Sprintf("Predictor sweep: hot lock, %d processors", procs),
+		"configuration", "cycles", "pred hits", "pred misses", "timeouts")
+	for _, entries := range []int{256, 0} {
+		name := "pc-indexed"
+		if entries == 0 {
+			name = "always-lock"
+		}
+		sys := SysIQOLB
+		bld, err := workload.Generate(p, sys.Primitive, procs)
+		if err != nil {
+			return "", err
+		}
+		cfg := sys.MachineConfig(procs)
+		cfg.Core.PredictorEntries = entries
+		r, err := runConfigured(cfg, bld, p, "predictor-"+name, sys.Name, procs)
+		if err != nil {
+			return "", err
+		}
+		t.Row(name, r.Cycles,
+			r.Stats.Total(func(n *stats.Node) uint64 { return n.PredictorHits }),
+			r.Stats.Total(func(n *stats.Node) uint64 { return n.PredictorMisses }),
+			r.Timeouts)
+	}
+	return t.String(), nil
+}
+
+// runConfigured executes a pre-built kernel under an explicit machine
+// configuration (for sweeps that tweak policy knobs directly).
+func runConfigured(cfg machine.Config, bld *workload.Build, p workload.Params,
+	name, sysName string, procs int) (Result, error) {
+	var rec *trace.Recorder
+	m, err := machine.New(cfg, bld.Program, rec)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, l := range bld.Locks {
+		m.RegisterLockAddr(l)
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", name, err)
+	}
+	if res.HitLimit {
+		return Result{}, fmt.Errorf("%s: hit cycle limit", name)
+	}
+	if err := bld.VerifyCounters(p, m.Peek); err != nil {
+		return Result{}, fmt.Errorf("%s: %w", name, err)
+	}
+	return summarize(sysName, name, procs, res), nil
+}
+
+// SweepGeneralized evaluates the §6 Generalized IQOLB extension on a
+// reader/writer kernel: part of the machine updates protected data under a
+// lock while the rest polls it with plain loads. Under plain IQOLB every
+// poll downgrades the writer's data line; with the generalized speculation
+// the polls are answered with tear-offs and the data stays put until the
+// release.
+func SweepGeneralized(procs, totalCS int) (string, error) {
+	pollers := procs / 2
+	workers := procs - pollers
+	p := workload.Params{
+		// One lock per writer: the bottleneck is each writer's protected
+		// data line, not lock contention.
+		Iterations: 4, TotalCS: totalCS - totalCS%workers, Locks: workers, HotPct: 0,
+		CSWork: 400, CSWrites: 8, ThinkWork: 100, ThinkJitter: 50,
+		PollProcs: pollers, PollReads: totalCS / 2, PollThink: 20,
+	}
+	systems := []System{SysTTS, SysIQOLB, SysGeneralized}
+	t := report.NewTable(fmt.Sprintf("Generalized IQOLB sweep: %d writers under locks, %d pollers", workers, pollers),
+		"system", "cycles", "bus txs", "tear-offs", "data-line UPGRs", "timeouts")
+	for _, sys := range systems {
+		r, err := RunParams("readerwriter", p, sys, procs, nil)
+		if err != nil {
+			return "", err
+		}
+		t.Row(sys.Name, r.Cycles, r.BusTransactions, r.TearOffs,
+			r.Stats.TotalTx(int(2 /* mem.TxUPGR */)), r.Timeouts)
+	}
+	t.Note("the generalized mode answers poller reads with tear-offs, keeping the")
+	t.Note("writer's data line exclusive across the critical section (paper §6)")
+	return t.String(), nil
+}

@@ -1,0 +1,70 @@
+// Package experiments implements the evaluation harness: one function per
+// table and figure of the paper, plus the ablation and extension sweeps
+// listed in DESIGN.md. The cmd tools and the module's benchmarks are thin
+// wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+
+	"iqolb/internal/core"
+	"iqolb/internal/machine"
+	"iqolb/internal/synclib"
+)
+
+// System pairs the software primitive with the hardware mode — one column
+// of the paper's comparisons.
+type System struct {
+	Name      string
+	Primitive synclib.Primitive
+	Mode      core.Mode
+	// Retention / TearOff toggle the §3.2–3.3 alternatives for the
+	// LPRFO-based modes; ignored elsewhere.
+	Retention bool
+	TearOff   bool
+	// Generalized enables the §6 Generalized IQOLB extension (protected
+	// data joins the lock's speculation).
+	Generalized bool
+}
+
+// The systems of the evaluation. TTS/Aggressive/Delayed/IQOLB all run the
+// identical TTS LL/SC routine — only the hardware differs, which is the
+// paper's central claim.
+var (
+	SysTTS          = System{Name: "tts", Primitive: synclib.PrimTTS, Mode: core.ModeBaseline, Retention: true, TearOff: true}
+	SysAggressive   = System{Name: "aggressive", Primitive: synclib.PrimTTS, Mode: core.ModeAggressive, Retention: true, TearOff: true}
+	SysDelayed      = System{Name: "delayed", Primitive: synclib.PrimTTS, Mode: core.ModeDelayed, Retention: true, TearOff: true}
+	SysDelayedNoRet = System{Name: "delayed-noret", Primitive: synclib.PrimTTS, Mode: core.ModeDelayed, Retention: false, TearOff: true}
+	SysIQOLB        = System{Name: "iqolb", Primitive: synclib.PrimTTS, Mode: core.ModeIQOLB, Retention: true, TearOff: true}
+	SysIQOLBNoRet   = System{Name: "iqolb-noret", Primitive: synclib.PrimTTS, Mode: core.ModeIQOLB, Retention: false, TearOff: true}
+	SysIQOLBNoTear  = System{Name: "iqolb-notearoff", Primitive: synclib.PrimTTS, Mode: core.ModeIQOLB, Retention: true, TearOff: false}
+	SysGeneralized  = System{Name: "iqolb-gen", Primitive: synclib.PrimTTS, Mode: core.ModeIQOLB, Retention: true, TearOff: true, Generalized: true}
+	SysQOLB         = System{Name: "qolb", Primitive: synclib.PrimQOLB, Mode: core.ModeBaseline, Retention: true, TearOff: true}
+	SysTicket       = System{Name: "ticket", Primitive: synclib.PrimTicket, Mode: core.ModeBaseline, Retention: true, TearOff: true}
+	SysMCS          = System{Name: "mcs", Primitive: synclib.PrimMCS, Mode: core.ModeBaseline, Retention: true, TearOff: true}
+)
+
+// Systems lists every known system by name.
+func Systems() []System {
+	return []System{SysTTS, SysAggressive, SysDelayed, SysDelayedNoRet,
+		SysIQOLB, SysIQOLBNoRet, SysIQOLBNoTear, SysGeneralized, SysQOLB, SysTicket, SysMCS}
+}
+
+// SystemByName resolves a system name.
+func SystemByName(name string) (System, error) {
+	for _, s := range Systems() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return System{}, fmt.Errorf("experiments: unknown system %q", name)
+}
+
+// MachineConfig derives the machine configuration for the system.
+func (s System) MachineConfig(procs int) machine.Config {
+	cfg := machine.DefaultConfig(procs, s.Mode)
+	cfg.Core.QueueRetention = s.Retention
+	cfg.Core.TearOff = s.TearOff
+	cfg.Core.GeneralizedData = s.Generalized
+	return cfg
+}

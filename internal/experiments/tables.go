@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iqolb/internal/coherence"
+	"iqolb/internal/core"
+	"iqolb/internal/mem"
+	"iqolb/internal/report"
+	"iqolb/internal/workload"
+)
+
+// Table1 renders the baseline system parameters (the paper's Table 1) as
+// actually configured in this simulator.
+func Table1() string {
+	tm := coherence.DefaultTiming()
+	geo := coherence.DefaultCacheGeometry()
+	cc := core.DefaultConfig(core.ModeIQOLB)
+	kv := report.NewKV("Table 1: baseline system")
+	kv.Section("Processor").
+		Add("issue width", "%d instructions per cycle (in-order interpreter; see DESIGN.md substitution)", 4).
+		Add("ISA", "MIPS-like with LL/SC, Swap, EnQOLB/DeQOLB")
+	kv.Section("Cache subsystem").
+		Add("L1 data cache", "%d KB, %d-way, %d-byte lines, %d-cycle hit",
+			geo.L1.SizeBytes/1024, geo.L1.Ways, mem.LineSize, tm.L1Hit).
+		Add("L2 unified cache", "%d KB, %d-way, %d-cycle hit, MOESI",
+			geo.L2.SizeBytes/1024, geo.L2.Ways, tm.L2Hit).
+		Add("line size", "%d bytes", mem.LineSize)
+	kv.Section("Memory bus").
+		Add("address bus", "split transactions, broadcast MOESI, %d-cycle access, <=%d outstanding",
+			tm.AddrLatency, tm.MaxOutstanding).
+		Add("data network", "point-to-point crossbar, %d cycles per line transfer", tm.DataLatency)
+	kv.Section("Memory").
+		Add("DRAM", "8-byte wide; full-line access %d cycles (40 first + 4 per burst)", tm.MemAccess)
+	kv.Section("IQOLB policy").
+		Add("SC delay budget", "%d cycles", cc.SCTimeout).
+		Add("lock delay budget", "%d cycles", cc.LockTimeout).
+		Add("RFO service delay", "%d cycles", cc.RFOServiceDelay).
+		Add("lock predictor", "%d entries, PC-indexed", cc.PredictorEntries).
+		Add("held-locks table", "%d entries", cc.HeldLockEntries)
+	kv.Section("Consistency").
+		Add("model", "sequential consistency (per-line bus serialization)")
+	return kv.String()
+}
+
+// Table2 renders the benchmark inventory (the paper's Table 2) together
+// with the synthetic signature standing in for each application.
+func Table2() string {
+	t := report.NewTable("Table 2: benchmarks",
+		"benchmark", "paper input", "locks", "hot%", "CS work", "think", "barriers/iter", "signature")
+	for _, s := range workload.Specs() {
+		p := s.Params
+		t.Row(s.Name, s.PaperInput, p.Locks, p.HotPct, p.CSWork,
+			fmt.Sprintf("%d+%d", p.ThinkWork, p.ThinkJitter), p.BarriersPerIter+1, s.Description)
+	}
+	t.Note("synthetic kernels reproduce each application's synchronization signature; see DESIGN.md")
+	return t.String()
+}
+
+// Table3Row is one benchmark's column of the paper's Table 3.
+type Table3Row struct {
+	Benchmark   string
+	TTSAbs      float64 // TTS absolute speedup: T(1 proc)/T(P procs)
+	QOLBRel     float64 // QOLB speedup relative to TTS at P procs
+	IQOLBRel    float64 // IQOLB speedup relative to TTS at P procs
+	TTSCycles   uint64
+	QOLBCycles  uint64
+	IQOLBCycles uint64
+	OneCycles   uint64
+}
+
+// Table3Data computes the paper's Table 3 at the given processor count.
+// scaleFactor > 1 shrinks the workloads proportionally (all systems see
+// the same work, so the ratios remain meaningful).
+func Table3Data(procs, scaleFactor int) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, spec := range workload.Specs() {
+		one, err := RunBenchmark(spec.Name, SysTTS, 1, scaleFactor)
+		if err != nil {
+			return nil, err
+		}
+		tts, err := RunBenchmark(spec.Name, SysTTS, procs, scaleFactor)
+		if err != nil {
+			return nil, err
+		}
+		qolb, err := RunBenchmark(spec.Name, SysQOLB, procs, scaleFactor)
+		if err != nil {
+			return nil, err
+		}
+		iq, err := RunBenchmark(spec.Name, SysIQOLB, procs, scaleFactor)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{
+			Benchmark:   spec.Name,
+			TTSAbs:      float64(one.Cycles) / float64(tts.Cycles),
+			QOLBRel:     float64(tts.Cycles) / float64(qolb.Cycles),
+			IQOLBRel:    float64(tts.Cycles) / float64(iq.Cycles),
+			TTSCycles:   tts.Cycles,
+			QOLBCycles:  qolb.Cycles,
+			IQOLBCycles: iq.Cycles,
+			OneCycles:   one.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// paperTable3 carries the published numbers for side-by-side reporting.
+var paperTable3 = map[string][3]float64{
+	// name -> {TTS absolute, QOLB relative, IQOLB relative}
+	"barnes":    {7.5, 1.06, 1.06},
+	"ocean":     {6.0, 1.54, 1.52},
+	"radiosity": {2.5, 6.37, 6.37},
+	"raytrace":  {1.5, 11.01, 10.75},
+	"water-nsq": {18.1, 1.06, 1.06},
+}
+
+// Table3 renders the reproduced Table 3 next to the paper's numbers.
+func Table3(procs, scaleFactor int) (string, []Table3Row, error) {
+	rows, err := Table3Data(procs, scaleFactor)
+	if err != nil {
+		return "", nil, err
+	}
+	t := report.NewTable(fmt.Sprintf("Table 3: results (%d processors, speedups)", procs),
+		"benchmark", "TTS abs", "paper", "QOLB rel", "paper", "IQOLB rel", "paper", "IQOLB/QOLB")
+	for _, r := range rows {
+		p := paperTable3[r.Benchmark]
+		t.Row(r.Benchmark,
+			fmt.Sprintf("(%0.1f)", r.TTSAbs), fmt.Sprintf("(%0.1f)", p[0]),
+			r.QOLBRel, p[1],
+			r.IQOLBRel, p[2],
+			float64(r.QOLBCycles)/float64(r.IQOLBCycles))
+	}
+	t.Note("TTS column: absolute speedup over 1 processor (parenthesized, as in the paper)")
+	t.Note("QOLB/IQOLB columns: speedup relative to the TTS base case")
+	if scaleFactor > 1 {
+		t.Note("workloads scaled down by %dx", scaleFactor)
+	}
+	return t.String(), rows, nil
+}

@@ -1,0 +1,173 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iqolb/internal/engine"
+	"iqolb/internal/mem"
+)
+
+func busCfg() BusConfig {
+	return BusConfig{Latency: 12, GrantInterval: 2, MaxOutstanding: 4}
+}
+
+func TestBusObservationLatencyAndOrder(t *testing.T) {
+	eng := engine.New()
+	var seen []Tx
+	var times []engine.Time
+	b := NewBus(eng, busCfg(), func(tx Tx) {
+		seen = append(seen, tx)
+		times = append(times, eng.Now())
+	})
+	b.Request(mem.TxGETS, 64, 0)
+	b.Request(mem.TxGETX, 128, 1)
+	b.Request(mem.TxLPRFO, 64, 2)
+	eng.Run(0)
+	if len(seen) != 3 {
+		t.Fatalf("observed %d txs, want 3", len(seen))
+	}
+	// FIFO order.
+	if seen[0].Requester != 0 || seen[1].Requester != 1 || seen[2].Requester != 2 {
+		t.Fatalf("order wrong: %+v", seen)
+	}
+	// First observed at Latency; spacing = GrantInterval.
+	if times[0] != 12 || times[1] != 14 || times[2] != 16 {
+		t.Fatalf("observation times %v, want [12 14 16]", times)
+	}
+	if seen[2].Line != 1 || seen[2].Addr != 64 {
+		t.Fatalf("tx fields wrong: %+v", seen[2])
+	}
+}
+
+func TestBusOutstandingCap(t *testing.T) {
+	eng := engine.New()
+	observed := 0
+	var b *Bus
+	b = NewBus(eng, BusConfig{Latency: 12, GrantInterval: 1, MaxOutstanding: 2}, func(tx Tx) {
+		observed++
+	})
+	for i := 0; i < 5; i++ {
+		b.Request(mem.TxGETS, mem.Addr(i*64), mem.NodeID(i))
+	}
+	eng.Run(0)
+	if observed != 2 {
+		t.Fatalf("observed %d with cap 2 and no completions, want 2", observed)
+	}
+	if b.Outstanding() != 2 || b.Queued() != 3 {
+		t.Fatalf("outstanding/queued = %d/%d, want 2/3", b.Outstanding(), b.Queued())
+	}
+	// Completions free slots and the queue drains.
+	b.Complete()
+	b.Complete()
+	eng.Run(0)
+	if observed != 4 {
+		t.Fatalf("observed %d after two completions, want 4", observed)
+	}
+}
+
+func TestBusCompleteWithoutOutstandingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewBus(engine.New(), busCfg(), func(Tx) {}).Complete()
+}
+
+func TestBusIDsUnique(t *testing.T) {
+	eng := engine.New()
+	b := NewBus(eng, busCfg(), func(Tx) {})
+	ids := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		id := b.Request(mem.TxGETS, 0, 0)
+		if ids[id] {
+			t.Fatal("duplicate tx id")
+		}
+		ids[id] = true
+	}
+}
+
+// Property: with ample outstanding slots, observation times are strictly
+// increasing with at least GrantInterval spacing, in FIFO order.
+func TestPropertyBusSpacing(t *testing.T) {
+	f := func(nReq uint8) bool {
+		n := int(nReq%20) + 1
+		eng := engine.New()
+		var times []engine.Time
+		var order []mem.NodeID
+		b := NewBus(eng, BusConfig{Latency: 12, GrantInterval: 3, MaxOutstanding: 200},
+			func(tx Tx) { times = append(times, eng.Now()); order = append(order, tx.Requester) })
+		for i := 0; i < n; i++ {
+			b.Request(mem.TxGETS, mem.Addr(i*64), mem.NodeID(i))
+		}
+		eng.Run(0)
+		if len(times) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if times[i] < times[i-1]+3 || order[i] != mem.NodeID(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkLatencyAndPortSerialization(t *testing.T) {
+	eng := engine.New()
+	var arrivals []engine.Time
+	var kinds []mem.DataKind
+	n := NewNetwork(eng, NetConfig{Latency: 40, PortInterval: 8}, func(m Msg) {
+		arrivals = append(arrivals, eng.Now())
+		kinds = append(kinds, m.Kind)
+	})
+	// Two messages from the same port serialize; one from another doesn't.
+	n.Send(Msg{Kind: mem.DataExclusive, From: 0, To: 1})
+	n.Send(Msg{Kind: mem.DataShared, From: 0, To: 2})
+	n.Send(Msg{Kind: mem.DataTearOff, From: 3, To: 2})
+	eng.Run(0)
+	if len(arrivals) != 3 {
+		t.Fatalf("delivered %d, want 3", len(arrivals))
+	}
+	// Same-port second departs at 8, arrives 48; other port arrives 40.
+	want := []engine.Time{40, 40, 48}
+	got := append([]engine.Time{}, arrivals...)
+	if got[0] != 40 || got[1] != 40 || got[2] != 48 {
+		t.Fatalf("arrivals %v, want %v", got, want)
+	}
+	if n.Messages != 3 || n.LineMoves != 2 {
+		t.Fatalf("messages/linemoves = %d/%d, want 3/2", n.Messages, n.LineMoves)
+	}
+	if n.ByKind[mem.DataTearOff] != 1 {
+		t.Fatal("tear-off not counted")
+	}
+}
+
+func TestNetworkDataPayloadIntact(t *testing.T) {
+	eng := engine.New()
+	var got Msg
+	n := NewNetwork(eng, NetConfig{Latency: 1, PortInterval: 1}, func(m Msg) { got = m })
+	var data mem.LineData
+	data[3] = 0xdeadbeef
+	n.Send(Msg{Kind: mem.DataExclusive, Line: 9, Data: data, Dirty: true, From: 1, To: 2, TxID: 7})
+	eng.Run(0)
+	if got.Data[3] != 0xdeadbeef || !got.Dirty || got.Line != 9 || got.TxID != 7 {
+		t.Fatalf("payload mangled: %+v", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if (BusConfig{Latency: 1, GrantInterval: 0, MaxOutstanding: 1}).Validate() == nil {
+		t.Error("zero grant interval accepted")
+	}
+	if (BusConfig{Latency: 1, GrantInterval: 1, MaxOutstanding: 0}).Validate() == nil {
+		t.Error("zero outstanding accepted")
+	}
+	if (NetConfig{Latency: 1, PortInterval: 0}).Validate() == nil {
+		t.Error("zero port interval accepted")
+	}
+}

@@ -1,0 +1,429 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembler text into a Program. The syntax is one
+// instruction or label per line, with '#' starting a comment:
+//
+//	        li    t0, 1
+//	spin:   ll    t1, 0(a0)
+//	        bne   t1, r0, spin
+//	        sc    t0, 0(a0)
+//	        beq   t0, r0, spin
+//	        halt
+//
+// Registers are written r0..r31 or by alias (zero, rv, a0..a3, t0..t7,
+// s0..s7, gp, sp, lr). Memory operands use the MIPS off(base) form.
+func Assemble(src string) (*Program, error) {
+	b := NewBuilder()
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNo+1, label)
+			}
+			b.Label(label)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := assembleLine(b, line); err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+		}
+	}
+	return b.Build()
+}
+
+// MustAssemble is Assemble that panics on error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var regAliases = map[string]Reg{
+	"zero": R0, "rv": RV, "a0": A0, "a1": A1, "a2": A2, "a3": A3,
+	"t0": T0, "t1": T1, "t2": T2, "t3": T3, "t4": T4, "t5": T5, "t6": T6, "t7": T7,
+	"s0": S0, "s1": S1, "s2": S2, "s3": S3, "s4": S4, "s5": S5, "s6": S6, "s7": S7,
+	"gp": GP, "sp": SP, "lr": LR,
+}
+
+// RegByName resolves a register name ("r12", "t0", "gp", ...).
+func RegByName(name string) (Reg, error) {
+	name = strings.ToLower(name)
+	if r, ok := regAliases[name]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(name, "r") {
+		n, err := strconv.Atoi(name[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown register %q", name)
+}
+
+// RegName returns the conventional alias for r, falling back to rN.
+func RegName(r Reg) string {
+	for name, reg := range regAliases {
+		if reg == r && name != "zero" {
+			if r == R0 {
+				continue
+			}
+			return name
+		}
+	}
+	if r == R0 {
+		return "r0"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+func splitOperands(rest string) []string {
+	if rest == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseImm(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// parseMem decodes "off(base)" into (offset, base register).
+func parseMem(s string) (int64, Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q, want off(base)", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	off := int64(0)
+	if offStr != "" {
+		var err error
+		off, err = parseImm(offStr)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q: %v", s, err)
+		}
+	}
+	base, err := RegByName(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+func assembleLine(b *Builder, line string) error {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+	ops := splitOperands(rest)
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnemonic, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (Reg, error) { return RegByName(ops[i]) }
+
+	rrr := func(op Op) error {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return err
+		}
+		b.emit(Instr{Op: op, Rd: rd, Rs: rs, Rt: rt})
+		return nil
+	}
+	rri := func(op Op) error {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(ops[2])
+		if err != nil {
+			return err
+		}
+		b.emit(Instr{Op: op, Rd: rd, Rs: rs, Imm: imm})
+		return nil
+	}
+	branch := func(op Op) error {
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if !isIdent(ops[2]) {
+			return fmt.Errorf("bad branch label %q", ops[2])
+		}
+		b.emit(Instr{Op: op, Rs: rs, Rt: rt, Sym: ops[2]})
+		return nil
+	}
+	loadLike := func(op Op) error {
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		b.emit(Instr{Op: op, Rd: rd, Rs: base, Imm: off})
+		return nil
+	}
+	storeLike := func(op Op) error {
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		b.emit(Instr{Op: op, Rt: rt, Rs: base, Imm: off})
+		return nil
+	}
+
+	switch mnemonic {
+	case "nop":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Nop()
+	case "add":
+		return rrr(OpAdd)
+	case "sub":
+		return rrr(OpSub)
+	case "mul":
+		return rrr(OpMul)
+	case "div":
+		return rrr(OpDiv)
+	case "rem":
+		return rrr(OpRem)
+	case "and":
+		return rrr(OpAnd)
+	case "or":
+		return rrr(OpOr)
+	case "xor":
+		return rrr(OpXor)
+	case "slt":
+		return rrr(OpSlt)
+	case "addi":
+		return rri(OpAddi)
+	case "andi":
+		return rri(OpAndi)
+	case "ori":
+		return rri(OpOri)
+	case "slti":
+		return rri(OpSlti)
+	case "sll":
+		return rri(OpSll)
+	case "srl":
+		return rri(OpSrl)
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Li(rd, imm)
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		b.Mov(rd, rs)
+	case "beq":
+		return branch(OpBeq)
+	case "bne":
+		return branch(OpBne)
+	case "blt":
+		return branch(OpBlt)
+	case "bge":
+		return branch(OpBge)
+	case "j", "jal":
+		if err := need(1); err != nil {
+			return err
+		}
+		if !isIdent(ops[0]) {
+			return fmt.Errorf("bad jump label %q", ops[0])
+		}
+		op := OpJ
+		if mnemonic == "jal" {
+			op = OpJal
+		}
+		b.emit(Instr{Op: op, Sym: ops[0]})
+	case "jr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		b.Jr(rs)
+	case "lw":
+		return loadLike(OpLw)
+	case "ll":
+		return loadLike(OpLl)
+	case "enqolb":
+		return loadLike(OpEnqolb)
+	case "sw":
+		return storeLike(OpSw)
+	case "sc":
+		return storeLike(OpSc)
+	case "swap":
+		return storeLike(OpSwap)
+	case "deqolb":
+		if err := need(1); err != nil {
+			return err
+		}
+		off, base, err := parseMem(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Deqolb(off, base)
+	case "work", "bar":
+		if err := need(1); err != nil {
+			return err
+		}
+		imm, err := parseImm(ops[0])
+		if err != nil {
+			return err
+		}
+		if mnemonic == "work" {
+			b.Work(imm)
+		} else {
+			b.Bar(imm)
+		}
+	case "workr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		b.Workr(rs)
+	case "rand":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Rand(rd, imm)
+	case "cpuid", "procs":
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if mnemonic == "cpuid" {
+			b.Cpuid(rd)
+		} else {
+			b.Procs(rd)
+		}
+	case "halt":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Halt()
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	return nil
+}

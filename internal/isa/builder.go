@@ -1,0 +1,286 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program incrementally with symbolic labels. The
+// synchronization-routine and workload generators use it to emit code; it
+// resolves forward references when Build is called.
+//
+// Label namespacing: routines that are emitted more than once into the same
+// program (for example a lock acquire inlined at several sites) should
+// derive unique label names, e.g. with fmt.Sprintf and a site counter; the
+// Scope helper does this.
+type Builder struct {
+	code   []Instr
+	labels map[string]int
+	nscope int
+	err    error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// PC reports the index the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.code) }
+
+// Scope returns a label name qualified by a per-builder unique suffix,
+// letting the same routine template be inlined many times without label
+// collisions. Call once per inlining site and use the returned function to
+// derive all the site's labels.
+func (b *Builder) Scope(prefix string) func(label string) string {
+	b.nscope++
+	id := b.nscope
+	return func(label string) string {
+		return fmt.Sprintf("%s.%s.%d", prefix, label, id)
+	}
+}
+
+// Label binds name to the current PC.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.fail("isa: duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.code = append(b.code, in)
+	return b
+}
+
+// --- ALU ---
+
+// Add emits rd = rs + rt.
+func (b *Builder) Add(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpAdd, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Sub emits rd = rs - rt.
+func (b *Builder) Sub(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpSub, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Mul emits rd = rs * rt.
+func (b *Builder) Mul(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpMul, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Div emits rd = rs / rt, with division by zero yielding zero.
+func (b *Builder) Div(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpDiv, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Rem emits rd = rs % rt, with modulus by zero yielding zero.
+func (b *Builder) Rem(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpRem, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// And emits rd = rs & rt.
+func (b *Builder) And(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpAnd, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Or emits rd = rs | rt.
+func (b *Builder) Or(rd, rs, rt Reg) *Builder { return b.emit(Instr{Op: OpOr, Rd: rd, Rs: rs, Rt: rt}) }
+
+// Xor emits rd = rs ^ rt.
+func (b *Builder) Xor(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpXor, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Slt emits rd = (rs < rt) signed.
+func (b *Builder) Slt(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpSlt, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Addi emits rd = rs + imm.
+func (b *Builder) Addi(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpAddi, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Andi emits rd = rs & imm.
+func (b *Builder) Andi(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpAndi, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Ori emits rd = rs | imm.
+func (b *Builder) Ori(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpOri, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Slti emits rd = (rs < imm) signed.
+func (b *Builder) Slti(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpSlti, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Sll emits rd = rs << imm.
+func (b *Builder) Sll(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpSll, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Srl emits rd = rs >> imm (logical).
+func (b *Builder) Srl(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpSrl, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Li emits the load-immediate pseudo-instruction rd = imm.
+func (b *Builder) Li(rd Reg, imm int64) *Builder { return b.Addi(rd, R0, imm) }
+
+// Mov emits the register-copy pseudo-instruction rd = rs.
+func (b *Builder) Mov(rd, rs Reg) *Builder { return b.Addi(rd, rs, 0) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNop}) }
+
+// --- Control flow ---
+
+// Beq emits a branch to label when rs == rt.
+func (b *Builder) Beq(rs, rt Reg, label string) *Builder {
+	return b.emit(Instr{Op: OpBeq, Rs: rs, Rt: rt, Sym: label})
+}
+
+// Bne emits a branch to label when rs != rt.
+func (b *Builder) Bne(rs, rt Reg, label string) *Builder {
+	return b.emit(Instr{Op: OpBne, Rs: rs, Rt: rt, Sym: label})
+}
+
+// Blt emits a branch to label when rs < rt (signed).
+func (b *Builder) Blt(rs, rt Reg, label string) *Builder {
+	return b.emit(Instr{Op: OpBlt, Rs: rs, Rt: rt, Sym: label})
+}
+
+// Bge emits a branch to label when rs >= rt (signed).
+func (b *Builder) Bge(rs, rt Reg, label string) *Builder {
+	return b.emit(Instr{Op: OpBge, Rs: rs, Rt: rt, Sym: label})
+}
+
+// J emits an unconditional jump to label.
+func (b *Builder) J(label string) *Builder { return b.emit(Instr{Op: OpJ, Sym: label}) }
+
+// Jal emits a jump-and-link to label (return PC in LR).
+func (b *Builder) Jal(label string) *Builder { return b.emit(Instr{Op: OpJal, Sym: label}) }
+
+// Jr emits an indirect jump to the instruction index in rs.
+func (b *Builder) Jr(rs Reg) *Builder { return b.emit(Instr{Op: OpJr, Rs: rs}) }
+
+// --- Memory ---
+
+// Lw emits rd = mem[rs+off].
+func (b *Builder) Lw(rd Reg, off int64, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpLw, Rd: rd, Rs: rs, Imm: off})
+}
+
+// Sw emits mem[rs+off] = rt.
+func (b *Builder) Sw(rt Reg, off int64, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpSw, Rt: rt, Rs: rs, Imm: off})
+}
+
+// Ll emits the load-linked rd = mem[rs+off].
+func (b *Builder) Ll(rd Reg, off int64, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpLl, Rd: rd, Rs: rs, Imm: off})
+}
+
+// Sc emits the store-conditional mem[rs+off] = rt; rt = success.
+func (b *Builder) Sc(rt Reg, off int64, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpSc, Rt: rt, Rs: rs, Imm: off})
+}
+
+// Swap emits the atomic exchange of rt with mem[rs+off].
+func (b *Builder) Swap(rt Reg, off int64, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpSwap, Rt: rt, Rs: rs, Imm: off})
+}
+
+// Enqolb emits the QOLB enqueue on the lock at rs+off, with the observed
+// lock word returned in rd.
+func (b *Builder) Enqolb(rd Reg, off int64, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpEnqolb, Rd: rd, Rs: rs, Imm: off})
+}
+
+// Deqolb emits the QOLB release hand-off for the lock at rs+off.
+func (b *Builder) Deqolb(off int64, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpDeqolb, Rs: rs, Imm: off})
+}
+
+// --- Simulation helpers ---
+
+// Work emits imm cycles of pure computation.
+func (b *Builder) Work(cycles int64) *Builder {
+	if cycles < 0 {
+		b.fail("isa: negative work duration %d", cycles)
+		cycles = 0
+	}
+	return b.emit(Instr{Op: OpWork, Imm: cycles})
+}
+
+// Workr emits rs cycles of pure computation.
+func (b *Builder) Workr(rs Reg) *Builder { return b.emit(Instr{Op: OpWorkr, Rs: rs}) }
+
+// Rand emits rd = uniform in [0, imm) from the per-processor stream.
+func (b *Builder) Rand(rd Reg, bound int64) *Builder {
+	if bound <= 0 {
+		b.fail("isa: rand bound must be positive, got %d", bound)
+		bound = 1
+	}
+	return b.emit(Instr{Op: OpRand, Rd: rd, Imm: bound})
+}
+
+// Cpuid emits rd = processor id.
+func (b *Builder) Cpuid(rd Reg) *Builder { return b.emit(Instr{Op: OpCpuid, Rd: rd}) }
+
+// Procs emits rd = processor count.
+func (b *Builder) Procs(rd Reg) *Builder { return b.emit(Instr{Op: OpProcs, Rd: rd}) }
+
+// Bar emits a hardware barrier with the given episode id.
+func (b *Builder) Bar(id int64) *Builder { return b.emit(Instr{Op: OpBar, Imm: id}) }
+
+// Halt emits the processor stop instruction.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: OpHalt}) }
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	code := make([]Instr, len(b.code))
+	copy(code, b.code)
+	for pc := range code {
+		in := &code[pc]
+		if in.Sym == "" {
+			continue
+		}
+		target, ok := b.labels[in.Sym]
+		if !ok {
+			return nil, fmt.Errorf("isa: pc %d (%s): undefined label %q", pc, in.Op, in.Sym)
+		}
+		in.Target = target
+	}
+	labels := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	p := &Program{Code: code, Labels: labels}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; intended for statically known
+// correct generators and tests.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

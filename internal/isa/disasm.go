@@ -1,0 +1,62 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the instruction in assembler syntax. Branch targets print
+// as raw instruction indices (labels are not preserved after assembly).
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpHalt:
+		return in.Op.String()
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpSlt:
+		return fmt.Sprintf("%-6s %s, %s, %s", in.Op, RegName(in.Rd), RegName(in.Rs), RegName(in.Rt))
+	case OpAddi, OpAndi, OpOri, OpSlti, OpSll, OpSrl:
+		return fmt.Sprintf("%-6s %s, %s, %d", in.Op, RegName(in.Rd), RegName(in.Rs), in.Imm)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%-6s %s, %s, @%d", in.Op, RegName(in.Rs), RegName(in.Rt), in.Target)
+	case OpJ, OpJal:
+		return fmt.Sprintf("%-6s @%d", in.Op, in.Target)
+	case OpJr:
+		return fmt.Sprintf("%-6s %s", in.Op, RegName(in.Rs))
+	case OpLw, OpLl, OpEnqolb:
+		return fmt.Sprintf("%-6s %s, %d(%s)", in.Op, RegName(in.Rd), in.Imm, RegName(in.Rs))
+	case OpSw, OpSc, OpSwap:
+		return fmt.Sprintf("%-6s %s, %d(%s)", in.Op, RegName(in.Rt), in.Imm, RegName(in.Rs))
+	case OpDeqolb:
+		return fmt.Sprintf("%-6s %d(%s)", in.Op, in.Imm, RegName(in.Rs))
+	case OpWork, OpBar:
+		return fmt.Sprintf("%-6s %d", in.Op, in.Imm)
+	case OpWorkr:
+		return fmt.Sprintf("%-6s %s", in.Op, RegName(in.Rs))
+	case OpRand:
+		return fmt.Sprintf("%-6s %s, %d", in.Op, RegName(in.Rd), in.Imm)
+	case OpCpuid, OpProcs:
+		return fmt.Sprintf("%-6s %s", in.Op, RegName(in.Rd))
+	default:
+		return fmt.Sprintf("%-6s rd=%d rs=%d rt=%d imm=%d", in.Op, in.Rd, in.Rs, in.Rt, in.Imm)
+	}
+}
+
+// Disassemble renders the whole program with instruction indices and the
+// label table, suitable for debugging workload generators.
+func (p *Program) Disassemble() string {
+	byPC := make(map[int][]string)
+	for name, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], name)
+	}
+	for _, names := range byPC {
+		sort.Strings(names)
+	}
+	var sb strings.Builder
+	for pc, in := range p.Code {
+		for _, l := range byPC[pc] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		fmt.Fprintf(&sb, "%5d:  %s\n", pc, in)
+	}
+	return sb.String()
+}

@@ -1,0 +1,206 @@
+// Package isa defines the small MIPS-like instruction set interpreted by
+// the simulated processors, together with a programmatic builder and a text
+// assembler.
+//
+// The paper's simulator executes SPLASH-2 binaries compiled to a
+// SimpleScalar (MIPS-like) ISA extended with Swap, Load-Linked,
+// Store-Conditional, EnQOLB and DeQOLB. This package provides the same
+// instruction vocabulary. Synchronization routines and workload kernels are
+// expressed in this ISA so that — exactly as the paper requires — the *same
+// software* runs unmodified under every hardware mode (baseline LL/SC,
+// delayed response, IQOLB); only the memory system's behaviour changes.
+package isa
+
+import "fmt"
+
+// Reg names one of the 32 general-purpose integer registers. R0 reads as
+// zero and ignores writes, as in MIPS.
+type Reg uint8
+
+// NumRegs is the architected register count.
+const NumRegs = 32
+
+// Conventional register aliases used by the routine builders.
+const (
+	R0 Reg = 0 // hardwired zero
+	RV Reg = 2 // return value
+	A0 Reg = 4 // first argument
+	A1 Reg = 5 // second argument
+	A2 Reg = 6 // third argument
+	A3 Reg = 7 // fourth argument
+	T0 Reg = 8 // caller-saved temporaries T0..T7
+	T1 Reg = 9
+	T2 Reg = 10
+	T3 Reg = 11
+	T4 Reg = 12
+	T5 Reg = 13
+	T6 Reg = 14
+	T7 Reg = 15
+	S0 Reg = 16 // callee-saved S0..S7
+	S1 Reg = 17
+	S2 Reg = 18
+	S3 Reg = 19
+	S4 Reg = 20
+	S5 Reg = 21
+	S6 Reg = 22
+	S7 Reg = 23
+	GP Reg = 28 // global pointer (base of shared data)
+	SP Reg = 29 // stack pointer
+	LR Reg = 31 // link register for JAL/JR
+)
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	// ALU, register-register.
+	OpAdd // rd = rs + rt
+	OpSub // rd = rs - rt
+	OpMul // rd = rs * rt
+	OpDiv // rd = rs / rt (rt==0 yields 0)
+	OpRem // rd = rs % rt (rt==0 yields 0)
+	OpAnd // rd = rs & rt
+	OpOr  // rd = rs | rt
+	OpXor // rd = rs ^ rt
+	OpSlt // rd = 1 if rs < rt else 0 (signed)
+
+	// ALU, register-immediate.
+	OpAddi // rd = rs + imm
+	OpAndi // rd = rs & imm
+	OpOri  // rd = rs | imm
+	OpSlti // rd = 1 if rs < imm else 0 (signed)
+	OpSll  // rd = rs << imm
+	OpSrl  // rd = logical rs >> imm
+
+	// Control flow. Target is an instruction index after assembly.
+	OpBeq // if rs == rt goto target
+	OpBne // if rs != rt goto target
+	OpBlt // if rs <  rt goto target (signed)
+	OpBge // if rs >= rt goto target (signed)
+	OpJ   // goto target
+	OpJal // LR = pc+1; goto target
+	OpJr  // goto rs
+
+	// Memory. Addresses are byte addresses; LW/SW/LL/SC move 8-byte words
+	// and must be 8-byte aligned. Effective address is rs + imm.
+	OpLw // rd = mem[rs+imm]
+	OpSw // mem[rs+imm] = rt
+	OpLl // rd = mem[rs+imm], set link
+	OpSc // if link intact: mem[rs+imm] = rt, rt = 1; else rt = 0
+
+	// Atomic swap (architected on many machines; used by some baselines).
+	OpSwap // tmp = mem[rs+imm]; mem[rs+imm] = rt; rt = tmp
+
+	// QOLB extensions (the paper adds EnQOLB/DeQOLB via SimpleScalar's
+	// annotation mechanism). They operate on the lock at rs+imm.
+	OpEnqolb // enqueue on lock's hardware queue; rd = current lock word
+	OpDeqolb // dequeue / release hand-off for lock
+
+	// Simulation helpers.
+	OpWork  // occupy the pipeline for imm cycles of pure computation
+	OpWorkr // occupy the pipeline for rs cycles
+	OpRand  // rd = deterministic per-processor uniform in [0, imm)
+	OpCpuid // rd = processor id
+	OpProcs // rd = processor count
+	OpBar   // hardware barrier; imm identifies the barrier episode
+	OpHalt  // stop this processor
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor", OpSlt: "slt",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpSlti: "slti",
+	OpSll: "sll", OpSrl: "srl",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJ: "j", OpJal: "jal", OpJr: "jr",
+	OpLw: "lw", OpSw: "sw", OpLl: "ll", OpSc: "sc", OpSwap: "swap",
+	OpEnqolb: "enqolb", OpDeqolb: "deqolb",
+	OpWork: "work", OpWorkr: "workr", OpRand: "rand",
+	OpCpuid: "cpuid", OpProcs: "procs", OpBar: "bar", OpHalt: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opCount }
+
+// IsMemory reports whether the opcode accesses data memory.
+func (o Op) IsMemory() bool {
+	switch o {
+	case OpLw, OpSw, OpLl, OpSc, OpSwap, OpEnqolb, OpDeqolb:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the opcode may redirect control flow.
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge, OpJ, OpJal, OpJr:
+		return true
+	}
+	return false
+}
+
+// Instr is one decoded instruction. Branch targets hold an instruction
+// index once the program is assembled; Sym carries the unresolved label
+// name inside a Builder.
+type Instr struct {
+	Op     Op
+	Rd     Reg
+	Rs     Reg
+	Rt     Reg
+	Imm    int64
+	Target int
+	Sym    string
+}
+
+// Program is a fully assembled instruction sequence. PC values are indices
+// into Code.
+type Program struct {
+	Code   []Instr
+	Labels map[string]int
+}
+
+// Validate checks structural well-formedness: opcodes defined, registers in
+// range, branch targets within the program, and termination reachable (the
+// last instruction must be a halt or an unconditional branch so the PC
+// cannot run off the end).
+func (p *Program) Validate() error {
+	n := len(p.Code)
+	if n == 0 {
+		return fmt.Errorf("isa: empty program")
+	}
+	for pc, in := range p.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("isa: pc %d: invalid opcode %d", pc, uint8(in.Op))
+		}
+		if in.Rd >= NumRegs || in.Rs >= NumRegs || in.Rt >= NumRegs {
+			return fmt.Errorf("isa: pc %d (%s): register out of range", pc, in.Op)
+		}
+		if in.Op.IsBranch() && in.Op != OpJr {
+			if in.Target < 0 || in.Target >= n {
+				return fmt.Errorf("isa: pc %d (%s): branch target %d outside program of %d instructions",
+					pc, in.Op, in.Target, n)
+			}
+		}
+		if in.Op == OpWork && in.Imm < 0 {
+			return fmt.Errorf("isa: pc %d: work with negative duration %d", pc, in.Imm)
+		}
+	}
+	last := p.Code[n-1].Op
+	if last != OpHalt && last != OpJ && last != OpJr {
+		return fmt.Errorf("isa: program may fall off the end: last op is %s", last)
+	}
+	return nil
+}

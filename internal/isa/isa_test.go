@@ -1,0 +1,294 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderResolveForwardAndBackward(t *testing.T) {
+	b := NewBuilder()
+	b.Label("top").
+		Li(T0, 1).
+		Bne(T0, R0, "bottom"). // forward
+		J("top").              // backward
+		Label("bottom").
+		Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Target != 3 {
+		t.Errorf("forward branch target = %d, want 3", p.Code[1].Target)
+	}
+	if p.Code[2].Target != 0 {
+		t.Errorf("backward jump target = %d, want 0", p.Code[2].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	_, err := NewBuilder().J("nowhere").Halt().Build()
+	if err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("err = %v, want undefined label", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	_, err := NewBuilder().Label("x").Nop().Label("x").Halt().Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Fatalf("err = %v, want duplicate label", err)
+	}
+}
+
+func TestBuilderScopeUniqueness(t *testing.T) {
+	b := NewBuilder()
+	l1 := b.Scope("acq")
+	l2 := b.Scope("acq")
+	if l1("spin") == l2("spin") {
+		t.Fatal("two scopes produced the same label")
+	}
+	b.Label(l1("spin")).Nop().Label(l2("spin")).Halt()
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsFallOffEnd(t *testing.T) {
+	_, err := NewBuilder().Nop().Build()
+	if err == nil || !strings.Contains(err.Error(), "fall off the end") {
+		t.Fatalf("err = %v, want fall-off-end rejection", err)
+	}
+}
+
+func TestValidateRejectsEmpty(t *testing.T) {
+	p := &Program{}
+	if err := p.Validate(); err == nil {
+		t.Fatal("empty program validated")
+	}
+}
+
+func TestValidateRejectsBadTarget(t *testing.T) {
+	p := &Program{Code: []Instr{{Op: OpJ, Target: 99}, {Op: OpHalt}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("out-of-range target validated")
+	}
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	src := `
+	# classic test&test&set acquire
+	        li    t0, 1
+	spin:   ll    t1, 0(a0)
+	        bne   t1, r0, spin
+	        sc    t0, 0(a0)
+	        beq   t0, r0, spin
+	        work  25
+	        sw    r0, 0(a0)       # release
+	        halt
+	`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 8 {
+		t.Fatalf("assembled %d instructions, want 8", len(p.Code))
+	}
+	if p.Labels["spin"] != 1 {
+		t.Fatalf("label spin = %d, want 1", p.Labels["spin"])
+	}
+	if p.Code[1].Op != OpLl || p.Code[1].Rd != T1 || p.Code[1].Rs != A0 {
+		t.Fatalf("bad ll decode: %+v", p.Code[1])
+	}
+	if p.Code[2].Target != 1 {
+		t.Fatalf("bne target = %d, want 1", p.Code[2].Target)
+	}
+	if p.Code[3].Op != OpSc || p.Code[3].Rt != T0 {
+		t.Fatalf("bad sc decode: %+v", p.Code[3])
+	}
+	if p.Code[5].Op != OpWork || p.Code[5].Imm != 25 {
+		t.Fatalf("bad work decode: %+v", p.Code[5])
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	src := `
+	start:
+	  nop
+	  add  t0, t1, t2
+	  sub  t0, t1, t2
+	  mul  t0, t1, t2
+	  div  t0, t1, t2
+	  rem  t0, t1, t2
+	  and  t0, t1, t2
+	  or   t0, t1, t2
+	  xor  t0, t1, t2
+	  slt  t0, t1, t2
+	  addi t0, t1, -4
+	  andi t0, t1, 0xff
+	  ori  t0, t1, 3
+	  slti t0, t1, 7
+	  sll  t0, t1, 2
+	  srl  t0, t1, 2
+	  li   s0, 42
+	  mov  s1, s0
+	  beq  t0, t1, start
+	  bne  t0, t1, start
+	  blt  t0, t1, start
+	  bge  t0, t1, start
+	  jal  sub1
+	  lw   t3, 16(gp)
+	  sw   t3, 16(gp)
+	  ll   t4, 0(a0)
+	  sc   t4, 0(a0)
+	  swap t5, 8(a1)
+	  enqolb t6, 0(a0)
+	  deqolb 0(a0)
+	  work 100
+	  workr t0
+	  rand t7, 16
+	  cpuid s2
+	  procs s3
+	  bar  1
+	  halt
+	sub1:
+	  jr lr
+	`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Op]bool{}
+	for _, in := range p.Code {
+		seen[in.Op] = true
+	}
+	for op := OpNop; op < opCount; op++ {
+		if op == OpJ { // exercised in other tests
+			continue
+		}
+		if !seen[op] {
+			t.Errorf("mnemonic coverage: opcode %s never assembled", op)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate t0",        // unknown mnemonic
+		"add t0, t1",           // arity
+		"lw t0, t1",            // bad mem operand
+		"lw t0, 4(zz)",         // bad base register
+		"beq t0, t1, 9bad",     // bad label
+		"li t99, 4",            // bad register
+		"9bad: nop\nhalt",      // bad label definition
+		"work -5\nhalt",        // negative work
+		"rand t0, 0\nhalt",     // non-positive bound
+		"j nowhere\nhalt",      // undefined label
+		"x: nop\nx: nop\nhalt", // duplicate label
+		"li t0, notanumber",    // bad immediate
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestDisassembleContainsLabelsAndOps(t *testing.T) {
+	p := MustAssemble("top: li t0, 3\n j top")
+	out := p.Disassemble()
+	for _, want := range []string{"top:", "addi", "j"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstrStringAllOps(t *testing.T) {
+	p := MustAssemble(`
+	  add t0, t1, t2
+	  addi t0, t1, 5
+	  beq t0, t1, l
+	  l: jr lr
+	  lw t0, 8(gp)
+	  sw t0, 8(gp)
+	  deqolb 0(a0)
+	  work 9
+	  workr t1
+	  rand t2, 4
+	  cpuid t3
+	  bar 2
+	  halt
+	`)
+	for _, in := range p.Code {
+		s := in.String()
+		if s == "" || strings.Contains(s, "op(") {
+			t.Errorf("bad rendering for %+v: %q", in, s)
+		}
+	}
+}
+
+func TestRegByNameAliases(t *testing.T) {
+	for name, want := range regAliases {
+		got, err := RegByName(name)
+		if err != nil || got != want {
+			t.Errorf("RegByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := RegByName("r32"); err == nil {
+		t.Error("r32 accepted")
+	}
+	if r, err := RegByName("r7"); err != nil || r != 7 {
+		t.Errorf("RegByName(r7) = %v, %v", r, err)
+	}
+}
+
+// Property: RegName and RegByName are inverse for every register.
+func TestPropertyRegNameRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		r := Reg(n % NumRegs)
+		back, err := RegByName(RegName(r))
+		return err == nil && back == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any program built from random straight-line ALU instructions
+// plus a final halt validates, and every instruction disassembles.
+func TestPropertyRandomStraightLineValidates(t *testing.T) {
+	ops := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSlt, OpAddi, OpSll, OpNop}
+	f := func(raw []uint32) bool {
+		b := NewBuilder()
+		for _, r := range raw {
+			op := ops[int(r)%len(ops)]
+			rd := Reg(r >> 8 % NumRegs)
+			rs := Reg(r >> 13 % NumRegs)
+			rt := Reg(r >> 18 % NumRegs)
+			switch op {
+			case OpNop:
+				b.Nop()
+			case OpAddi:
+				b.Addi(rd, rs, int64(int32(r)))
+			case OpSll:
+				b.Sll(rd, rs, int64(r%64))
+			default:
+				b.emit(Instr{Op: op, Rd: rd, Rs: rs, Rt: rt})
+			}
+		}
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for _, in := range p.Code {
+			if in.String() == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,309 @@
+// Package proc implements the simulated processor core: an in-order
+// interpreter of the isa package's instruction set with a configurable
+// issue width for non-memory instructions and blocking memory operations.
+//
+// The paper simulates a 4-wide out-of-order core; as documented in
+// DESIGN.md we substitute an in-order core whose issue width approximates
+// the same non-memory throughput. The synchronization mechanisms under
+// study live entirely in the memory system, which the core drives through
+// the Port interface.
+package proc
+
+import (
+	"fmt"
+
+	"iqolb/internal/engine"
+	"iqolb/internal/isa"
+	"iqolb/internal/mem"
+)
+
+// Port is the processor's view of its cache controller. Access must invoke
+// req.Done exactly once, at the operation's completion cycle.
+type Port interface {
+	Access(req mem.Request)
+}
+
+// Platform provides the services that live outside the node: the hardware
+// barrier and run-completion notification.
+type Platform interface {
+	// Barrier parks the CPU at the barrier episode; release resumes it.
+	Barrier(episode int64, cpu int, release func())
+	// Halted reports that the CPU executed HALT.
+	Halted(cpu int)
+}
+
+// Config parameterizes a CPU.
+type Config struct {
+	// IssueWidth is the number of consecutive non-memory instructions
+	// retired per cycle (Table 1: up to 4 per cycle).
+	IssueWidth int
+	// Seed initializes the per-CPU deterministic RNG behind OpRand.
+	Seed uint64
+}
+
+// CPU is one simulated processor.
+type CPU struct {
+	id     int
+	nprocs int
+	cfg    Config
+	prog   *isa.Program
+	eng    *engine.Engine
+	port   Port
+	plat   Platform
+
+	regs   [isa.NumRegs]uint64
+	pc     int
+	halted bool
+	rng    uint64
+
+	// Statistics.
+	Instructions uint64
+	MemOps       uint64
+	WorkCycles   uint64
+	MemCycles    uint64 // cycles spent with a memory op outstanding
+	SpinResults  uint64 // memory results served from tear-off copies
+	HaltedAt     engine.Time
+}
+
+// New builds a CPU ready to Start.
+func New(id, nprocs int, cfg Config, prog *isa.Program, eng *engine.Engine, port Port, plat Platform) *CPU {
+	if cfg.IssueWidth <= 0 {
+		cfg.IssueWidth = 1
+	}
+	seed := cfg.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1
+	return &CPU{id: id, nprocs: nprocs, cfg: cfg, prog: prog, eng: eng, port: port, plat: plat, rng: seed}
+}
+
+// ID returns the processor number.
+func (c *CPU) ID() int { return c.id }
+
+// Halted reports whether the CPU has executed HALT.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Reg exposes a register value (tests).
+func (c *CPU) Reg(r isa.Reg) uint64 { return c.regs[r] }
+
+// SetReg seeds a register before Start (tests and workload setup).
+func (c *CPU) SetReg(r isa.Reg, v uint64) {
+	if r != isa.R0 {
+		c.regs[r] = v
+	}
+}
+
+// PC exposes the current instruction index (tests).
+func (c *CPU) PC() int { return c.pc }
+
+// Start schedules the first cycle.
+func (c *CPU) Start() {
+	c.eng.After(0, c.step)
+}
+
+func (c *CPU) nextRand(bound int64) uint64 {
+	// xorshift64*: deterministic, fast, stdlib-free.
+	x := c.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	c.rng = x
+	return (x * 0x2545f4914f6cdd1d) >> 1 % uint64(bound)
+}
+
+func (c *CPU) write(r isa.Reg, v uint64) {
+	if r != isa.R0 {
+		c.regs[r] = v
+	}
+}
+
+// step executes one cycle: up to IssueWidth non-memory instructions, or
+// begins one memory / long-latency operation.
+func (c *CPU) step(now engine.Time) {
+	if c.halted {
+		return
+	}
+	for slots := c.cfg.IssueWidth; slots > 0; slots-- {
+		in := c.prog.Code[c.pc]
+		if in.Op.IsMemory() {
+			c.issueMem(in, now)
+			return
+		}
+		switch in.Op {
+		case isa.OpWork:
+			c.Instructions++
+			c.WorkCycles += uint64(in.Imm)
+			c.pc++
+			c.eng.At(now+engine.Time(in.Imm)+1, c.step)
+			return
+		case isa.OpWorkr:
+			c.Instructions++
+			d := c.regs[in.Rs]
+			c.WorkCycles += d
+			c.pc++
+			c.eng.At(now+engine.Time(d)+1, c.step)
+			return
+		case isa.OpBar:
+			c.Instructions++
+			c.pc++
+			c.plat.Barrier(in.Imm, c.id, func() { c.eng.After(1, c.step) })
+			return
+		case isa.OpHalt:
+			c.Instructions++
+			c.halted = true
+			c.HaltedAt = now
+			c.plat.Halted(c.id)
+			return
+		default:
+			c.execALU(in)
+		}
+	}
+	c.eng.At(now+1, c.step)
+}
+
+func (c *CPU) execALU(in isa.Instr) {
+	c.Instructions++
+	rs, rt := c.regs[in.Rs], c.regs[in.Rt]
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		c.write(in.Rd, rs+rt)
+	case isa.OpSub:
+		c.write(in.Rd, rs-rt)
+	case isa.OpMul:
+		c.write(in.Rd, rs*rt)
+	case isa.OpDiv:
+		if rt == 0 {
+			c.write(in.Rd, 0)
+		} else {
+			c.write(in.Rd, uint64(int64(rs)/int64(rt)))
+		}
+	case isa.OpRem:
+		if rt == 0 {
+			c.write(in.Rd, 0)
+		} else {
+			c.write(in.Rd, uint64(int64(rs)%int64(rt)))
+		}
+	case isa.OpAnd:
+		c.write(in.Rd, rs&rt)
+	case isa.OpOr:
+		c.write(in.Rd, rs|rt)
+	case isa.OpXor:
+		c.write(in.Rd, rs^rt)
+	case isa.OpSlt:
+		if int64(rs) < int64(rt) {
+			c.write(in.Rd, 1)
+		} else {
+			c.write(in.Rd, 0)
+		}
+	case isa.OpAddi:
+		c.write(in.Rd, rs+uint64(in.Imm))
+	case isa.OpAndi:
+		c.write(in.Rd, rs&uint64(in.Imm))
+	case isa.OpOri:
+		c.write(in.Rd, rs|uint64(in.Imm))
+	case isa.OpSlti:
+		if int64(rs) < in.Imm {
+			c.write(in.Rd, 1)
+		} else {
+			c.write(in.Rd, 0)
+		}
+	case isa.OpSll:
+		c.write(in.Rd, rs<<uint64(in.Imm))
+	case isa.OpSrl:
+		c.write(in.Rd, rs>>uint64(in.Imm))
+	case isa.OpBeq:
+		if rs == rt {
+			c.pc = in.Target
+			return
+		}
+	case isa.OpBne:
+		if rs != rt {
+			c.pc = in.Target
+			return
+		}
+	case isa.OpBlt:
+		if int64(rs) < int64(rt) {
+			c.pc = in.Target
+			return
+		}
+	case isa.OpBge:
+		if int64(rs) >= int64(rt) {
+			c.pc = in.Target
+			return
+		}
+	case isa.OpJ:
+		c.pc = in.Target
+		return
+	case isa.OpJal:
+		c.write(isa.LR, uint64(c.pc+1))
+		c.pc = in.Target
+		return
+	case isa.OpJr:
+		c.pc = int(rs)
+		return
+	case isa.OpRand:
+		c.write(in.Rd, c.nextRand(in.Imm))
+	case isa.OpCpuid:
+		c.write(in.Rd, uint64(c.id))
+	case isa.OpProcs:
+		c.write(in.Rd, uint64(c.nprocs))
+	default:
+		panic(fmt.Sprintf("proc: P%d pc %d: unhandled opcode %s", c.id, c.pc, in.Op))
+	}
+	c.pc++
+}
+
+func (c *CPU) issueMem(in isa.Instr, now engine.Time) {
+	c.Instructions++
+	c.MemOps++
+	addr := mem.Addr(c.regs[in.Rs] + uint64(in.Imm))
+	if !addr.Aligned() {
+		panic(fmt.Sprintf("proc: P%d pc %d (%s): unaligned address %#x", c.id, c.pc, in.Op, uint64(addr)))
+	}
+	var kind mem.AccessKind
+	var value uint64
+	switch in.Op {
+	case isa.OpLw:
+		kind = mem.Load
+	case isa.OpSw:
+		kind, value = mem.Store, c.regs[in.Rt]
+	case isa.OpLl:
+		kind = mem.LoadLinked
+	case isa.OpSc:
+		kind, value = mem.StoreCond, c.regs[in.Rt]
+	case isa.OpSwap:
+		kind, value = mem.SwapOp, c.regs[in.Rt]
+	case isa.OpEnqolb:
+		kind = mem.EnqolbOp
+	case isa.OpDeqolb:
+		kind = mem.DeqolbOp
+	default:
+		panic(fmt.Sprintf("proc: non-memory op %s in issueMem", in.Op))
+	}
+	pc := c.pc
+	c.pc++
+	c.port.Access(mem.Request{
+		Kind:  kind,
+		Addr:  addr,
+		Value: value,
+		PC:    pc,
+		Done: func(res mem.Result) {
+			done := c.eng.Now()
+			c.MemCycles += uint64(done - now)
+			if res.TearOff {
+				c.SpinResults++
+			}
+			switch in.Op {
+			case isa.OpLw, isa.OpLl, isa.OpEnqolb:
+				c.write(in.Rd, res.Value)
+			case isa.OpSc:
+				if res.OK {
+					c.write(in.Rt, 1)
+				} else {
+					c.write(in.Rt, 0)
+				}
+			case isa.OpSwap:
+				c.write(in.Rt, res.Value)
+			}
+			c.eng.After(1, c.step)
+		},
+	})
+}

@@ -1,0 +1,175 @@
+package qolb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iqolb/internal/mem"
+)
+
+type grantLog struct {
+	grants []mem.NodeID
+}
+
+func (g *grantLog) grant(n mem.NodeID, _ mem.Addr) { g.grants = append(g.grants, n) }
+
+func TestFreeLockGrantedImmediately(t *testing.T) {
+	g := &grantLog{}
+	m := NewManager(g.grant)
+	m.Enqueue(3, 64)
+	if len(g.grants) != 1 || g.grants[0] != 3 {
+		t.Fatalf("grants = %v, want [3]", g.grants)
+	}
+	if h, ok := m.Holder(64); !ok || h != 3 {
+		t.Fatal("holder not recorded")
+	}
+	if m.ImmediateOK != 1 {
+		t.Fatal("immediate grant not counted")
+	}
+}
+
+func TestFIFOHandoff(t *testing.T) {
+	g := &grantLog{}
+	m := NewManager(g.grant)
+	m.Enqueue(0, 64)
+	m.Enqueue(1, 64)
+	m.Enqueue(2, 64)
+	if m.QueueLen(64) != 2 {
+		t.Fatalf("queue len = %d, want 2", m.QueueLen(64))
+	}
+	m.Release(0, 64)
+	m.Release(1, 64)
+	m.Release(2, 64)
+	want := []mem.NodeID{0, 1, 2}
+	if len(g.grants) != 3 {
+		t.Fatalf("grants = %v", g.grants)
+	}
+	for i, n := range want {
+		if g.grants[i] != n {
+			t.Fatalf("grant order %v, want %v", g.grants, want)
+		}
+	}
+	if _, held := m.Holder(64); held {
+		t.Fatal("lock still held after final release")
+	}
+	if m.Handoffs != 2 || m.FreeReleases != 1 {
+		t.Fatalf("handoffs/free = %d/%d, want 2/1", m.Handoffs, m.FreeReleases)
+	}
+}
+
+func TestIndependentLocks(t *testing.T) {
+	g := &grantLog{}
+	m := NewManager(g.grant)
+	m.Enqueue(0, 64)
+	m.Enqueue(1, 128)
+	if len(g.grants) != 2 {
+		t.Fatal("distinct locks interfered")
+	}
+}
+
+func TestReleaseWithoutHoldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewManager(func(mem.NodeID, mem.Addr) {}).Release(0, 64)
+}
+
+func TestDoubleEnqueuePanics(t *testing.T) {
+	m := NewManager(func(mem.NodeID, mem.Addr) {})
+	m.Enqueue(0, 64)
+	m.Enqueue(1, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	m.Enqueue(1, 64)
+}
+
+func TestHolderReEnqueuePanics(t *testing.T) {
+	m := NewManager(func(mem.NodeID, mem.Addr) {})
+	m.Enqueue(0, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	m.Enqueue(0, 64)
+}
+
+// Property: for any permutation of enqueuers, grants happen in exact
+// enqueue order and every node is granted exactly once.
+func TestPropertyFIFOOrder(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed%16) + 2
+		g := &grantLog{}
+		m := NewManager(g.grant)
+		for i := 0; i < n; i++ {
+			m.Enqueue(mem.NodeID(i), 64)
+		}
+		for i := 0; i < n; i++ {
+			m.Release(mem.NodeID(i), 64)
+		}
+		if len(g.grants) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if g.grants[i] != mem.NodeID(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the manager always agrees with a straightforward reference
+// model (holder identity and queue length) under random enqueue/release
+// interleavings.
+func TestPropertyMatchesReferenceModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := NewManager(func(mem.NodeID, mem.Addr) {})
+		var refHolder mem.NodeID = -99
+		var refQueue []mem.NodeID
+		inSystem := map[mem.NodeID]bool{}
+		for _, op := range ops {
+			node := mem.NodeID(op % 8)
+			if !inSystem[node] {
+				m.Enqueue(node, 64)
+				inSystem[node] = true
+				if refHolder == -99 {
+					refHolder = node
+				} else {
+					refQueue = append(refQueue, node)
+				}
+			} else if refHolder == node {
+				m.Release(node, 64)
+				delete(inSystem, node)
+				if len(refQueue) > 0 {
+					refHolder = refQueue[0]
+					refQueue = refQueue[1:]
+				} else {
+					refHolder = -99
+				}
+			}
+			h, held := m.Holder(64)
+			if held != (refHolder != -99) {
+				return false
+			}
+			if held && h != refHolder {
+				return false
+			}
+			if m.QueueLen(64) != len(refQueue) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

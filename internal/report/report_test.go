@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := NewTable("T", "name", "value").
+		Row("short", 1).
+		Row("a-much-longer-name", 123.456).
+		Note("footnote here").
+		String()
+	lines := strings.Split(out, "\n")
+	if lines[0] != "T" {
+		t.Fatalf("title missing: %q", lines[0])
+	}
+	if !strings.Contains(out, "123.46") {
+		t.Errorf("float not formatted: %s", out)
+	}
+	if !strings.Contains(out, "note: footnote here") {
+		t.Errorf("note missing: %s", out)
+	}
+	// Column two must start at the same offset in both rows.
+	var idx []int
+	for _, l := range lines {
+		if strings.Contains(l, "short") || strings.Contains(l, "a-much-longer") {
+			idx = append(idx, strings.IndexAny(l, "1"))
+		}
+	}
+	if len(idx) != 2 || idx[0] != idx[1] {
+		t.Errorf("columns misaligned: %v\n%s", idx, out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	out := NewTable("", "a").Row("x", "extra", "cells").String()
+	if !strings.Contains(out, "cells") {
+		t.Errorf("ragged row dropped: %s", out)
+	}
+}
+
+func TestKVSections(t *testing.T) {
+	out := NewKV("Config").
+		Section("Processor").
+		Add("width", "%d", 4).
+		Section("Cache").
+		Add("L1", "%s", "64KB").
+		String()
+	if !strings.Contains(out, "[Processor]") || !strings.Contains(out, "[Cache]") {
+		t.Errorf("sections missing: %s", out)
+	}
+	if !strings.Contains(out, "width") || !strings.Contains(out, "64KB") {
+		t.Errorf("pairs missing: %s", out)
+	}
+}

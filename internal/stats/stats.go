@@ -1,0 +1,174 @@
+// Package stats collects the measurements the experiment harness reports:
+// coherence-transaction counts by kind, data-network traffic, LL/SC
+// outcomes, lock events, and latency histograms.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram is a simple power-of-two-bucketed latency histogram.
+type Histogram struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	buckets map[int]uint64 // bucket i covers [2^i, 2^(i+1))
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	if h.buckets == nil {
+		h.buckets = make(map[int]uint64)
+	}
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	b := 0
+	for x := v; x > 1; x >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+}
+
+// Mean returns the average sample, or zero with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// String renders "count mean [min,max]" plus the occupied buckets.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	var keys []int
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d mean=%.1f min=%d max=%d", h.Count, h.Mean(), h.Min, h.Max)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, " [2^%d:%d]", k, h.buckets[k])
+	}
+	return sb.String()
+}
+
+// Node aggregates per-node (per-controller) counters.
+type Node struct {
+	// Address-bus transactions issued by this node, by kind index
+	// (mem.TxKind). Sized generously to avoid importing mem here.
+	TxIssued [8]uint64
+
+	// Data-network messages sent by this node, by kind index
+	// (mem.DataKind).
+	DataSent [8]uint64
+
+	// LL/SC outcomes observed at the controller.
+	LLCount     uint64
+	SCSuccess   uint64
+	SCFail      uint64
+	SwapCount   uint64
+	LoadCount   uint64
+	StoreCount  uint64
+	LocalSpins  uint64 // LLs satisfied locally while waiting (tear-off or S copy)
+	TearOffsIn  uint64
+	TearOffsOut uint64
+
+	// Delay machinery.
+	DelaysStarted   uint64
+	DelaysReleased  uint64 // ended by SC completion or lock release
+	DelayTimeouts   uint64
+	DelayEvictions  uint64 // delayed line evicted: treated as timeout
+	QueueBreakdowns uint64 // retention off: waiters squashed by a plain RFO
+	RetentionTrips  uint64 // retention on: line loaned out and returned
+
+	// Lock-level events (IQOLB policy view).
+	LockAcquires    uint64
+	LockReleases    uint64
+	PredictorHits   uint64
+	PredictorMisses uint64
+
+	// Explicit QOLB events.
+	QOLBEnqueues uint64
+	QOLBHandoffs uint64
+
+	// L1/L2 hit accounting is kept in the cache arrays; controllers fold
+	// them in at report time.
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+}
+
+// Machine aggregates a whole run.
+type Machine struct {
+	Nodes []Node
+
+	// Global clock at completion.
+	Cycles uint64
+
+	// Address bus.
+	BusTransactions uint64
+	BusBusyCycles   uint64
+	BusMaxQueue     int
+
+	// Memory controller.
+	MemReads      uint64
+	MemWritebacks uint64
+
+	// Latency distributions.
+	LockHandoff Histogram // release -> next acquire completion
+	AcquireWait Histogram // acquire start -> critical section entry
+	MissLatency Histogram // controller miss -> fill
+}
+
+// NewMachine sizes the per-node slice.
+func NewMachine(nodes int) *Machine {
+	return &Machine{Nodes: make([]Node, nodes)}
+}
+
+// TotalTx sums address transactions of kind k across nodes.
+func (m *Machine) TotalTx(kind int) uint64 {
+	var sum uint64
+	for i := range m.Nodes {
+		sum += m.Nodes[i].TxIssued[kind]
+	}
+	return sum
+}
+
+// TotalData sums data messages of kind k across nodes.
+func (m *Machine) TotalData(kind int) uint64 {
+	var sum uint64
+	for i := range m.Nodes {
+		sum += m.Nodes[i].DataSent[kind]
+	}
+	return sum
+}
+
+// Total folds a per-node accessor across nodes.
+func (m *Machine) Total(f func(*Node) uint64) uint64 {
+	var sum uint64
+	for i := range m.Nodes {
+		sum += f(&m.Nodes[i])
+	}
+	return sum
+}
+
+// SCFailureRate returns failed SCs / all SCs, or 0 with none.
+func (m *Machine) SCFailureRate() float64 {
+	ok := m.Total(func(n *Node) uint64 { return n.SCSuccess })
+	fail := m.Total(func(n *Node) uint64 { return n.SCFail })
+	if ok+fail == 0 {
+		return 0
+	}
+	return float64(fail) / float64(ok+fail)
+}

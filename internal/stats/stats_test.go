@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.String() != "n=0" {
+		t.Fatal("empty histogram misbehaves")
+	}
+	for _, v := range []uint64{1, 2, 3, 10, 100} {
+		h.Add(v)
+	}
+	if h.Count != 5 || h.Min != 1 || h.Max != 100 || h.Sum != 116 {
+		t.Fatalf("histogram stats wrong: %+v", h)
+	}
+	if h.Mean() != 116.0/5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if !strings.Contains(h.String(), "n=5") {
+		t.Fatalf("string: %s", h.String())
+	}
+}
+
+// Property: Count equals the number of Adds, Sum equals their total, and
+// Min/Max bound every sample.
+func TestPropertyHistogram(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Histogram
+		var sum uint64
+		for _, v := range vals {
+			h.Add(uint64(v))
+			sum += uint64(v)
+		}
+		if h.Count != uint64(len(vals)) || h.Sum != sum {
+			return false
+		}
+		for _, v := range vals {
+			if uint64(v) < h.Min || uint64(v) > h.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineTotals(t *testing.T) {
+	m := NewMachine(3)
+	m.Nodes[0].TxIssued[1] = 5
+	m.Nodes[2].TxIssued[1] = 7
+	if m.TotalTx(1) != 12 {
+		t.Fatalf("TotalTx = %d, want 12", m.TotalTx(1))
+	}
+	m.Nodes[1].DataSent[2] = 4
+	if m.TotalData(2) != 4 {
+		t.Fatalf("TotalData = %d", m.TotalData(2))
+	}
+	m.Nodes[0].SCSuccess, m.Nodes[0].SCFail = 3, 1
+	m.Nodes[1].SCFail = 1
+	if got := m.SCFailureRate(); got != 0.4 {
+		t.Fatalf("SCFailureRate = %v, want 0.4", got)
+	}
+	if m.Total(func(n *Node) uint64 { return n.SCSuccess }) != 3 {
+		t.Fatal("Total accessor wrong")
+	}
+}
+
+func TestSCFailureRateEmpty(t *testing.T) {
+	if NewMachine(2).SCFailureRate() != 0 {
+		t.Fatal("empty rate not zero")
+	}
+}

@@ -1,0 +1,62 @@
+package synclib
+
+import (
+	"iqolb/internal/isa"
+	"iqolb/internal/mem"
+)
+
+// CentralBarrier emits a centralized sense-reversing software barrier
+// built on LL/SC — one of the uses the paper names for the primitive (§2).
+// The arrival count lives at Addr and the global sense flag one cache line
+// later (Addr+LineSize): putting the polled sense word in the line being
+// atomically incremented would make every sense poll hit the arrivers'
+// LL→SC delay window under the LPRFO modes and be answered uncached. Each
+// processor keeps its local sense in a dedicated register across episodes.
+//
+// Under the delayed-response hardware the LL/SC arrival increments pipeline
+// through the LPRFO queue with one bus transaction each, which is exactly
+// the paper's Fetch&Phi argument applied to barriers.
+type CentralBarrier struct {
+	// Addr is the barrier's base address (count word; sense one line later).
+	Addr mem.Addr
+	// Procs is the participant count.
+	Procs int
+}
+
+// SenseReg is the register the emitted code uses for the processor-local
+// sense; kernels using CentralBarrier must not clobber it between
+// episodes. R25 is unused by the lock emitters and the kernel generators.
+const SenseReg = isa.Reg(25)
+
+// EmitInit emits one-time setup (local sense starts at 1, matching an
+// initial global sense of 0 meaning "phase not yet released").
+func (cb CentralBarrier) EmitInit(b *isa.Builder) {
+	b.Li(SenseReg, 1)
+}
+
+// Emit emits one barrier episode. Clobbers T0–T3 and A0.
+func (cb CentralBarrier) Emit(b *isa.Builder) {
+	l := b.Scope("cbar")
+	b.Li(isa.A0, int64(cb.Addr)).
+		// t2 = fetch&add(count, 1) + 1
+		Label(l("fa")).
+		Ll(isa.T2, 0, isa.A0).
+		Addi(isa.T0, isa.T2, 1).
+		Mov(isa.T2, isa.T0).
+		Sc(isa.T0, 0, isa.A0).
+		Beq(isa.T0, isa.R0, l("fa")).
+		// Last arriver resets the count and flips the global sense.
+		Li(isa.T1, int64(cb.Procs)).
+		Bne(isa.T2, isa.T1, l("wait")).
+		Sw(isa.R0, 0, isa.A0).
+		Sw(SenseReg, int64(mem.LineSize), isa.A0).
+		J(l("done")).
+		// Everyone else spins until the global sense matches theirs.
+		Label(l("wait")).
+		Lw(isa.T3, int64(mem.LineSize), isa.A0).
+		Bne(isa.T3, SenseReg, l("wait")).
+		Label(l("done")).
+		// Flip the local sense for the next episode.
+		Li(isa.T0, 1).
+		Xor(SenseReg, SenseReg, isa.T0)
+}

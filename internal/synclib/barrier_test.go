@@ -1,0 +1,141 @@
+package synclib
+
+import (
+	"testing"
+
+	"iqolb/internal/core"
+	"iqolb/internal/isa"
+	"iqolb/internal/machine"
+	"iqolb/internal/mem"
+)
+
+const (
+	barrierAddr = mem.Addr(0x8000)
+	phaseBase   = mem.Addr(0x9000) // one counter line per phase
+)
+
+// barrierProgram makes every CPU increment phase counter k (under LL/SC)
+// and cross the software barrier, for K phases. If the barrier leaks, a
+// processor increments phase k+1 before everyone finished k; the test
+// catches that by having each CPU verify the full count for the phase it
+// just left.
+func barrierProgram(t *testing.T, procs, phases int) *isa.Program {
+	t.Helper()
+	cb := CentralBarrier{Addr: barrierAddr, Procs: procs}
+	b := isa.NewBuilder()
+	cb.EmitInit(b)
+	b.Li(isa.S0, 0).
+		Li(isa.S1, int64(phases)).
+		Li(isa.S2, int64(phaseBase)).
+		Li(isa.S3, 0) // error flag
+	b.Label("phase")
+	// a1 = &phaseCounter[s0]
+	b.Sll(isa.T4, isa.S0, 6).
+		Add(isa.A1, isa.S2, isa.T4)
+	l := b.Scope("inc")
+	b.Label(l("fa")).
+		Ll(isa.T1, 0, isa.A1).
+		Addi(isa.T1, isa.T1, 1).
+		Sc(isa.T1, 0, isa.A1).
+		Beq(isa.T1, isa.R0, l("fa"))
+	cb.Emit(b)
+	// After the barrier the phase counter must read exactly procs.
+	b.Lw(isa.T5, 0, isa.A1).
+		Li(isa.T6, int64(procs)).
+		Beq(isa.T5, isa.T6, "ok")
+	b.Li(isa.S3, 1) // leak detected
+	b.Label("ok").
+		Addi(isa.S0, isa.S0, 1).
+		Blt(isa.S0, isa.S1, "phase").
+		// Publish the error flag at a per-cpu address.
+		Cpuid(isa.T0).
+		Sll(isa.T0, isa.T0, 3).
+		Li(isa.T1, 0xA000).
+		Add(isa.T1, isa.T1, isa.T0).
+		Sw(isa.S3, 0, isa.T1).
+		Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCentralBarrierSynchronizes(t *testing.T) {
+	const procs, phases = 8, 6
+	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeDelayed, core.ModeIQOLB} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := machine.DefaultConfig(procs, mode)
+			cfg.CycleLimit = 100_000_000
+			m, err := machine.New(cfg, barrierProgram(t, procs, phases), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.HitLimit {
+				t.Fatal("barrier deadlocked")
+			}
+			for i := 0; i < procs; i++ {
+				if m.Peek(mem.Addr(0xA000+8*i)) != 0 {
+					t.Fatalf("cpu %d crossed the barrier before all arrived", i)
+				}
+			}
+			for k := 0; k < phases; k++ {
+				if got := m.Peek(phaseBase + mem.Addr(k*64)); got != procs {
+					t.Fatalf("phase %d counter = %d, want %d", k, got, procs)
+				}
+			}
+			// The count word must have been reset by the last episode.
+			if got := m.Peek(barrierAddr); got != 0 {
+				t.Fatalf("barrier count = %d after final episode, want 0", got)
+			}
+		})
+	}
+}
+
+func TestCentralBarrierSingleProc(t *testing.T) {
+	cfg := machine.DefaultConfig(1, core.ModeBaseline)
+	cfg.CycleLimit = 10_000_000
+	m, err := machine.New(cfg, barrierProgram(t, 1, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitLimit {
+		t.Fatal("single-proc barrier hung")
+	}
+}
+
+func TestBarrierFasterUnderDelayedResponse(t *testing.T) {
+	// The paper's §2 point: LL/SC software barriers benefit from the
+	// delayed-response hardware because the arrival Fetch&Add pipelines
+	// with no SC retries.
+	const procs, phases = 12, 8
+	run := func(mode core.Mode) uint64 {
+		cfg := machine.DefaultConfig(procs, mode)
+		cfg.CycleLimit = 100_000_000
+		m, err := machine.New(cfg, barrierProgram(t, procs, phases), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HitLimit {
+			t.Fatal("hung")
+		}
+		return res.Cycles
+	}
+	base := run(core.ModeBaseline)
+	delayed := run(core.ModeDelayed)
+	if delayed >= base {
+		t.Fatalf("delayed-response barrier (%d cycles) not faster than baseline (%d)", delayed, base)
+	}
+}

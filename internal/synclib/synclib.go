@@ -1,0 +1,186 @@
+// Package synclib emits the synchronization routines the workloads run, as
+// sequences of the simulated ISA. The same TTS routine serves four of the
+// paper's configurations unchanged — baseline, aggressive baseline, delayed
+// response and IQOLB differ only in the hardware mode — which is exactly
+// the paper's "no change to existing software" claim. QOLB uses the
+// explicit EnQOLB/DeQOLB instructions; the ticket and MCS locks are the
+// classic software alternatives included for the extension studies.
+package synclib
+
+import (
+	"fmt"
+
+	"iqolb/internal/isa"
+	"iqolb/internal/mem"
+)
+
+// Lock is a code generator for one lock primitive. Acquire and Release
+// emit code operating on the lock whose base byte address is in the `lock`
+// register; both clobber T0–T3 and assume each lock occupies its own cache
+// line.
+type Lock interface {
+	Name() string
+	Acquire(b *isa.Builder, lock isa.Reg)
+	Release(b *isa.Builder, lock isa.Reg)
+}
+
+// TTS is test&test&set over LL/SC: spin reading until the lock looks free,
+// then try a conditional store (the paper's software baseline, §4).
+type TTS struct{}
+
+// Name implements Lock.
+func (TTS) Name() string { return "tts" }
+
+// Acquire implements Lock.
+func (TTS) Acquire(b *isa.Builder, lock isa.Reg) {
+	l := b.Scope("tts.acq")
+	b.Label(l("spin")).
+		Ll(isa.T1, 0, lock).
+		Bne(isa.T1, isa.R0, l("spin")). // lock held: keep testing
+		Li(isa.T0, 1).
+		Sc(isa.T0, 0, lock).
+		Beq(isa.T0, isa.R0, l("spin")) // SC failed: retry
+}
+
+// Release implements Lock.
+func (TTS) Release(b *isa.Builder, lock isa.Reg) {
+	b.Sw(isa.R0, 0, lock)
+}
+
+// QOLB uses the explicit EnQOLB/DeQOLB instructions: the hardware queue
+// grants the lock directly, so no spin loop is needed in software.
+type QOLB struct{}
+
+// Name implements Lock.
+func (QOLB) Name() string { return "qolb" }
+
+// Acquire implements Lock.
+func (QOLB) Acquire(b *isa.Builder, lock isa.Reg) {
+	b.Enqolb(isa.T0, 0, lock)
+}
+
+// Release implements Lock.
+func (QOLB) Release(b *isa.Builder, lock isa.Reg) {
+	b.Deqolb(0, lock)
+}
+
+// Ticket is the classic ticket lock: Fetch&Add on the next-ticket word,
+// then spin until now-serving reaches the ticket. Layout: word 0 =
+// next-ticket, word 1 = now-serving (both in the lock's line).
+type Ticket struct{}
+
+// Name implements Lock.
+func (Ticket) Name() string { return "ticket" }
+
+// Acquire implements Lock.
+func (Ticket) Acquire(b *isa.Builder, lock isa.Reg) {
+	l := b.Scope("ticket.acq")
+	// t2 = fetch&add(lock[0], 1)
+	b.Label(l("fa")).
+		Ll(isa.T2, 0, lock).
+		Addi(isa.T0, isa.T2, 1).
+		Sc(isa.T0, 0, lock).
+		Beq(isa.T0, isa.R0, l("fa")).
+		// spin until lock[1] == t2
+		Label(l("spin")).
+		Lw(isa.T1, int64(mem.WordSize), lock).
+		Bne(isa.T1, isa.T2, l("spin"))
+}
+
+// Release implements Lock.
+func (Ticket) Release(b *isa.Builder, lock isa.Reg) {
+	b.Lw(isa.T0, int64(mem.WordSize), lock).
+		Addi(isa.T0, isa.T0, 1).
+		Sw(isa.T0, int64(mem.WordSize), lock)
+}
+
+// MCS is the Mellor-Crummey/Scott queue lock in software: a swap on the
+// tail pointer enqueues; each waiter spins on its own queue node. Queue
+// nodes live at QNodeBase + cpuid*LineSize with word 0 = next pointer
+// (stored as the node's byte address; 0 = none) and word 1 = locked flag.
+//
+// Acquire leaves the caller's node address in S6, which Release consumes:
+// MCS acquire/release pairs must therefore not nest over another MCS lock.
+type MCS struct {
+	// QNodeBase is the byte address of the per-processor queue-node
+	// array. It must be line-aligned and leave LineSize bytes per CPU.
+	QNodeBase uint64
+}
+
+// Name implements Lock.
+func (MCS) Name() string { return "mcs" }
+
+// Acquire implements Lock.
+func (m MCS) Acquire(b *isa.Builder, lock isa.Reg) {
+	l := b.Scope("mcs.acq")
+	// s6 = my qnode address
+	b.Cpuid(isa.T0).
+		Sll(isa.T0, isa.T0, 6). // * LineSize
+		Li(isa.S6, int64(m.QNodeBase)).
+		Add(isa.S6, isa.S6, isa.T0).
+		// node.next = 0; node.locked = 1
+		Sw(isa.R0, 0, isa.S6).
+		Li(isa.T1, 1).
+		Sw(isa.T1, int64(mem.WordSize), isa.S6).
+		// pred = swap(tail, node)
+		Mov(isa.T2, isa.S6).
+		Swap(isa.T2, 0, lock).
+		// no predecessor: lock acquired
+		Beq(isa.T2, isa.R0, l("done")).
+		// pred.next = node, then spin on our own locked flag
+		Sw(isa.S6, 0, isa.T2).
+		Label(l("spin")).
+		Lw(isa.T3, int64(mem.WordSize), isa.S6).
+		Bne(isa.T3, isa.R0, l("spin")).
+		Label(l("done"))
+}
+
+// Release implements Lock.
+func (m MCS) Release(b *isa.Builder, lock isa.Reg) {
+	l := b.Scope("mcs.rel")
+	b.Lw(isa.T0, 0, isa.S6). // next
+					Bne(isa.T0, isa.R0, l("handoff")).
+		// No visible successor: try CAS(tail, node, 0).
+		Label(l("cas")).
+		Ll(isa.T1, 0, lock).
+		Bne(isa.T1, isa.S6, l("waitnext")). // someone enqueued behind us
+		Li(isa.T2, 0).
+		Sc(isa.T2, 0, lock).
+		Beq(isa.T2, isa.R0, l("cas")).
+		J(l("done")).
+		// A successor is linking itself: wait for node.next.
+		Label(l("waitnext")).
+		Lw(isa.T0, 0, isa.S6).
+		Beq(isa.T0, isa.R0, l("waitnext")).
+		Label(l("handoff")).
+		Sw(isa.R0, int64(mem.WordSize), isa.T0). // next.locked = 0
+		Label(l("done"))
+}
+
+// Primitive names a software/hardware experiment configuration's lock.
+type Primitive string
+
+// The primitives exposed to the workload generators and CLI tools.
+const (
+	PrimTTS    Primitive = "tts"
+	PrimQOLB   Primitive = "qolb"
+	PrimTicket Primitive = "ticket"
+	PrimMCS    Primitive = "mcs"
+)
+
+// New returns the emitter for a primitive. MCS needs the machine's qnode
+// area base.
+func New(p Primitive, mcsQNodeBase uint64) (Lock, error) {
+	switch p {
+	case PrimTTS:
+		return TTS{}, nil
+	case PrimQOLB:
+		return QOLB{}, nil
+	case PrimTicket:
+		return Ticket{}, nil
+	case PrimMCS:
+		return MCS{QNodeBase: mcsQNodeBase}, nil
+	default:
+		return nil, fmt.Errorf("synclib: unknown primitive %q", p)
+	}
+}

@@ -1,0 +1,208 @@
+// Package trace records coherence-level message sequences so the paper's
+// timeline figures (Figure 2: traditional LL/SC; Figure 3: delayed
+// response; Figure 4: IQOLB) can be regenerated as message-sequence charts
+// for a chosen cache line.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"iqolb/internal/engine"
+	"iqolb/internal/mem"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// EvTxIssue: a node wins bus arbitration for a transaction.
+	EvTxIssue Kind = iota
+	// EvTxObserve: the transaction becomes globally visible (the
+	// coherence point, AddrLatency after issue).
+	EvTxObserve
+	// EvDataSend: a data-network message leaves a node or memory.
+	EvDataSend
+	// EvDataRecv: a data-network message arrives.
+	EvDataRecv
+	// EvDelayStart: a supplier begins delaying a response (the paper's Δ).
+	EvDelayStart
+	// EvDelayEnd: the delayed response is finally sent.
+	EvDelayEnd
+	// EvTimeout: the time-out mechanism forced a delayed response out.
+	EvTimeout
+	// EvLL / EvSCOk / EvSCFail / EvStore: processor-side events on the
+	// traced line.
+	EvLL
+	EvSCOk
+	EvSCFail
+	EvStore
+	// EvSpin: an LL satisfied locally while waiting (local spinning).
+	EvSpin
+	// EvAcquire / EvRelease: policy-level lock events.
+	EvAcquire
+	EvRelease
+	// EvSquash: a queued LPRFO was squashed (queue breakdown).
+	EvSquash
+)
+
+var kindNames = [...]string{
+	"tx-issue", "tx-observe", "data-send", "data-recv",
+	"delay-start", "delay-end", "timeout",
+	"LL", "SC-ok", "SC-fail", "ST", "spin",
+	"acquire", "release", "squash",
+}
+
+// String returns the event mnemonic.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   engine.Time
+	Kind Kind
+	Node mem.NodeID // acting node
+	Peer mem.NodeID // counterparty for messages (dest of send, src of recv)
+	Line mem.LineID
+	Tx   mem.TxKind   // valid for tx events
+	Data mem.DataKind // valid for data events
+	Note string
+}
+
+// String renders one event as a line of the sequence chart.
+func (e Event) String() string {
+	var desc string
+	switch e.Kind {
+	case EvTxIssue:
+		desc = fmt.Sprintf("%s --%s--> bus", e.Node, e.Tx)
+	case EvTxObserve:
+		desc = fmt.Sprintf("bus: %s(%s) observed globally", e.Tx, e.Node)
+	case EvDataSend:
+		desc = fmt.Sprintf("%s ==%s==> %s", e.Node, e.Data, e.Peer)
+	case EvDataRecv:
+		desc = fmt.Sprintf("%s <=%s=== %s", e.Node, e.Data, e.Peer)
+	case EvDelayStart:
+		desc = fmt.Sprintf("%s delays response to %s (Δ begins)", e.Node, e.Peer)
+	case EvDelayEnd:
+		desc = fmt.Sprintf("%s ends delay, serving %s", e.Node, e.Peer)
+	case EvTimeout:
+		desc = fmt.Sprintf("%s time-out fires, forwarding to %s", e.Node, e.Peer)
+	case EvLL, EvSCOk, EvSCFail, EvStore, EvSpin, EvAcquire, EvRelease:
+		desc = fmt.Sprintf("%s: %s", e.Node, e.Kind)
+	case EvSquash:
+		desc = fmt.Sprintf("%s: queued request squashed", e.Node)
+	default:
+		desc = fmt.Sprintf("%s: %s", e.Node, e.Kind)
+	}
+	if e.Note != "" {
+		desc += " (" + e.Note + ")"
+	}
+	return fmt.Sprintf("t=%-8d %s", uint64(e.At), desc)
+}
+
+// Recorder collects events for a single traced line. A nil Recorder is
+// valid and records nothing, so controllers can call it unconditionally.
+type Recorder struct {
+	line   mem.LineID
+	all    bool
+	Events []Event
+}
+
+// NewRecorder traces only the given line.
+func NewRecorder(line mem.LineID) *Recorder { return &Recorder{line: line} }
+
+// NewRecorderAll traces every line.
+func NewRecorderAll() *Recorder { return &Recorder{all: true} }
+
+// Wants reports whether events for the line should be recorded.
+func (r *Recorder) Wants(line mem.LineID) bool {
+	return r != nil && (r.all || line == r.line)
+}
+
+// Add records one event if the recorder is active for its line.
+func (r *Recorder) Add(e Event) {
+	if r.Wants(e.Line) {
+		r.Events = append(r.Events, e)
+	}
+}
+
+// Render produces the full sequence chart. Runs of consecutive local-spin
+// events by the same node collapse into a single annotated line.
+func (r *Recorder) Render() string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	evs := r.Events
+	for i := 0; i < len(evs); i++ {
+		e := evs[i]
+		if e.Kind == EvSpin {
+			j := i
+			for j+1 < len(evs) && evs[j+1].Kind == EvSpin && evs[j+1].Node == e.Node {
+				j++
+			}
+			if j > i {
+				sb.WriteString(fmt.Sprintf("t=%-8d %s: local spinning (x%d, until t=%d)\n",
+					uint64(e.At), e.Node, j-i+1, uint64(evs[j].At)))
+				i = j
+				continue
+			}
+		}
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderColumns produces a per-processor columnar chart in the style of the
+// paper's figures: one column per node (plus memory), one row per event.
+func (r *Recorder) RenderColumns(nodes int) string {
+	if r == nil {
+		return ""
+	}
+	const width = 14
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-10s", "cycle"))
+	for i := 0; i < nodes; i++ {
+		sb.WriteString(fmt.Sprintf("%-*s", width, fmt.Sprintf("P%d", i)))
+	}
+	sb.WriteString("event\n")
+	for _, e := range r.Events {
+		sb.WriteString(fmt.Sprintf("%-10d", uint64(e.At)))
+		for i := 0; i < nodes; i++ {
+			cell := ""
+			if e.Node == mem.NodeID(i) {
+				switch e.Kind {
+				case EvTxIssue:
+					cell = e.Tx.String() + ">"
+				case EvDataSend:
+					cell = e.Data.String() + ">" + e.Peer.String()
+				case EvDataRecv:
+					cell = "<" + e.Data.String()
+				default:
+					cell = e.Kind.String()
+				}
+			}
+			sb.WriteString(fmt.Sprintf("%-*s", width, cell))
+		}
+		sb.WriteString(e.String()[11:])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Counts tallies events by kind, for assertions in tests and benches.
+func (r *Recorder) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	if r == nil {
+		return out
+	}
+	for _, e := range r.Events {
+		out[e.Kind]++
+	}
+	return out
+}

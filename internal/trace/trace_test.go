@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"iqolb/internal/mem"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	if r.Wants(3) {
+		t.Fatal("nil recorder wants events")
+	}
+	r.Add(Event{Line: 3}) // must not panic
+	if r.Render() != "" {
+		t.Fatal("nil recorder rendered text")
+	}
+	if len(r.Counts()) != 0 {
+		t.Fatal("nil recorder counted events")
+	}
+}
+
+func TestLineFilter(t *testing.T) {
+	r := NewRecorder(7)
+	r.Add(Event{At: 1, Kind: EvLL, Node: 0, Line: 7})
+	r.Add(Event{At: 2, Kind: EvLL, Node: 0, Line: 8}) // filtered out
+	if len(r.Events) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(r.Events))
+	}
+	all := NewRecorderAll()
+	all.Add(Event{At: 1, Kind: EvLL, Line: 7})
+	all.Add(Event{At: 2, Kind: EvLL, Line: 8})
+	if len(all.Events) != 2 {
+		t.Fatal("all-recorder filtered")
+	}
+}
+
+func TestRenderShapes(t *testing.T) {
+	r := NewRecorder(1)
+	r.Add(Event{At: 10, Kind: EvTxIssue, Node: 1, Line: 1, Tx: mem.TxLPRFO})
+	r.Add(Event{At: 22, Kind: EvTxObserve, Node: 1, Line: 1, Tx: mem.TxLPRFO})
+	r.Add(Event{At: 30, Kind: EvDelayStart, Node: 0, Peer: 1, Line: 1})
+	r.Add(Event{At: 95, Kind: EvDataSend, Node: 0, Peer: 1, Line: 1, Data: mem.DataTearOff})
+	r.Add(Event{At: 135, Kind: EvDataRecv, Node: 1, Peer: 0, Line: 1, Data: mem.DataTearOff})
+	r.Add(Event{At: 140, Kind: EvSpin, Node: 1, Line: 1})
+	r.Add(Event{At: 200, Kind: EvTimeout, Node: 0, Peer: 1, Line: 1})
+	out := r.Render()
+	for _, want := range []string{
+		"P1 --LPRFO--> bus",
+		"LPRFO(P1) observed globally",
+		"P0 delays response to P1",
+		"P0 ==TearOff==> P1",
+		"P1 <=TearOff=== P0",
+		"P1: spin",
+		"time-out fires",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	cols := r.RenderColumns(2)
+	if !strings.Contains(cols, "P0") || !strings.Contains(cols, "LPRFO>") {
+		t.Errorf("columns malformed:\n%s", cols)
+	}
+	counts := r.Counts()
+	if counts[EvTxIssue] != 1 || counts[EvSpin] != 1 {
+		t.Fatalf("counts wrong: %v", counts)
+	}
+}
+
+func TestEventNote(t *testing.T) {
+	e := Event{At: 5, Kind: EvSCOk, Node: 2, Note: "lock acquired"}
+	if !strings.Contains(e.String(), "(lock acquired)") {
+		t.Fatalf("note missing: %s", e.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := EvTxIssue; k <= EvSquash; k++ {
+		if strings.Contains(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

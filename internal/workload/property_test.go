@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iqolb/internal/core"
+	"iqolb/internal/machine"
+	"iqolb/internal/synclib"
+)
+
+// Property: for ANY small random synchronization signature, under ANY
+// hardware mode, the protected counters account for exactly every critical
+// section — the machine never loses or duplicates work. This is the
+// broadest end-to-end correctness net in the suite.
+func TestPropertyRandomSignaturesExact(t *testing.T) {
+	modes := []core.Mode{core.ModeBaseline, core.ModeAggressive, core.ModeDelayed, core.ModeIQOLB}
+	prims := []synclib.Primitive{synclib.PrimTTS, synclib.PrimTicket, synclib.PrimMCS, synclib.PrimQOLB}
+	count := 0
+	f := func(seed uint32) bool {
+		count++
+		rng := seed
+		next := func(n uint32) int {
+			rng = rng*1664525 + 1013904223
+			return int(rng % n)
+		}
+		procs := 2 + next(4) // 2..5
+		p := Params{
+			Iterations:      1 + next(2),      // 1..2
+			Locks:           1 + next(5),      // 1..5
+			HotPct:          next(101),        // 0..100
+			CSWork:          int64(next(40)),  // 0..39
+			ThinkWork:       int64(next(120)), // 0..119
+			ThinkJitter:     int64(next(60)),  // 0..59
+			PrivateLines:    next(3),          // 0..2
+			PrivateStream:   next(2) == 1,
+			BarriersPerIter: next(2),
+			CSWrites:        1 + next(3), // 1..3
+			Collocate:       next(2) == 1,
+			LocksPerLine:    1 + next(2), // 1..2
+		}
+		if p.Collocate && p.LocksPerLine > 1 {
+			p.LocksPerLine = 1
+		}
+		p.TotalCS = procs * (1 + next(8)) // divisible by procs, 1..8 per proc
+		prim := prims[next(uint32(len(prims)))]
+		if prim == synclib.PrimTicket && (p.Collocate || p.LocksPerLine > 1) {
+			prim = synclib.PrimTTS
+		}
+		mode := modes[next(uint32(len(modes)))]
+		if prim == synclib.PrimQOLB {
+			mode = core.ModeBaseline
+		}
+		retention := next(2) == 1
+		tearOff := next(2) == 1
+		generalized := next(2) == 1
+
+		bld, err := Generate(p, prim, procs)
+		if err != nil {
+			t.Logf("seed %d: generate: %v", seed, err)
+			return false
+		}
+		cfg := machine.DefaultConfig(procs, mode)
+		cfg.Core.QueueRetention = retention
+		cfg.Core.TearOff = tearOff
+		cfg.Core.GeneralizedData = generalized
+		cfg.CycleLimit = 200_000_000
+		m, err := machine.New(cfg, bld.Program, nil)
+		if err != nil {
+			t.Logf("seed %d: new: %v", seed, err)
+			return false
+		}
+		for _, l := range bld.Locks {
+			m.RegisterLockAddr(l)
+		}
+		res, err := m.Run()
+		if err != nil || res.HitLimit {
+			t.Logf("seed %d (%s/%s ret=%v tear=%v gen=%v procs=%d %+v): run: %v hit=%v",
+				seed, prim, mode, retention, tearOff, generalized, procs, p, err, res.HitLimit)
+			return false
+		}
+		if err := bld.VerifyCounters(p, m.Peek); err != nil {
+			t.Logf("seed %d (%s/%s ret=%v tear=%v gen=%v procs=%d %+v): %v",
+				seed, prim, mode, retention, tearOff, generalized, procs, p, err)
+			return false
+		}
+		return true
+	}
+	n := 60
+	if testing.Short() {
+		n = 12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("property never exercised")
+	}
+}

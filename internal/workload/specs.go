@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"fmt"
+
+	"iqolb/internal/isa"
+	"iqolb/internal/mem"
+)
+
+// Spec is a named benchmark: a synchronization signature standing in for
+// one of the paper's SPLASH-2 applications (Table 2), or a microbenchmark.
+type Spec struct {
+	Name        string
+	Description string
+	// PaperInput records the input the paper ran (Table 2), for the
+	// documentation trail.
+	PaperInput string
+	Params     Params
+}
+
+// Specs returns the Table 2 benchmark set in the paper's order. The
+// signatures (locks, contention skew, critical-section and think times)
+// follow the published characterizations of each application:
+//
+//   - Barnes: per-cell tree locks — many locks, little contention, heavy
+//     computation between synchronizations.
+//   - Ocean: barrier-dominated grid solver with a few global reductions.
+//   - Radiosity: task queues with skewed lock traffic and short tasks —
+//     lock-sensitive.
+//   - Raytrace: one hot work-queue lock with tiny critical sections — the
+//     most lock-bound of the set.
+//   - Water-nsquared: per-molecule locks — hundreds of locks, long
+//     computation, nearly uncontended.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name:        "barnes",
+			Description: "Barnes-Hut N-body: per-cell locks, low contention, compute-heavy",
+			PaperInput:  "2,048 bodies, 11 iter.",
+			Params: Params{
+				Iterations: 4, TotalCS: 512, Locks: 64, HotPct: 0,
+				CSWork: 12, ThinkWork: 600, ThinkJitter: 250,
+				PrivateLines: 8, PrivateStream: true, BarriersPerIter: 2,
+			},
+		},
+		{
+			Name:        "ocean",
+			Description: "Ocean (contiguous): barrier-dominated solver, occasional global lock",
+			PaperInput:  "130x130, 2 days",
+			Params: Params{
+				Iterations: 6, TotalCS: 128, Locks: 1, HotPct: 100,
+				CSWork: 20, ThinkWork: 1500, ThinkJitter: 500,
+				PrivateLines: 10, PrivateStream: true, BarriersPerIter: 3,
+			},
+		},
+		{
+			Name:        "radiosity",
+			Description: "Radiosity: task queues, skewed lock traffic, short tasks",
+			PaperInput:  "room, batch mode",
+			Params: Params{
+				Iterations: 3, TotalCS: 768, Locks: 8, HotPct: 60,
+				CSWork: 25, ThinkWork: 1400, ThinkJitter: 400,
+				PrivateLines: 2, BarriersPerIter: 1,
+			},
+		},
+		{
+			Name:        "raytrace",
+			Description: "Raytrace: one hot work-queue lock, tiny critical sections",
+			PaperInput:  "car",
+			Params: Params{
+				Iterations: 3, TotalCS: 768, Locks: 1, HotPct: 100,
+				CSWork: 8, ThinkWork: 1400, ThinkJitter: 200,
+				PrivateLines: 2, BarriersPerIter: 1,
+			},
+		},
+		{
+			Name:        "water-nsq",
+			Description: "Water-nsquared: per-molecule locks, very low contention",
+			PaperInput:  "512 mols, 3 iter.",
+			Params: Params{
+				Iterations: 3, TotalCS: 256, Locks: 128, HotPct: 0,
+				CSWork: 15, ThinkWork: 1200, ThinkJitter: 300,
+				PrivateLines: 3, PrivateStream: true, BarriersPerIter: 1,
+			},
+		},
+	}
+}
+
+// MicroSpecs returns the microbenchmarks used by the sweeps and figures.
+func MicroSpecs() []Spec {
+	return []Spec{
+		{
+			Name:        "nullcs",
+			Description: "single lock, empty critical section, zero think time",
+			Params: Params{
+				Iterations: 1, TotalCS: 1024, Locks: 1, HotPct: 100,
+				CSWork: 0, ThinkWork: 0,
+			},
+		},
+		{
+			Name:        "hotlock",
+			Description: "single hot lock, short critical section, moderate think",
+			Params: Params{
+				Iterations: 1, TotalCS: 1024, Locks: 1, HotPct: 100,
+				CSWork: 10, ThinkWork: 300, ThinkJitter: 100,
+			},
+		},
+		{
+			Name:        "multilock",
+			Description: "16 uniformly chosen locks, moderate think",
+			Params: Params{
+				Iterations: 1, TotalCS: 1024, Locks: 16, HotPct: 0,
+				CSWork: 10, ThinkWork: 300, ThinkJitter: 100,
+			},
+		},
+	}
+}
+
+// ByName finds a benchmark or microbenchmark spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range append(Specs(), MicroSpecs()...) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// CounterAddr is the shared Fetch&Add target used by GenerateFetchAdd.
+const CounterAddr = DataBase
+
+// GenerateFetchAdd builds the lock-free Fetch&Add kernel (the paper's
+// Fetch&Phi case, Figures 2 and 3): every processor performs totalOps/procs
+// atomic increments of one shared counter with think cycles between them.
+func GenerateFetchAdd(totalOps int, think int64, procs int) (*Build, error) {
+	if procs < 1 || totalOps%procs != 0 {
+		return nil, fmt.Errorf("workload: totalOps %d not divisible by %d procs", totalOps, procs)
+	}
+	b := isa.NewBuilder()
+	b.Li(isa.A1, int64(CounterAddr)).
+		Li(isa.S0, 0).
+		Li(isa.S1, int64(totalOps/procs)).
+		Label("loop")
+	if think > 0 {
+		b.Work(think)
+	}
+	l := b.Scope("fa")
+	b.Label(l("retry")).
+		Ll(isa.T1, 0, isa.A1).
+		Addi(isa.T1, isa.T1, 1).
+		Sc(isa.T1, 0, isa.A1).
+		Beq(isa.T1, isa.R0, l("retry")).
+		Addi(isa.S0, isa.S0, 1).
+		Blt(isa.S0, isa.S1, "loop").
+		Halt()
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Build{Program: prog, ExpectedCS: uint64(totalOps)}, nil
+}
+
+// VerifyFetchAdd checks the counter after a GenerateFetchAdd run.
+func VerifyFetchAdd(expected uint64, peek func(mem.Addr) uint64) error {
+	if got := peek(CounterAddr); got != expected {
+		return fmt.Errorf("workload: fetch&add counter = %d, want %d (lost updates)", got, expected)
+	}
+	return nil
+}
+
+// GenerateFigureRMW builds the tiny staggered Fetch&Add kernel whose bus
+// trace reproduces Figure 2 (baseline) and Figure 3 (delayed response):
+// each processor performs one atomic increment, starting a few cycles
+// apart so their requests overlap.
+func GenerateFigureRMW(stagger int64) (*Build, error) {
+	b := isa.NewBuilder()
+	b.Li(isa.A1, int64(CounterAddr)).
+		Cpuid(isa.T0).
+		Li(isa.T2, stagger).
+		Mul(isa.T0, isa.T0, isa.T2).
+		Workr(isa.T0)
+	l := b.Scope("fa")
+	b.Label(l("retry")).
+		Ll(isa.T1, 0, isa.A1).
+		Addi(isa.T1, isa.T1, 1).
+		Sc(isa.T1, 0, isa.A1).
+		Beq(isa.T1, isa.R0, l("retry")).
+		Halt()
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Build{Program: prog}, nil
+}
+
+// GenerateFigureLock builds the tiny lock kernel whose trace reproduces
+// Figure 4 (IQOLB): each processor acquires the same TTS lock once,
+// executes a critical section, and releases, with staggered starts.
+func GenerateFigureLock(stagger, csWork int64) (*Build, error) {
+	b := isa.NewBuilder()
+	b.Li(isa.A0, int64(LockBase)).
+		Cpuid(isa.T0).
+		Li(isa.T2, stagger).
+		Mul(isa.T0, isa.T0, isa.T2).
+		Workr(isa.T0)
+	l := b.Scope("acq")
+	b.Label(l("spin")).
+		Ll(isa.T1, 0, isa.A0).
+		Bne(isa.T1, isa.R0, l("spin")).
+		Li(isa.T0, 1).
+		Sc(isa.T0, 0, isa.A0).
+		Beq(isa.T0, isa.R0, l("spin")).
+		Work(csWork).
+		Sw(isa.R0, 0, isa.A0). // release
+		Halt()
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Build{Program: prog, Locks: []mem.Addr{LockBase}}, nil
+}

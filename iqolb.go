@@ -1,0 +1,241 @@
+// Package iqolb is a library-level reproduction of Rajwar, Kägi & Goodman,
+// "Improving the Throughput of Synchronization by Insertion of Delays"
+// (HPCA 2000): Implicit QOLB, a purely hardware queue-based lock built from
+// speculation about LL/SC usage and bounded delays of coherence responses.
+//
+// The package fronts a deterministic execution-driven simulator of a
+// bus-based shared-memory multiprocessor (Table 1 of the paper): MIPS-like
+// cores interpreting a small ISA, two-level caches, a broadcast MOESI
+// snooping protocol over a split-transaction address bus and crossbar data
+// network, a banked memory controller, and — the paper's contribution — the
+// LPRFO/delayed-response/IQOLB machinery with its lock predictor, held-locks
+// table, tear-off copies and queue-retention alternatives, plus an explicit
+// QOLB implementation as the comparison primitive.
+//
+// # Quick start
+//
+//	res, err := iqolb.Run(iqolb.Experiment{
+//	    Benchmark:  "raytrace",
+//	    System:     iqolb.SystemIQOLB,
+//	    Processors: 32,
+//	})
+//
+// The same TTS LL/SC software runs under every hardware mode; switching
+// System from SystemTTS to SystemIQOLB changes only the memory system,
+// which is the paper's point. See EXPERIMENTS.md for the reproduced tables
+// and figures, and DESIGN.md for the modeling substitutions.
+package iqolb
+
+import (
+	"iqolb/internal/coherence"
+	"iqolb/internal/core"
+	"iqolb/internal/engine"
+	"iqolb/internal/experiments"
+	"iqolb/internal/isa"
+	"iqolb/internal/machine"
+	"iqolb/internal/mem"
+	"iqolb/internal/stats"
+	"iqolb/internal/synclib"
+	"iqolb/internal/trace"
+	"iqolb/internal/workload"
+)
+
+// Core simulator vocabulary, re-exported for programmatic use.
+type (
+	// Mode is the hardware synchronization mechanism (Figure 1):
+	// baseline, aggressive, delayed, iqolb.
+	Mode = core.Mode
+	// CoreConfig parameterizes the delay/speculation policy.
+	CoreConfig = core.Config
+	// Timing carries the Table 1 latency parameters.
+	Timing = coherence.Timing
+	// CacheGeometry carries the Table 1 cache organizations.
+	CacheGeometry = coherence.CacheGeometry
+	// MachineConfig describes a whole simulated machine.
+	MachineConfig = machine.Config
+	// Machine is an assembled system, able to run one program.
+	Machine = machine.Machine
+	// MachineResult is a completed run's raw measurements.
+	MachineResult = machine.Result
+	// MachineStats aggregates the memory-system counters of a run.
+	MachineStats = stats.Machine
+	// Program is an assembled program in the simulated ISA.
+	Program = isa.Program
+	// Builder constructs programs programmatically.
+	Builder = isa.Builder
+	// Addr is a byte address in the simulated shared memory.
+	Addr = mem.Addr
+	// Time is a cycle count.
+	Time = engine.Time
+	// Primitive names a software lock implementation.
+	Primitive = synclib.Primitive
+	// System pairs a software primitive with a hardware mode.
+	System = experiments.System
+	// WorkloadParams is a kernel's synchronization signature.
+	WorkloadParams = workload.Params
+	// BenchmarkSpec is a named Table 2 benchmark.
+	BenchmarkSpec = workload.Spec
+	// Recorder captures coherence-message traces (Figures 2–4).
+	Recorder = trace.Recorder
+	// Result is one experiment's summarized measurements.
+	Result = experiments.Result
+)
+
+// Hardware modes (the Figure 1 progression).
+const (
+	ModeBaseline   = core.ModeBaseline
+	ModeAggressive = core.ModeAggressive
+	ModeDelayed    = core.ModeDelayed
+	ModeIQOLB      = core.ModeIQOLB
+)
+
+// Software lock primitives.
+const (
+	PrimTTS    = synclib.PrimTTS
+	PrimQOLB   = synclib.PrimQOLB
+	PrimTicket = synclib.PrimTicket
+	PrimMCS    = synclib.PrimMCS
+)
+
+// The evaluated systems. SystemTTS, SystemDelayed and SystemIQOLB run
+// byte-identical software.
+var (
+	SystemTTS          = experiments.SysTTS
+	SystemAggressive   = experiments.SysAggressive
+	SystemDelayed      = experiments.SysDelayed
+	SystemDelayedNoRet = experiments.SysDelayedNoRet
+	SystemIQOLB        = experiments.SysIQOLB
+	SystemIQOLBNoRet   = experiments.SysIQOLBNoRet
+	SystemGeneralized  = experiments.SysGeneralized
+	SystemQOLB         = experiments.SysQOLB
+	SystemTicket       = experiments.SysTicket
+	SystemMCS          = experiments.SysMCS
+)
+
+// Systems lists every available system configuration.
+func Systems() []System { return experiments.Systems() }
+
+// SystemByName resolves a system by its CLI name.
+func SystemByName(name string) (System, error) { return experiments.SystemByName(name) }
+
+// Benchmarks returns the Table 2 benchmark set.
+func Benchmarks() []BenchmarkSpec { return workload.Specs() }
+
+// Microbenchmarks returns the additional kernels used by the sweeps.
+func Microbenchmarks() []BenchmarkSpec { return workload.MicroSpecs() }
+
+// BenchmarkByName resolves a benchmark or microbenchmark.
+func BenchmarkByName(name string) (BenchmarkSpec, error) { return workload.ByName(name) }
+
+// DefaultMachineConfig returns the paper's Table 1 machine for n
+// processors under the given hardware mode.
+func DefaultMachineConfig(n int, mode Mode) MachineConfig {
+	return machine.DefaultConfig(n, mode)
+}
+
+// NewMachine assembles a machine that runs prog on every processor
+// (programs branch on the CPUID instruction to differentiate roles).
+// rec may be nil.
+func NewMachine(cfg MachineConfig, prog *Program, rec *Recorder) (*Machine, error) {
+	return machine.New(cfg, prog, rec)
+}
+
+// Assemble parses assembler text into a Program (see internal/isa for the
+// syntax: a MIPS-like ISA with ll/sc, swap, enqolb/deqolb, work and bar).
+func Assemble(src string) (*Program, error) { return isa.Assemble(src) }
+
+// NewBuilder starts a programmatic program builder.
+func NewBuilder() *Builder { return isa.NewBuilder() }
+
+// Experiment describes one benchmark run.
+type Experiment struct {
+	// Benchmark names a Table 2 benchmark or microbenchmark.
+	Benchmark string
+	// System selects the primitive/hardware pairing.
+	System System
+	// Processors is the machine size (the paper evaluates 32).
+	Processors int
+	// ScaleFactor > 1 shrinks the workload proportionally for quick runs.
+	ScaleFactor int
+}
+
+// Run executes the experiment, verifying the workload's mutual-exclusion
+// counters before returning measurements.
+func Run(e Experiment) (Result, error) {
+	scale := e.ScaleFactor
+	if scale < 1 {
+		scale = 1
+	}
+	return experiments.RunBenchmark(e.Benchmark, e.System, e.Processors, scale)
+}
+
+// RunParams executes a custom synchronization signature under a system.
+func RunParams(name string, p WorkloadParams, sys System, procs int) (Result, error) {
+	return experiments.RunParams(name, p, sys, procs, nil)
+}
+
+// RunFetchAdd executes the lock-free Fetch&Add kernel (the paper's
+// Fetch&Phi case) under a system.
+func RunFetchAdd(sys System, procs, totalOps int, think int64) (Result, error) {
+	return experiments.RunFetchAdd(sys, procs, totalOps, think)
+}
+
+// Table1 renders the configured system parameters (paper Table 1).
+func Table1() string { return experiments.Table1() }
+
+// Table2 renders the benchmark inventory (paper Table 2).
+func Table2() string { return experiments.Table2() }
+
+// Table3 reproduces the paper's results table at the given machine size,
+// returning the rendered table and the raw rows.
+func Table3(procs, scaleFactor int) (string, []experiments.Table3Row, error) {
+	return experiments.Table3(procs, scaleFactor)
+}
+
+// Figure1 runs the Figure 1 design-space progression on a hot lock.
+func Figure1(procs, totalCS int) (string, []Result, error) {
+	return experiments.Figure1(procs, totalCS)
+}
+
+// Figure2 renders the traditional LL/SC message sequence (paper Figure 2).
+func Figure2() (string, *Recorder, error) { return experiments.Figure2() }
+
+// Figure3 renders the delayed-response sequence (paper Figure 3).
+func Figure3() (string, *Recorder, error) { return experiments.Figure3() }
+
+// Figure4 renders the IQOLB sequence (paper Figure 4).
+func Figure4() (string, *Recorder, error) { return experiments.Figure4() }
+
+// SweepScaling runs a benchmark across processor counts under the main
+// systems (contention scaling).
+func SweepScaling(bench string, procCounts []int, scaleFactor int) (string, error) {
+	return experiments.SweepScaling(bench, procCounts, scaleFactor)
+}
+
+// SweepTimeout studies the delay time-out budgets (§3.2/§3.3).
+func SweepTimeout(procs, totalCS int, budgets []Time) (string, error) {
+	return experiments.SweepTimeout(procs, totalCS, budgets)
+}
+
+// SweepRetention studies queue retention vs. breakdown on false-shared
+// locks (§3.2/§3.3 alternatives).
+func SweepRetention(procs, totalCS int) (string, error) {
+	return experiments.SweepRetention(procs, totalCS)
+}
+
+// SweepCollocation studies the §6 collocation extension.
+func SweepCollocation(procs, totalCS int) (string, error) {
+	return experiments.SweepCollocation(procs, totalCS)
+}
+
+// SweepPredictor compares the §3.4 predictor against the always-lock
+// ablation.
+func SweepPredictor(procs, totalCS int) (string, error) {
+	return experiments.SweepPredictor(procs, totalCS)
+}
+
+// SweepGeneralized evaluates the §6 Generalized IQOLB extension on a
+// reader/writer kernel.
+func SweepGeneralized(procs, totalCS int) (string, error) {
+	return experiments.SweepGeneralized(procs, totalCS)
+}

@@ -1,0 +1,20 @@
+# Contended shared counter under a TTS lock: the default demo kernel for
+# iqolbrun. Each processor performs 10 increments; the result at address 0
+# must equal 10 * procs under every hardware mode.
+  li   a0, 0x1000        # lock
+  li   s0, 0
+  li   s1, 10
+loop:
+spin:
+  ll   t1, 0(a0)
+  bne  t1, r0, spin
+  li   t0, 1
+  sc   t0, 0(a0)
+  beq  t0, r0, spin
+  lw   t2, 0(gp)         # gp = 0: the counter
+  addi t2, t2, 1
+  sw   t2, 0(gp)
+  sw   r0, 0(a0)         # release
+  addi s0, s0, 1
+  blt  s0, s1, loop
+  halt
