@@ -86,7 +86,7 @@ func BenchmarkTable3Full(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, _, err = iqolb.Table3(benchProcs, benchScale)
+		out, _, err = iqolb.Table3(iqolb.Options{}, benchProcs, benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +101,7 @@ func BenchmarkFigure1Taxonomy(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, _, err = iqolb.Figure1(benchProcs, 512)
+		out, _, err = iqolb.Figure1(iqolb.Options{}, benchProcs, 512)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +153,7 @@ func BenchmarkSweepScaling(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepScaling("raytrace", []int{1, 4, 16}, benchScale*2)
+		out, err = iqolb.SweepScaling(iqolb.Options{}, "raytrace", []int{1, 4, 16}, benchScale*2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +167,7 @@ func BenchmarkAblationTimeout(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepTimeout(benchProcs, 512, []iqolb.Time{200, 1000, 10000})
+		out, err = iqolb.SweepTimeout(iqolb.Options{}, benchProcs, 512, []iqolb.Time{200, 1000, 10000})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -181,7 +181,7 @@ func BenchmarkAblationRetention(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepRetention(benchProcs, 512)
+		out, err = iqolb.SweepRetention(iqolb.Options{}, benchProcs, 512)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +195,7 @@ func BenchmarkAblationPredictor(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepPredictor(benchProcs, 512)
+		out, err = iqolb.SweepPredictor(iqolb.Options{}, benchProcs, 512)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -208,7 +208,7 @@ func BenchmarkExtensionCollocation(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepCollocation(benchProcs, 512)
+		out, err = iqolb.SweepCollocation(iqolb.Options{}, benchProcs, 512)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +222,7 @@ func BenchmarkExtensionGeneralized(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepGeneralized(benchProcs, 512)
+		out, err = iqolb.SweepGeneralized(iqolb.Options{}, benchProcs, 512)
 		if err != nil {
 			b.Fatal(err)
 		}

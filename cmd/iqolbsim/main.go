@@ -47,7 +47,7 @@ func main() {
 		}
 		return
 	case *taxonomy:
-		out, _, err := iqolb.Figure1(*procs, 1024)
+		out, _, err := iqolb.Figure1(iqolb.Options{}, *procs, 1024)
 		fail(err)
 		fmt.Print(out)
 		return

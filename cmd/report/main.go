@@ -2,21 +2,43 @@
 // data behind EXPERIMENTS.md. At full scale (the default) it reproduces
 // the paper's configuration: 32 processors, unscaled workloads.
 //
-//	report             # full scale (about a minute)
+// Each section's simulations fan out across a bounded worker pool (-j,
+// default all CPUs) and are memoized in the on-disk result cache, so
+// re-running the report only simulates what changed.
+//
+//	report             # full scale (seconds on a warm cache)
 //	report -quick      # 8 processors, workloads divided by 8
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"iqolb"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "small machine, scaled-down workloads")
+	var (
+		quick = flag.Bool("quick", false, "small machine, scaled-down workloads")
+
+		jobs      = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		noCache   = flag.Bool("no-cache", false, "always simulate; do not read or write the result cache")
+		cacheDir  = flag.String("cache-dir", iqolb.DefaultCacheDir, "on-disk result cache location")
+		artifacts = flag.String("artifacts", "", "write per-job result JSON and the run manifest to this directory")
+		quiet     = flag.Bool("q", false, "suppress progress output on stderr")
+	)
 	flag.Parse()
+
+	opt := iqolb.Options{Jobs: *jobs, CacheDir: *cacheDir, ArtifactDir: *artifacts}
+	if *noCache {
+		opt.CacheDir = ""
+	}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
 
 	procs, scale, sweepProcs, sweepCS := 32, 1, 16, 1024
 	if *quick {
@@ -26,6 +48,10 @@ func main() {
 	emit := func(section string, body string, err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "report: %s: %v\n", section, err)
+			if errors.Is(err, iqolb.ErrCycleLimit) {
+				fmt.Fprintln(os.Stderr, "report: a simulation hit the engine's cycle limit — its results would be truncated; use -quick or a larger cycle budget")
+				os.Exit(2)
+			}
 			os.Exit(1)
 		}
 		fmt.Println(body)
@@ -34,10 +60,10 @@ func main() {
 	fmt.Println(iqolb.Table1())
 	fmt.Println(iqolb.Table2())
 
-	t3, _, err := iqolb.Table3(procs, scale)
+	t3, _, err := iqolb.Table3(opt, procs, scale)
 	emit("table3", t3, err)
 
-	f1, _, err := iqolb.Figure1(sweepProcs, sweepCS)
+	f1, _, err := iqolb.Figure1(opt, sweepProcs, sweepCS)
 	emit("figure1", f1, err)
 
 	f2, _, err := iqolb.Figure2()
@@ -47,22 +73,22 @@ func main() {
 	f4, _, err := iqolb.Figure4()
 	emit("figure4", f4, err)
 
-	sc, err := iqolb.SweepScaling("raytrace", []int{1, 2, 4, 8, 16, 32}, scale)
+	sc, err := iqolb.SweepScaling(opt, "raytrace", []int{1, 2, 4, 8, 16, 32}, scale)
 	emit("scaling", sc, err)
 
-	to, err := iqolb.SweepTimeout(sweepProcs, sweepCS,
+	to, err := iqolb.SweepTimeout(opt, sweepProcs, sweepCS,
 		[]iqolb.Time{200, 500, 1000, 5000, 10000, 50000})
 	emit("timeout", to, err)
 
-	re, err := iqolb.SweepRetention(sweepProcs, sweepCS)
+	re, err := iqolb.SweepRetention(opt, sweepProcs, sweepCS)
 	emit("retention", re, err)
 
-	co, err := iqolb.SweepCollocation(sweepProcs, sweepCS)
+	co, err := iqolb.SweepCollocation(opt, sweepProcs, sweepCS)
 	emit("collocation", co, err)
 
-	pr, err := iqolb.SweepPredictor(sweepProcs, sweepCS)
+	pr, err := iqolb.SweepPredictor(opt, sweepProcs, sweepCS)
 	emit("predictor", pr, err)
 
-	ge, err := iqolb.SweepGeneralized(sweepProcs, sweepCS)
+	ge, err := iqolb.SweepGeneralized(opt, sweepProcs, sweepCS)
 	emit("generalized", ge, err)
 }

@@ -7,12 +7,19 @@
 //	sweep -study collocation                   # §6 collocation extension
 //	sweep -study predictor                     # §3.4 predictor vs always-lock
 //	sweep -study generalized                   # §6 Generalized IQOLB
+//
+// Every study fans its configurations out across a bounded worker pool
+// (-j, default all CPUs) and memoizes completed simulations on disk
+// (-cache-dir, -no-cache); the rendered tables are byte-identical to a
+// serial run regardless of worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"iqolb"
 )
@@ -24,8 +31,22 @@ func main() {
 		procs = flag.Int("procs", 16, "processor count for the fixed-size studies")
 		cs    = flag.Int("cs", 1024, "critical sections for the fixed-size studies")
 		scale = flag.Int("scale", 1, "divide the scaling-study workload by this factor")
+
+		jobs      = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		noCache   = flag.Bool("no-cache", false, "always simulate; do not read or write the result cache")
+		cacheDir  = flag.String("cache-dir", iqolb.DefaultCacheDir, "on-disk result cache location")
+		artifacts = flag.String("artifacts", "", "write per-job result JSON and the run manifest to this directory")
+		quiet     = flag.Bool("q", false, "suppress progress output on stderr")
 	)
 	flag.Parse()
+
+	opt := iqolb.Options{Jobs: *jobs, CacheDir: *cacheDir, ArtifactDir: *artifacts}
+	if *noCache {
+		opt.CacheDir = ""
+	}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
 
 	var (
 		out string
@@ -33,21 +54,26 @@ func main() {
 	)
 	switch *study {
 	case "scaling":
-		out, err = iqolb.SweepScaling(*bench, []int{1, 2, 4, 8, 16, 32}, *scale)
+		out, err = iqolb.SweepScaling(opt, *bench, []int{1, 2, 4, 8, 16, 32}, *scale)
 	case "timeout":
-		out, err = iqolb.SweepTimeout(*procs, *cs, []iqolb.Time{200, 500, 1000, 5000, 10000, 50000})
+		out, err = iqolb.SweepTimeout(opt, *procs, *cs, []iqolb.Time{200, 500, 1000, 5000, 10000, 50000})
 	case "retention":
-		out, err = iqolb.SweepRetention(*procs, *cs)
+		out, err = iqolb.SweepRetention(opt, *procs, *cs)
 	case "collocation":
-		out, err = iqolb.SweepCollocation(*procs, *cs)
+		out, err = iqolb.SweepCollocation(opt, *procs, *cs)
 	case "predictor":
-		out, err = iqolb.SweepPredictor(*procs, *cs)
+		out, err = iqolb.SweepPredictor(opt, *procs, *cs)
 	case "generalized":
-		out, err = iqolb.SweepGeneralized(*procs, *cs)
+		out, err = iqolb.SweepGeneralized(opt, *procs, *cs)
 	default:
 		err = fmt.Errorf("unknown study %q", *study)
 	}
 	if err != nil {
+		if errors.Is(err, iqolb.ErrCycleLimit) {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			fmt.Fprintln(os.Stderr, "sweep: a simulation hit the engine's cycle limit — its results would be truncated; shrink the workload (-scale, -cs) or the machine (-procs)")
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}

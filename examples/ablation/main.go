@@ -14,19 +14,19 @@ import (
 func main() {
 	const procs = 16
 
-	out, _, err := iqolb.Figure1(procs, 1024)
+	out, _, err := iqolb.Figure1(iqolb.Options{}, procs, 1024)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(out)
 
-	ret, err := iqolb.SweepRetention(procs, 512)
+	ret, err := iqolb.SweepRetention(iqolb.Options{}, procs, 512)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(ret)
 
-	pred, err := iqolb.SweepPredictor(procs, 512)
+	pred, err := iqolb.SweepPredictor(iqolb.Options{}, procs, 512)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,7 +12,7 @@ func TestTable3FullScaleBands(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale Table 3 (~10s); run without -short")
 	}
-	rows, err := Table3Data(32, 1)
+	rows, err := Table3Data(Options{}, 32, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

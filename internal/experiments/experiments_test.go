@@ -84,7 +84,7 @@ func TestTable3SmallScaleShape(t *testing.T) {
 	// At 8 processors / heavy scaling the magnitudes shrink but the
 	// ordering must hold: QOLB and IQOLB never lose to TTS, and IQOLB
 	// tracks QOLB.
-	rows, err := Table3Data(8, 8)
+	rows, err := Table3Data(Options{}, 8, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestTable3SmallScaleShape(t *testing.T) {
 }
 
 func TestFigure1Progression(t *testing.T) {
-	out, results, err := Figure1(8, 256)
+	out, results, err := Figure1(Options{}, 8, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,19 +209,19 @@ func TestFigure4TraceShape(t *testing.T) {
 }
 
 func TestSweepsRunSmall(t *testing.T) {
-	if out, err := SweepScaling("hotlock", []int{1, 2, 4}, 8); err != nil || !strings.Contains(out, "procs") {
+	if out, err := SweepScaling(Options{}, "hotlock", []int{1, 2, 4}, 8); err != nil || !strings.Contains(out, "procs") {
 		t.Errorf("scaling sweep: %v", err)
 	}
-	if out, err := SweepTimeout(4, 128, []engine.Time{500, 5000}); err != nil || !strings.Contains(out, "lock budget") {
+	if out, err := SweepTimeout(Options{}, 4, 128, []engine.Time{500, 5000}); err != nil || !strings.Contains(out, "lock budget") {
 		t.Errorf("timeout sweep: %v", err)
 	}
-	if out, err := SweepRetention(4, 128); err != nil || !strings.Contains(out, "retention") {
+	if out, err := SweepRetention(Options{}, 4, 128); err != nil || !strings.Contains(out, "retention") {
 		t.Errorf("retention sweep: %v", err)
 	}
-	if out, err := SweepCollocation(4, 128); err != nil || !strings.Contains(out, "collocated") {
+	if out, err := SweepCollocation(Options{}, 4, 128); err != nil || !strings.Contains(out, "collocated") {
 		t.Errorf("collocation sweep: %v", err)
 	}
-	if out, err := SweepPredictor(4, 128); err != nil || !strings.Contains(out, "always-lock") {
+	if out, err := SweepPredictor(Options{}, 4, 128); err != nil || !strings.Contains(out, "always-lock") {
 		t.Errorf("predictor sweep: %v", err)
 	}
 }
@@ -242,7 +242,7 @@ func TestScaleHelper(t *testing.T) {
 }
 
 func TestSweepGeneralizedShape(t *testing.T) {
-	out, err := SweepGeneralized(8, 256)
+	out, err := SweepGeneralized(Options{}, 8, 256)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@ import (
 // (with and without queue retention), IQOLB (with and without queue
 // retention) — and reports each step's cost profile. It is the ablation
 // over the design space rather than a data figure in the paper.
-func Figure1(procs, totalCS int) (string, []Result, error) {
+func Figure1(opt Options, procs, totalCS int) (string, []Result, error) {
 	spec, err := workload.ByName("hotlock")
 	if err != nil {
 		return "", nil, err
@@ -25,15 +25,18 @@ func Figure1(procs, totalCS int) (string, []Result, error) {
 	p.TotalCS = totalCS - totalCS%procs
 	systems := []System{SysTTS, SysAggressive, SysDelayedNoRet, SysDelayed,
 		SysIQOLBNoRet, SysIQOLB, SysIQOLBNoTear}
-	var results []Result
+	var specs []Spec
+	for _, sys := range systems {
+		specs = append(specs, Spec{Name: "hotlock", Params: &p, System: sys.Name, Procs: procs})
+	}
+	results, _, err := RunSpecs(opt, specs)
+	if err != nil {
+		return "", nil, err
+	}
 	t := report.NewTable(fmt.Sprintf("Figure 1 progression: hot lock, %d processors, %d acquisitions", procs, p.TotalCS),
 		"method", "cycles", "bus txs", "SC fail rate", "tear-offs", "timeouts", "breakdowns", "handoff mean")
-	for _, sys := range systems {
-		r, err := RunParams("hotlock", p, sys, procs, nil)
-		if err != nil {
-			return "", nil, err
-		}
-		results = append(results, r)
+	for i, sys := range systems {
+		r := results[i]
 		t.Row(sys.Name, r.Cycles, r.BusTransactions,
 			fmt.Sprintf("%.3f", r.SCFailureRate), r.TearOffs, r.Timeouts, r.Breakdowns,
 			fmt.Sprintf("%.0f", r.LockHandoffMean))

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iqolb/internal/engine"
+	"iqolb/internal/workload"
+)
+
+// smokeSpecs is a small grid exercising named benchmarks, explicit
+// params, policy overrides and the fetchadd kernel.
+func smokeSpecs(t *testing.T) []Spec {
+	t.Helper()
+	budget := engine.Time(5000)
+	entries := 0
+	spec, err := workload.ByName("hotlock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotParams := spec.Params
+	hotParams.TotalCS = 64
+	hot := &hotParams
+	return []Spec{
+		{Bench: "raytrace", System: "tts", Procs: 4, Scale: 16},
+		{Bench: "raytrace", System: "iqolb", Procs: 4, Scale: 16},
+		{Bench: "ocean", System: "qolb", Procs: 4, Scale: 16},
+		{Name: "hot-budget", Params: hot, System: "iqolb", Procs: 4, LockTimeout: &budget},
+		{Name: "hot-nopred", Params: hot, System: "iqolb", Procs: 4, PredictorEntries: &entries},
+		{Kernel: "fetchadd", System: "delayed", Procs: 4, TotalOps: 64, Think: 50},
+	}
+}
+
+// The determinism regression: the same spec batch run serially and
+// through the parallel harness yields bit-identical stats output — the
+// engine's FIFO-tiebreak guarantee holds end to end, and positional
+// collection keeps output ordering independent of completion order.
+func TestHarnessSerialParallelIdentical(t *testing.T) {
+	specs := smokeSpecs(t)
+
+	serial, _, err := RunSpecs(Options{Jobs: 1}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, _, err := RunSpecs(Options{Jobs: 8}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sj) != string(pj) {
+		t.Fatalf("serial and parallel stats differ:\n%s\n%s", sj, pj)
+	}
+
+	// And both match direct serial execution outside the harness.
+	for i, s := range specs {
+		direct, err := RunSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dj, _ := json.Marshal(direct)
+		hj, _ := json.Marshal(parallel[i])
+		if string(dj) != string(hj) {
+			t.Fatalf("spec %d: harness result differs from direct run:\n%s\n%s", i, dj, hj)
+		}
+	}
+}
+
+// A warm cache answers every job without simulating, and the decoded
+// results are byte-identical to the fresh ones.
+func TestHarnessCacheRoundTrip(t *testing.T) {
+	specs := smokeSpecs(t)
+	dir := filepath.Join(t.TempDir(), "cache")
+
+	cold, m1, err := RunSpecs(Options{Jobs: 4, CacheDir: dir}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.CacheMisses != len(specs) || m1.CacheHits != 0 {
+		t.Fatalf("cold manifest: %+v", m1)
+	}
+	warm, m2, err := RunSpecs(Options{Jobs: 4, CacheDir: dir}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.CacheHits != len(specs) || m2.CacheMisses != 0 {
+		t.Fatalf("warm manifest not 100%% hits: %+v", m2)
+	}
+	cj, _ := json.Marshal(cold)
+	wj, _ := json.Marshal(warm)
+	if string(cj) != string(wj) {
+		t.Fatal("cached results differ from fresh results")
+	}
+	if m2.SimCycles != m1.SimCycles {
+		t.Fatalf("sim cycles differ across cache: %v vs %v", m1.SimCycles, m2.SimCycles)
+	}
+}
+
+// The manifest reports sim cycles and lock hand-off percentiles per job.
+func TestManifestMetrics(t *testing.T) {
+	specs := smokeSpecs(t)[:2]
+	_, m, err := RunSpecs(Options{Jobs: 2}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SimCycles <= 0 {
+		t.Fatalf("manifest sim cycles = %v", m.SimCycles)
+	}
+	for _, rec := range m.Records {
+		for _, k := range []string{"cycles", "bus_transactions", "lock_handoff_p50", "lock_handoff_p99"} {
+			if _, ok := rec.Metrics[k]; !ok {
+				t.Fatalf("record %q missing metric %q (have %v)", rec.Label, k, rec.Metrics)
+			}
+		}
+		if rec.Metrics["lock_handoff_p99"] < rec.Metrics["lock_handoff_p50"] {
+			t.Fatalf("record %q: p99 < p50", rec.Label)
+		}
+	}
+}
+
+// Policy overrides and workload identity feed the cache key: distinct
+// configurations must never share an entry.
+func TestSpecCacheKeysDistinct(t *testing.T) {
+	specs := smokeSpecs(t)
+	seen := map[string]string{}
+	for _, s := range specs {
+		r, err := s.resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(r.canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[string(data)]; dup {
+			t.Fatalf("specs %q and %q share a canonical config", prev, r.label())
+		}
+		seen[string(data)] = r.label()
+	}
+	// Same spec twice resolves to the same canonical bytes.
+	a, _ := specs[0].resolve()
+	b, _ := specs[0].resolve()
+	aj, _ := json.Marshal(a.canonical())
+	bj, _ := json.Marshal(b.canonical())
+	if string(aj) != string(bj) {
+		t.Fatal("canonical config not stable across resolves")
+	}
+}
+
+// A run that exhausts its cycle budget fails with ErrCycleLimit — both
+// directly and through the harness (the label-wrapping keeps the chain
+// intact), so the CLIs can detect truncation and exit non-zero.
+func TestCycleLimitSurfacesTyped(t *testing.T) {
+	tiny := engine.Time(100)
+	spec := Spec{Bench: "raytrace", System: "tts", Procs: 4, Scale: 16, CycleLimit: &tiny}
+	if _, err := RunSpec(spec); !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("RunSpec err = %v, want ErrCycleLimit", err)
+	}
+	_, m, err := RunSpecs(Options{Jobs: 2}, []Spec{spec})
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("RunSpecs err = %v, want ErrCycleLimit", err)
+	}
+	if m.Errors != 1 {
+		t.Fatalf("manifest errors = %d", m.Errors)
+	}
+}
+
+// Spec validation rejects malformed jobs before any worker starts.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{System: "hyperlock", Procs: 4, Bench: "raytrace"}, "unknown system"},
+		{Spec{System: "tts", Procs: 0, Bench: "raytrace"}, "procs"},
+		{Spec{System: "tts", Procs: 4}, "need Bench or Params"},
+		{Spec{System: "tts", Procs: 4, Bench: "nope"}, "unknown"},
+		{Spec{System: "tts", Procs: 4, Kernel: "warp"}, "unknown kernel"},
+		{Spec{System: "tts", Procs: 4, Bench: "raytrace", Params: &workload.Params{}}, "mutually exclusive"},
+	}
+	for _, c := range cases {
+		if _, err := RunSpec(c.spec); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("spec %+v: err = %v, want %q", c.spec, err, c.want)
+		}
+	}
+}

@@ -81,7 +81,7 @@ func RunParams(name string, p workload.Params, sys System, procs int, rec *trace
 		return Result{}, fmt.Errorf("%s/%s/p%d: %w", name, sys.Name, procs, err)
 	}
 	if res.HitLimit {
-		return Result{}, fmt.Errorf("%s/%s/p%d: hit cycle limit %d", name, sys.Name, procs, cfg.CycleLimit)
+		return Result{}, fmt.Errorf("%s/%s/p%d: %w (%d cycles)", name, sys.Name, procs, ErrCycleLimit, cfg.CycleLimit)
 	}
 	if err := bld.VerifyCounters(p, m.Peek); err != nil {
 		return Result{}, fmt.Errorf("%s/%s/p%d: %w", name, sys.Name, procs, err)
@@ -120,7 +120,7 @@ func RunFetchAdd(sys System, procs, totalOps int, think int64) (Result, error) {
 		return Result{}, err
 	}
 	if res.HitLimit {
-		return Result{}, fmt.Errorf("fetchadd/%s: hit cycle limit", sys.Name)
+		return Result{}, fmt.Errorf("fetchadd/%s: %w (%d cycles)", sys.Name, ErrCycleLimit, cfg.CycleLimit)
 	}
 	if err := workload.VerifyFetchAdd(uint64(totalOps), m.Peek); err != nil {
 		return Result{}, err

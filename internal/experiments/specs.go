@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"iqolb/internal/engine"
+	"iqolb/internal/harness"
+	"iqolb/internal/machine"
+	"iqolb/internal/workload"
+)
+
+// ErrCycleLimit marks a run aborted at the engine's cycle limit: its
+// measurements would be truncated and must not be reported as results.
+var ErrCycleLimit = errors.New("hit the engine cycle limit")
+
+// cacheSchema versions the canonical job configuration. Bump it whenever
+// a simulator change alters results without altering any config field —
+// every cached entry is then invalidated at once.
+const cacheSchema = 1
+
+// Spec is the canonical description of one simulation job: workload ×
+// system × machine size, plus optional policy overrides. Specs are the
+// currency of the parallel harness — they are resolved to a full machine
+// configuration, hashed for the result cache, and executed on a worker.
+type Spec struct {
+	// Name labels the job; defaults to the benchmark name.
+	Name string `json:"name,omitempty"`
+	// Bench names a Table 2 benchmark or microbenchmark; mutually
+	// exclusive with Params.
+	Bench string `json:"bench,omitempty"`
+	// Params is an explicit synchronization signature.
+	Params *workload.Params `json:"params,omitempty"`
+	// System is the system name (see Systems).
+	System string `json:"system"`
+	// Procs is the machine size.
+	Procs int `json:"procs"`
+	// Scale divides a named benchmark's workload (ignored with Params).
+	Scale int `json:"scale,omitempty"`
+	// Kernel selects a non-lock kernel: "" for the lock workload,
+	// "fetchadd" for the lock-free Fetch&Add kernel.
+	Kernel string `json:"kernel,omitempty"`
+	// TotalOps/Think parameterize the fetchadd kernel.
+	TotalOps int   `json:"total_ops,omitempty"`
+	Think    int64 `json:"think,omitempty"`
+	// LockTimeout overrides the §3.3 lock delay budget when non-nil.
+	LockTimeout *engine.Time `json:"lock_timeout,omitempty"`
+	// PredictorEntries overrides the §3.4 predictor size when non-nil
+	// (zero selects the always-lock ablation).
+	PredictorEntries *int `json:"predictor_entries,omitempty"`
+	// CycleLimit overrides the engine's runaway-run abort budget when
+	// non-nil. Runs that hit it fail with ErrCycleLimit.
+	CycleLimit *engine.Time `json:"cycle_limit,omitempty"`
+}
+
+// resolved is a Spec with every default filled in: the effective
+// workload parameters, system, and complete machine configuration.
+type resolved struct {
+	name     string
+	kernel   string
+	params   workload.Params
+	totalOps int
+	think    int64
+	sys      System
+	cfg      machine.Config
+}
+
+// resolve validates the spec and computes its full execution plan.
+func (s Spec) resolve() (resolved, error) {
+	sys, err := SystemByName(s.System)
+	if err != nil {
+		return resolved{}, err
+	}
+	if s.Procs < 1 {
+		return resolved{}, fmt.Errorf("spec %q: procs must be positive", s.Name)
+	}
+	cfg := sys.MachineConfig(s.Procs)
+	if s.LockTimeout != nil {
+		cfg.Core.LockTimeout = *s.LockTimeout
+	}
+	if s.PredictorEntries != nil {
+		cfg.Core.PredictorEntries = *s.PredictorEntries
+	}
+	if s.CycleLimit != nil {
+		cfg.CycleLimit = *s.CycleLimit
+	}
+	r := resolved{name: s.Name, kernel: s.Kernel, sys: sys, cfg: cfg}
+	switch s.Kernel {
+	case "fetchadd":
+		ops := s.TotalOps - s.TotalOps%s.Procs
+		if ops == 0 {
+			ops = s.Procs
+		}
+		r.totalOps, r.think = ops, s.Think
+		if r.name == "" {
+			r.name = "fetchadd"
+		}
+		return r, nil
+	case "":
+	default:
+		return resolved{}, fmt.Errorf("spec %q: unknown kernel %q", s.Name, s.Kernel)
+	}
+	switch {
+	case s.Bench != "" && s.Params != nil:
+		return resolved{}, fmt.Errorf("spec %q: Bench and Params are mutually exclusive", s.Name)
+	case s.Bench != "":
+		spec, err := workload.ByName(s.Bench)
+		if err != nil {
+			return resolved{}, err
+		}
+		scale := s.Scale
+		if scale < 1 {
+			scale = 1
+		}
+		r.params = Scale(spec.Params, scale, s.Procs)
+		if r.name == "" {
+			r.name = spec.Name
+		}
+	case s.Params != nil:
+		r.params = *s.Params
+		if r.name == "" {
+			r.name = "custom"
+		}
+	default:
+		return resolved{}, fmt.Errorf("spec %q: need Bench or Params", s.Name)
+	}
+	return r, nil
+}
+
+// label is the human-readable job identity used in progress lines and
+// artifact file names.
+func (r resolved) label() string {
+	return fmt.Sprintf("%s/%s/p%d", r.name, r.sys.Name, r.cfg.Processors)
+}
+
+// canonicalConfig is what gets hashed for the cache key: the resolved
+// workload (not the benchmark's name, so edits to the benchmark table
+// invalidate stale entries) plus the complete machine configuration,
+// which together fully determine a deterministic run.
+type canonicalConfig struct {
+	Schema    int                `json:"schema"`
+	Kernel    string             `json:"kernel"`
+	Params    workload.Params    `json:"params"`
+	TotalOps  int                `json:"total_ops"`
+	Think     int64              `json:"think"`
+	Primitive synclibPrimitiveID `json:"primitive"`
+	Machine   machine.Config     `json:"machine"`
+}
+
+// synclibPrimitiveID pins the primitive's identity into the hash even if
+// the synclib enum is reordered.
+type synclibPrimitiveID string
+
+func (r resolved) canonical() canonicalConfig {
+	return canonicalConfig{
+		Schema:    cacheSchema,
+		Kernel:    r.kernel,
+		Params:    r.params,
+		TotalOps:  r.totalOps,
+		Think:     r.think,
+		Primitive: synclibPrimitiveID(fmt.Sprint(r.sys.Primitive)),
+		Machine:   r.cfg,
+	}
+}
+
+// run executes the resolved plan.
+func (r resolved) run() (Result, error) {
+	if r.kernel == "fetchadd" {
+		return RunFetchAdd(r.sys, r.cfg.Processors, r.totalOps, r.think)
+	}
+	bld, err := workload.Generate(r.params, r.sys.Primitive, r.cfg.Processors)
+	if err != nil {
+		return Result{}, err
+	}
+	return runConfigured(r.cfg, bld, r.params, r.name, r.sys.Name, r.cfg.Processors)
+}
+
+// RunSpec resolves and executes one spec serially (no pool, no cache).
+func RunSpec(s Spec) (Result, error) {
+	r, err := s.resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	return r.run()
+}
+
+// Options configures a harness batch. The zero value runs on
+// runtime.NumCPU() workers with caching, artifacts and progress all off.
+type Options struct {
+	// Jobs bounds the worker pool; <= 0 means runtime.NumCPU().
+	Jobs int
+	// CacheDir enables the on-disk result cache when non-empty
+	// (harness.DefaultCacheDir is the conventional location).
+	CacheDir string
+	// ArtifactDir, when non-empty, receives per-job result JSON and the
+	// batch manifest.
+	ArtifactDir string
+	// Progress receives streaming completed/total/ETA lines (stderr in
+	// the CLIs); nil is silent.
+	Progress io.Writer
+}
+
+func (o Options) harness() harness.Options {
+	hopt := harness.Options{Workers: o.Jobs, Progress: o.Progress, ArtifactDir: o.ArtifactDir}
+	if o.CacheDir != "" {
+		hopt.Cache = harness.NewCache(o.CacheDir)
+	}
+	return hopt
+}
+
+// RunSpecs executes a batch of specs through the parallel harness and
+// returns the results in spec order — output ordering is independent of
+// completion order, so tables rendered from a batch are byte-identical
+// to a serial run. The manifest carries per-job wall times, sim-cycle
+// counts, lock hand-off latency percentiles, and cache hit/miss totals.
+func RunSpecs(opt Options, specs []Spec) ([]Result, *harness.Manifest, error) {
+	jobs := make([]harness.Job[Result], len(specs))
+	for i, s := range specs {
+		r, err := s.resolve()
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs[i] = harness.Job[Result]{
+			Label:   r.label(),
+			Config:  r.canonical(),
+			Run:     r.run,
+			Metrics: resultMetrics,
+		}
+	}
+	return harness.Run(opt.harness(), jobs)
+}
+
+// resultMetrics extracts the manifest's scalar measurements from a
+// result (fresh or cache-loaded).
+func resultMetrics(r Result) map[string]float64 {
+	m := map[string]float64{
+		"cycles":           float64(r.Cycles),
+		"bus_transactions": float64(r.BusTransactions),
+	}
+	if r.Stats != nil {
+		m["lock_handoff_p50"] = r.Stats.LockHandoff.Percentile(50)
+		m["lock_handoff_p99"] = r.Stats.LockHandoff.Percentile(99)
+	}
+	return m
+}

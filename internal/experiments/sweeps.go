@@ -13,21 +13,28 @@ import (
 
 // SweepScaling runs one benchmark across processor counts for the main
 // systems — the contention-scaling study behind the paper's motivation.
-func SweepScaling(benchName string, procCounts []int, scaleFactor int) (string, error) {
+// The grid fans out across the harness; rows render in spec order.
+func SweepScaling(opt Options, benchName string, procCounts []int, scaleFactor int) (string, error) {
 	systems := []System{SysTTS, SysDelayed, SysIQOLB, SysQOLB}
+	var specs []Spec
+	for _, procs := range procCounts {
+		for _, sys := range systems {
+			specs = append(specs, Spec{
+				Bench: benchName, System: sys.Name, Procs: procs, Scale: scaleFactor,
+			})
+		}
+	}
+	results, _, err := RunSpecs(opt, specs)
+	if err != nil {
+		return "", err
+	}
 	t := report.NewTable(fmt.Sprintf("Scaling sweep: %s (cycles; speedup vs 1-proc TTS in parens)", benchName),
 		append([]string{"procs"}, systemNames(systems)...)...)
-	var base uint64
-	for _, procs := range procCounts {
+	base := results[0].Cycles // procCounts[0] × SysTTS is the first spec
+	for i, procs := range procCounts {
 		row := []any{procs}
-		for _, sys := range systems {
-			r, err := RunBenchmark(benchName, sys, procs, scaleFactor)
-			if err != nil {
-				return "", err
-			}
-			if procs == procCounts[0] && sys.Name == SysTTS.Name {
-				base = r.Cycles
-			}
+		for j := range systems {
+			r := results[i*len(systems)+j]
 			row = append(row, fmt.Sprintf("%d (%.2f)", r.Cycles, float64(base)/float64(r.Cycles)))
 		}
 		t.Row(row...)
@@ -46,7 +53,7 @@ func systemNames(systems []System) []string {
 // SweepTimeout studies the §3.2/§3.3 time-out budgets: IQOLB's lock delay
 // budget must comfortably exceed critical-section length or hand-offs
 // degrade into timeouts.
-func SweepTimeout(procs, totalCS int, budgets []engine.Time) (string, error) {
+func SweepTimeout(opt Options, procs, totalCS int, budgets []engine.Time) (string, error) {
 	// Long critical sections (400 cycles) so that budgets below the
 	// section length force time-outs and the hand-off degrades, while
 	// ample budgets let every hand-off ride the release.
@@ -54,21 +61,23 @@ func SweepTimeout(procs, totalCS int, budgets []engine.Time) (string, error) {
 		Iterations: 1, TotalCS: totalCS - totalCS%procs, Locks: 1, HotPct: 100,
 		CSWork: 400, ThinkWork: 300, ThinkJitter: 100,
 	}
+	var specs []Spec
+	for _, budget := range budgets {
+		b := budget
+		specs = append(specs, Spec{
+			Name: fmt.Sprintf("timeout-%d", b), Params: &p,
+			System: SysIQOLB.Name, Procs: procs, LockTimeout: &b,
+		})
+	}
+	results, _, err := RunSpecs(opt, specs)
+	if err != nil {
+		return "", err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Timeout sweep: IQOLB on hot lock with 400-cycle sections, %d processors", procs),
 		"lock budget", "cycles", "timeouts", "releases via delay", "handoff mean")
-	for _, budget := range budgets {
-		sys := SysIQOLB
-		bld, err := workload.Generate(p, sys.Primitive, procs)
-		if err != nil {
-			return "", err
-		}
-		cfg := sys.MachineConfig(procs)
-		cfg.Core.LockTimeout = budget
-		r, err := runConfigured(cfg, bld, p, fmt.Sprintf("timeout-%d", budget), sys.Name, procs)
-		if err != nil {
-			return "", err
-		}
+	for i, budget := range budgets {
+		r := results[i]
 		t.Row(uint64(budget), r.Cycles, r.Timeouts,
 			r.Stats.Total(func(n *stats.Node) uint64 { return n.DelaysReleased }),
 			fmt.Sprintf("%.0f", r.LockHandoffMean))
@@ -79,19 +88,24 @@ func SweepTimeout(procs, totalCS int, budgets []engine.Time) (string, error) {
 // SweepRetention exercises the queue-retention vs. breakdown alternatives
 // on a kernel with false-shared locks, where independent lock holders
 // write each other's delayed lines.
-func SweepRetention(procs, totalCS int) (string, error) {
+func SweepRetention(opt Options, procs, totalCS int) (string, error) {
 	p := workload.Params{
 		Iterations: 1, TotalCS: totalCS - totalCS%procs, Locks: 8, HotPct: 0,
 		CSWork: 30, ThinkWork: 150, ThinkJitter: 100, LocksPerLine: 2,
 	}
 	systems := []System{SysDelayed, SysDelayedNoRet, SysIQOLB, SysIQOLBNoRet}
+	var specs []Spec
+	for _, sys := range systems {
+		specs = append(specs, Spec{Name: "falseshare", Params: &p, System: sys.Name, Procs: procs})
+	}
+	results, _, err := RunSpecs(opt, specs)
+	if err != nil {
+		return "", err
+	}
 	t := report.NewTable(fmt.Sprintf("Queue retention sweep: 8 locks packed 2/line, %d processors", procs),
 		"system", "cycles", "bus txs", "breakdowns", "retention trips", "timeouts")
-	for _, sys := range systems {
-		r, err := RunParams("falseshare", p, sys, procs, nil)
-		if err != nil {
-			return "", err
-		}
+	for i, sys := range systems {
+		r := results[i]
 		t.Row(sys.Name, r.Cycles, r.BusTransactions, r.Breakdowns,
 			r.Stats.Total(func(n *stats.Node) uint64 { return n.RetentionTrips }), r.Timeouts)
 	}
@@ -101,25 +115,28 @@ func SweepRetention(procs, totalCS int) (string, error) {
 // SweepCollocation studies the collocation extension (§6 / Generalized
 // IQOLB direction): protected data in the lock's line rides along with the
 // hand-off.
-func SweepCollocation(procs, totalCS int) (string, error) {
+func SweepCollocation(opt Options, procs, totalCS int) (string, error) {
 	base := workload.Params{
 		Iterations: 1, TotalCS: totalCS - totalCS%procs, Locks: 1, HotPct: 100,
 		CSWork: 10, ThinkWork: 300, ThinkJitter: 100,
 	}
+	col := base
+	col.Collocate = true
 	systems := []System{SysTTS, SysQOLB, SysIQOLB}
+	var specs []Spec
+	for _, sys := range systems {
+		specs = append(specs,
+			Spec{Name: "colloc-off", Params: &base, System: sys.Name, Procs: procs},
+			Spec{Name: "colloc-on", Params: &col, System: sys.Name, Procs: procs})
+	}
+	results, _, err := RunSpecs(opt, specs)
+	if err != nil {
+		return "", err
+	}
 	t := report.NewTable(fmt.Sprintf("Collocation sweep: hot lock + protected word, %d processors", procs),
 		"system", "separate line", "collocated", "gain")
-	for _, sys := range systems {
-		sep, err := RunParams("colloc-off", base, sys, procs, nil)
-		if err != nil {
-			return "", err
-		}
-		col := base
-		col.Collocate = true
-		c, err := RunParams("colloc-on", col, sys, procs, nil)
-		if err != nil {
-			return "", err
-		}
+	for i, sys := range systems {
+		sep, c := results[2*i], results[2*i+1]
 		t.Row(sys.Name, sep.Cycles, c.Cycles, float64(sep.Cycles)/float64(c.Cycles))
 	}
 	return t.String(), nil
@@ -127,31 +144,38 @@ func SweepCollocation(procs, totalCS int) (string, error) {
 
 // SweepPredictor compares the §3.4 PC-indexed predictor against the
 // always-lock ablation and reports training accuracy.
-func SweepPredictor(procs, totalCS int) (string, error) {
+func SweepPredictor(opt Options, procs, totalCS int) (string, error) {
 	spec, err := workload.ByName("hotlock")
 	if err != nil {
 		return "", err
 	}
 	p := spec.Params
 	p.TotalCS = totalCS - totalCS%procs
+	entriesList := []int{256, 0}
+	var specs []Spec
+	for _, entries := range entriesList {
+		e := entries
+		name := "pc-indexed"
+		if e == 0 {
+			name = "always-lock"
+		}
+		specs = append(specs, Spec{
+			Name: "predictor-" + name, Params: &p,
+			System: SysIQOLB.Name, Procs: procs, PredictorEntries: &e,
+		})
+	}
+	results, _, err := RunSpecs(opt, specs)
+	if err != nil {
+		return "", err
+	}
 	t := report.NewTable(fmt.Sprintf("Predictor sweep: hot lock, %d processors", procs),
 		"configuration", "cycles", "pred hits", "pred misses", "timeouts")
-	for _, entries := range []int{256, 0} {
+	for i, entries := range entriesList {
 		name := "pc-indexed"
 		if entries == 0 {
 			name = "always-lock"
 		}
-		sys := SysIQOLB
-		bld, err := workload.Generate(p, sys.Primitive, procs)
-		if err != nil {
-			return "", err
-		}
-		cfg := sys.MachineConfig(procs)
-		cfg.Core.PredictorEntries = entries
-		r, err := runConfigured(cfg, bld, p, "predictor-"+name, sys.Name, procs)
-		if err != nil {
-			return "", err
-		}
+		r := results[i]
 		t.Row(name, r.Cycles,
 			r.Stats.Total(func(n *stats.Node) uint64 { return n.PredictorHits }),
 			r.Stats.Total(func(n *stats.Node) uint64 { return n.PredictorMisses }),
@@ -177,7 +201,7 @@ func runConfigured(cfg machine.Config, bld *workload.Build, p workload.Params,
 		return Result{}, fmt.Errorf("%s: %w", name, err)
 	}
 	if res.HitLimit {
-		return Result{}, fmt.Errorf("%s: hit cycle limit", name)
+		return Result{}, fmt.Errorf("%s: %w (%d cycles)", name, ErrCycleLimit, cfg.CycleLimit)
 	}
 	if err := bld.VerifyCounters(p, m.Peek); err != nil {
 		return Result{}, fmt.Errorf("%s: %w", name, err)
@@ -191,7 +215,7 @@ func runConfigured(cfg machine.Config, bld *workload.Build, p workload.Params,
 // poll downgrades the writer's data line; with the generalized speculation
 // the polls are answered with tear-offs and the data stays put until the
 // release.
-func SweepGeneralized(procs, totalCS int) (string, error) {
+func SweepGeneralized(opt Options, procs, totalCS int) (string, error) {
 	pollers := procs / 2
 	workers := procs - pollers
 	p := workload.Params{
@@ -202,13 +226,18 @@ func SweepGeneralized(procs, totalCS int) (string, error) {
 		PollProcs: pollers, PollReads: totalCS / 2, PollThink: 20,
 	}
 	systems := []System{SysTTS, SysIQOLB, SysGeneralized}
+	var specs []Spec
+	for _, sys := range systems {
+		specs = append(specs, Spec{Name: "readerwriter", Params: &p, System: sys.Name, Procs: procs})
+	}
+	results, _, err := RunSpecs(opt, specs)
+	if err != nil {
+		return "", err
+	}
 	t := report.NewTable(fmt.Sprintf("Generalized IQOLB sweep: %d writers under locks, %d pollers", workers, pollers),
 		"system", "cycles", "bus txs", "tear-offs", "data-line UPGRs", "timeouts")
-	for _, sys := range systems {
-		r, err := RunParams("readerwriter", p, sys, procs, nil)
-		if err != nil {
-			return "", err
-		}
+	for i, sys := range systems {
+		r := results[i]
 		t.Row(sys.Name, r.Cycles, r.BusTransactions, r.TearOffs,
 			r.Stats.TotalTx(int(2 /* mem.TxUPGR */)), r.Timeouts)
 	}

@@ -71,26 +71,27 @@ type Table3Row struct {
 
 // Table3Data computes the paper's Table 3 at the given processor count.
 // scaleFactor > 1 shrinks the workloads proportionally (all systems see
-// the same work, so the ratios remain meaningful).
-func Table3Data(procs, scaleFactor int) ([]Table3Row, error) {
+// the same work, so the ratios remain meaningful). The full benchmark ×
+// system grid fans out across the harness; rows assemble in spec order.
+func Table3Data(opt Options, procs, scaleFactor int) ([]Table3Row, error) {
+	benches := workload.Specs()
+	// Four cells per benchmark: 1-proc TTS base, then TTS/QOLB/IQOLB at
+	// the evaluated machine size.
+	var specs []Spec
+	for _, spec := range benches {
+		specs = append(specs,
+			Spec{Bench: spec.Name, System: SysTTS.Name, Procs: 1, Scale: scaleFactor},
+			Spec{Bench: spec.Name, System: SysTTS.Name, Procs: procs, Scale: scaleFactor},
+			Spec{Bench: spec.Name, System: SysQOLB.Name, Procs: procs, Scale: scaleFactor},
+			Spec{Bench: spec.Name, System: SysIQOLB.Name, Procs: procs, Scale: scaleFactor})
+	}
+	results, _, err := RunSpecs(opt, specs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table3Row
-	for _, spec := range workload.Specs() {
-		one, err := RunBenchmark(spec.Name, SysTTS, 1, scaleFactor)
-		if err != nil {
-			return nil, err
-		}
-		tts, err := RunBenchmark(spec.Name, SysTTS, procs, scaleFactor)
-		if err != nil {
-			return nil, err
-		}
-		qolb, err := RunBenchmark(spec.Name, SysQOLB, procs, scaleFactor)
-		if err != nil {
-			return nil, err
-		}
-		iq, err := RunBenchmark(spec.Name, SysIQOLB, procs, scaleFactor)
-		if err != nil {
-			return nil, err
-		}
+	for i, spec := range benches {
+		one, tts, qolb, iq := results[4*i], results[4*i+1], results[4*i+2], results[4*i+3]
 		rows = append(rows, Table3Row{
 			Benchmark:   spec.Name,
 			TTSAbs:      float64(one.Cycles) / float64(tts.Cycles),
@@ -116,8 +117,8 @@ var paperTable3 = map[string][3]float64{
 }
 
 // Table3 renders the reproduced Table 3 next to the paper's numbers.
-func Table3(procs, scaleFactor int) (string, []Table3Row, error) {
-	rows, err := Table3Data(procs, scaleFactor)
+func Table3(opt Options, procs, scaleFactor int) (string, []Table3Row, error) {
+	rows, err := Table3Data(opt, procs, scaleFactor)
 	if err != nil {
 		return "", nil, err
 	}

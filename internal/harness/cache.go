@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DefaultCacheDir is the conventional on-disk result cache location.
+const DefaultCacheDir = ".iqolb-cache"
+
+// Key returns the stable cache key for a canonical job configuration:
+// the hex SHA-256 of its JSON encoding. encoding/json is deterministic
+// for structs (field order) and maps (sorted keys), so equal configs
+// always hash equally.
+func Key(config any) (string, error) {
+	data, err := json.Marshal(config)
+	if err != nil {
+		return "", fmt.Errorf("harness: canonicalize config: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Cache memoizes job results as one JSON file per key under Dir.
+type Cache struct {
+	Dir string
+}
+
+// NewCache returns a cache rooted at dir ("" selects DefaultCacheDir).
+// The directory is created lazily on the first Put.
+func NewCache(dir string) *Cache {
+	if dir == "" {
+		dir = DefaultCacheDir
+	}
+	return &Cache{Dir: dir}
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.Dir, key+".json")
+}
+
+// Get loads the entry for key into out, reporting whether it existed.
+func (c *Cache) Get(key string, out any) (bool, error) {
+	data, err := os.ReadFile(c.path(key))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return false, fmt.Errorf("harness: corrupt cache entry %s: %w", key, err)
+	}
+	return true, nil
+}
+
+// Put stores v under key, atomically (write to a temp file, rename).
+func (c *Cache) Put(key string, v any) error {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.Dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}

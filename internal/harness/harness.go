@@ -1,0 +1,189 @@
+// Package harness orchestrates batches of deterministic simulation jobs:
+// it fans jobs out across a bounded worker pool, memoizes completed
+// results in an on-disk cache keyed by a stable hash of each job's
+// canonical configuration, streams progress to an io.Writer, and emits
+// structured run artifacts (per-job JSON results plus an aggregate
+// manifest with wall-clock timings and cache statistics).
+//
+// The harness is generic and knows nothing about the simulator: a Job
+// carries a canonical config (hashed for the cache key) and a Run
+// closure. Results are collected positionally — the output order is the
+// input order regardless of completion order — so any output rendered
+// from a harness batch is byte-identical to a serial run.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one unit of work: a deterministic computation identified by its
+// canonical configuration.
+type Job[T any] struct {
+	// Label names the job in progress lines, artifacts and the manifest.
+	Label string
+	// Config is the canonical description of the computation. It is
+	// JSON-marshaled and hashed for the cache key; two jobs with equal
+	// configs are the same computation. A nil Config opts this job out
+	// of caching.
+	Config any
+	// Run executes the job on a cache miss. It must be safe to call
+	// concurrently with other jobs' Run functions.
+	Run func() (T, error)
+	// Metrics optionally extracts scalar measurements from a result for
+	// the manifest (e.g. sim cycles, latency percentiles). Called for
+	// both fresh and cached results.
+	Metrics func(T) map[string]float64
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Workers bounds the pool; <= 0 means runtime.NumCPU().
+	Workers int
+	// Cache memoizes results on disk; nil disables caching.
+	Cache *Cache
+	// Progress receives streaming completed/total/ETA lines; nil is
+	// silent. Progress output never goes to stdout results.
+	Progress io.Writer
+	// ArtifactDir, when non-empty, receives one JSON file per job result
+	// plus manifest.json for the batch.
+	ArtifactDir string
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Run executes the batch and returns the results in job order along with
+// the batch manifest. On job failure the remaining queued jobs are
+// skipped, the manifest records every outcome, and the returned error is
+// the first failure in job order (wrapped with its label). The manifest
+// is returned even on error.
+func Run[T any](opt Options, jobs []Job[T]) ([]T, *Manifest, error) {
+	start := time.Now()
+	results := make([]T, len(jobs))
+	records := make([]Record, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var (
+		mu     sync.Mutex
+		failed bool
+		done   int
+		hits   int
+	)
+	prog := newProgress(opt.Progress, len(jobs))
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				mu.Lock()
+				skip := failed
+				mu.Unlock()
+				if skip {
+					records[i] = Record{Label: jobs[i].Label, Status: StatusSkipped}
+					continue
+				}
+				rec, res, err := runOne(opt, jobs[i])
+				results[i], records[i], errs[i] = res, rec, err
+				mu.Lock()
+				if err != nil {
+					failed = true
+				}
+				done++
+				if rec.Status == StatusHit {
+					hits++
+				}
+				prog.report(done, hits, rec)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range jobs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	m := buildManifest(opt, records, time.Since(start))
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			firstErr = fmt.Errorf("%s: %w", jobs[i].Label, err)
+			break
+		}
+	}
+	if opt.ArtifactDir != "" {
+		if err := writeArtifacts(opt.ArtifactDir, jobs, results, records, m); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return results, m, firstErr
+}
+
+// runOne resolves a single job through the cache or by running it.
+func runOne[T any](opt Options, job Job[T]) (Record, T, error) {
+	t0 := time.Now()
+	rec := Record{Label: job.Label}
+	var zero T
+
+	if job.Config != nil {
+		key, err := Key(job.Config)
+		if err != nil {
+			rec.Status = StatusError
+			rec.Error = err.Error()
+			return rec, zero, fmt.Errorf("cache key: %w", err)
+		}
+		rec.Key = key
+		if opt.Cache != nil {
+			var cached T
+			ok, err := opt.Cache.Get(key, &cached)
+			if err != nil {
+				// A corrupt or unreadable entry falls back to a fresh
+				// run; the entry is overwritten below.
+				ok = false
+			}
+			if ok {
+				rec.Status = StatusHit
+				rec.WallMS = msSince(t0)
+				fillMetrics(&rec, job, cached)
+				return rec, cached, nil
+			}
+		}
+	}
+
+	res, err := job.Run()
+	rec.WallMS = msSince(t0)
+	if err != nil {
+		rec.Status = StatusError
+		rec.Error = err.Error()
+		return rec, zero, err
+	}
+	rec.Status = StatusMiss
+	fillMetrics(&rec, job, res)
+	if opt.Cache != nil && rec.Key != "" {
+		if err := opt.Cache.Put(rec.Key, res); err != nil {
+			return rec, res, fmt.Errorf("cache put: %w", err)
+		}
+	}
+	return rec, res, nil
+}
+
+func fillMetrics[T any](rec *Record, job Job[T], res T) {
+	if job.Metrics != nil {
+		rec.Metrics = job.Metrics(res)
+	}
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+type out struct {
+	N int `json:"n"`
+}
+
+func squareJobs(n int, ran *atomic.Int64) []Job[out] {
+	jobs := make([]Job[out], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[out]{
+			Label:  fmt.Sprintf("sq-%d", i),
+			Config: map[string]int{"i": i},
+			Run: func() (out, error) {
+				if ran != nil {
+					ran.Add(1)
+				}
+				return out{N: i * i}, nil
+			},
+			Metrics: func(o out) map[string]float64 {
+				return map[string]float64{"cycles": float64(o.N)}
+			},
+		}
+	}
+	return jobs
+}
+
+// Results come back in job order regardless of worker count, and the
+// manifest accounts for every job.
+func TestRunDeterministicOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		res, m, err := Run(Options{Workers: workers}, squareJobs(33, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range res {
+			if r.N != i*i {
+				t.Fatalf("workers=%d: res[%d] = %d, want %d", workers, i, r.N, i*i)
+			}
+		}
+		if m.Jobs != 33 || m.CacheMisses != 33 || m.CacheHits != 0 {
+			t.Fatalf("manifest: %+v", m)
+		}
+		if m.Workers != workers {
+			t.Fatalf("manifest workers = %d", m.Workers)
+		}
+	}
+}
+
+// A warm cache serves every job without re-running it, byte-identically.
+func TestRunCacheRoundTrip(t *testing.T) {
+	cache := NewCache(filepath.Join(t.TempDir(), "cache"))
+	var ran atomic.Int64
+
+	cold, m1, err := Run(Options{Workers: 4, Cache: cache}, squareJobs(12, &ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 12 || m1.CacheMisses != 12 {
+		t.Fatalf("cold run: ran=%d manifest=%+v", ran.Load(), m1)
+	}
+
+	warm, m2, err := Run(Options{Workers: 4, Cache: cache}, squareJobs(12, &ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 12 {
+		t.Fatalf("warm run re-executed jobs: ran=%d", ran.Load())
+	}
+	if m2.CacheHits != 12 || m2.CacheMisses != 0 {
+		t.Fatalf("warm manifest: %+v", m2)
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("cached result differs at %d: %+v vs %+v", i, cold[i], warm[i])
+		}
+	}
+	// Metrics survive the cache path (computed from the decoded result).
+	if m2.SimCycles != m1.SimCycles {
+		t.Fatalf("sim cycles differ: %v vs %v", m2.SimCycles, m1.SimCycles)
+	}
+}
+
+// Distinct configs never collide; equal configs always collide.
+func TestKeyStability(t *testing.T) {
+	type cfg struct {
+		A string
+		B int
+	}
+	k1, err := Key(cfg{"x", 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key(cfg{"x", 1})
+	k3, _ := Key(cfg{"x", 2})
+	if k1 != k2 {
+		t.Fatal("equal configs hash differently")
+	}
+	if k1 == k3 {
+		t.Fatal("distinct configs collide")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key length %d", len(k1))
+	}
+}
+
+// A failing job surfaces its error (wrapped with the label), later jobs
+// are skipped, and the manifest records both.
+func TestRunErrorSkipsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	var jobs []Job[out]
+	for i := 0; i < 20; i++ {
+		i := i
+		jobs = append(jobs, Job[out]{
+			Label: fmt.Sprintf("job-%d", i),
+			Run: func() (out, error) {
+				if i == 3 {
+					return out{}, boom
+				}
+				return out{N: i}, nil
+			},
+		})
+	}
+	_, m, err := Run(Options{Workers: 1}, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "job-3") {
+		t.Fatalf("error not labeled: %v", err)
+	}
+	if m.Errors != 1 || m.Skipped != 16 {
+		t.Fatalf("manifest: errors=%d skipped=%d", m.Errors, m.Skipped)
+	}
+}
+
+// Artifacts land on disk: one JSON per result plus manifest.json.
+func TestRunArtifacts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "artifacts")
+	_, _, err := Run(Options{Workers: 2, ArtifactDir: dir}, squareJobs(3, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	if !names["manifest.json"] {
+		t.Fatalf("no manifest.json in %v", names)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("want 3 results + manifest, got %v", names)
+	}
+}
+
+// Progress lines stream to the writer and count up to the total.
+func TestProgressStream(t *testing.T) {
+	var sb strings.Builder
+	_, _, err := Run(Options{Workers: 2, Progress: &sb}, squareJobs(5, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 progress lines, got %d:\n%s", len(lines), sb.String())
+	}
+	if !strings.Contains(lines[4], "5/5") || !strings.Contains(lines[4], "done") {
+		t.Fatalf("final line: %s", lines[4])
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	if got := sanitizeLabel("a b/c:d"); got != "a_b_c_d" {
+		t.Fatalf("sanitize = %q", got)
+	}
+	if got := sanitizeLabel(""); got != "job" {
+		t.Fatalf("empty label = %q", got)
+	}
+}

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Job outcome statuses recorded in the manifest.
+const (
+	StatusHit     = "hit"     // served from the result cache
+	StatusMiss    = "miss"    // simulated fresh (and cached, if enabled)
+	StatusError   = "error"   // the job's Run returned an error
+	StatusSkipped = "skipped" // abandoned after an earlier failure
+)
+
+// Record is one job's entry in the manifest.
+type Record struct {
+	Label   string             `json:"label"`
+	Key     string             `json:"key,omitempty"`
+	Status  string             `json:"status"`
+	WallMS  float64            `json:"wall_ms"`
+	Error   string             `json:"error,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Manifest aggregates one batch: counts, cache statistics, wall-clock
+// and total simulated cycles (the sum of each job's "cycles" metric).
+type Manifest struct {
+	Workers     int      `json:"workers"`
+	Jobs        int      `json:"jobs"`
+	CacheHits   int      `json:"cache_hits"`
+	CacheMisses int      `json:"cache_misses"`
+	Errors      int      `json:"errors"`
+	Skipped     int      `json:"skipped"`
+	WallMS      float64  `json:"wall_ms"`
+	SimCycles   float64  `json:"sim_cycles"`
+	Records     []Record `json:"records"`
+}
+
+func buildManifest(opt Options, records []Record, wall time.Duration) *Manifest {
+	m := &Manifest{
+		Workers: opt.workers(),
+		Jobs:    len(records),
+		WallMS:  float64(wall) / float64(time.Millisecond),
+		Records: records,
+	}
+	for _, r := range records {
+		switch r.Status {
+		case StatusHit:
+			m.CacheHits++
+		case StatusMiss:
+			m.CacheMisses++
+		case StatusError:
+			m.Errors++
+		case StatusSkipped:
+			m.Skipped++
+		}
+		m.SimCycles += r.Metrics["cycles"]
+	}
+	return m
+}
+
+// Summary renders a one-line account of the batch.
+func (m *Manifest) Summary() string {
+	return fmt.Sprintf("%d jobs on %d workers in %.0f ms: %d cache hits, %d misses, %d errors (%.3g sim cycles)",
+		m.Jobs, m.Workers, m.WallMS, m.CacheHits, m.CacheMisses, m.Errors, m.SimCycles)
+}
+
+// WriteFile stores the manifest as indented JSON at path.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeArtifacts emits one JSON file per successful job result plus the
+// batch manifest under dir.
+func writeArtifacts[T any](dir string, jobs []Job[T], results []T, records []Record, m *Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, rec := range records {
+		if rec.Status != StatusHit && rec.Status != StatusMiss {
+			continue
+		}
+		name := sanitizeLabel(jobs[i].Label)
+		if rec.Key != "" {
+			name += "-" + rec.Key[:8]
+		}
+		data, err := json.MarshalIndent(results[i], "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".json"), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return m.WriteFile(filepath.Join(dir, "manifest.json"))
+}
+
+// sanitizeLabel maps a job label to a safe file-name stem.
+func sanitizeLabel(label string) string {
+	f := func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}
+	s := strings.Map(f, label)
+	if s == "" {
+		s = "job"
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// progress streams completed/total lines with an ETA estimate. All calls
+// to report happen under the batch mutex, so no extra locking is needed.
+type progress struct {
+	w     io.Writer
+	total int
+	start time.Time
+}
+
+func newProgress(w io.Writer, total int) *progress {
+	return &progress{w: w, total: total, start: time.Now()}
+}
+
+func (p *progress) report(done, hits int, rec Record) {
+	if p.w == nil {
+		return
+	}
+	eta := "?"
+	if done > 0 && done < p.total {
+		per := time.Since(p.start) / time.Duration(done)
+		eta = (per * time.Duration(p.total-done)).Round(100 * time.Millisecond).String()
+	} else if done == p.total {
+		eta = "done"
+	}
+	status := rec.Status
+	if rec.Status == StatusMiss {
+		status = fmt.Sprintf("ran %.0f ms", rec.WallMS)
+	}
+	fmt.Fprintf(p.w, "harness: %d/%d (%d cached) eta %s  %s [%s]\n",
+		done, p.total, hits, eta, rec.Label, status)
+}

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -44,6 +45,84 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by linear
+// interpolation inside the power-of-two bucket that contains the target
+// rank. The recorded Min/Max clamp the bucket edges, so Percentile(0)
+// is Min and Percentile(100) is Max exactly.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return float64(h.Min)
+	}
+	if p >= 100 {
+		return float64(h.Max)
+	}
+	target := p / 100 * float64(h.Count)
+	var keys []int
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var cum float64
+	for _, k := range keys {
+		n := float64(h.buckets[k])
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		lo, hi := bucketBounds(k)
+		if lo < float64(h.Min) {
+			lo = float64(h.Min)
+		}
+		if hi > float64(h.Max) {
+			hi = float64(h.Max)
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (target - cum) / n
+		return lo + frac*(hi-lo)
+	}
+	return float64(h.Max)
+}
+
+// bucketBounds returns the value range covered by bucket b: bucket 0
+// holds samples in [0,1], bucket i>0 holds [2^i, 2^(i+1)).
+func bucketBounds(b int) (lo, hi float64) {
+	if b == 0 {
+		return 0, 1
+	}
+	lo = float64(uint64(1) << b)
+	return lo, 2*lo - 1
+}
+
+// histogramJSON is the serialized form of Histogram; the bucket map is
+// exported so cached results round-trip bit-exactly.
+type histogramJSON struct {
+	Count   uint64         `json:"count"`
+	Sum     uint64         `json:"sum"`
+	Min     uint64         `json:"min"`
+	Max     uint64         `json:"max"`
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON serializes the histogram including its buckets.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{h.Count, h.Sum, h.Min, h.Max, h.buckets})
+}
+
+// UnmarshalJSON restores a histogram serialized by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var hj histogramJSON
+	if err := json.Unmarshal(data, &hj); err != nil {
+		return err
+	}
+	*h = Histogram{Count: hj.Count, Sum: hj.Sum, Min: hj.Min, Max: hj.Max, buckets: hj.Buckets}
+	return nil
 }
 
 // String renders "count mean [min,max]" plus the occupied buckets.

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -47,6 +49,78 @@ func TestPropertyHistogram(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 {
+		t.Fatal("empty percentile not zero")
+	}
+	// 100 identical samples: every percentile collapses to the sample.
+	for i := 0; i < 100; i++ {
+		h.Add(64)
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 64 {
+			t.Fatalf("Percentile(%v) = %v, want 64", p, got)
+		}
+	}
+	// A spread: 90 samples in [2,3] (bucket 1), 10 samples at 1024.
+	h = Histogram{}
+	for i := 0; i < 90; i++ {
+		h.Add(2)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1024)
+	}
+	if p0, p100 := h.Percentile(0), h.Percentile(100); p0 != 2 || p100 != 1024 {
+		t.Fatalf("extremes = %v, %v", p0, p100)
+	}
+	if p50 := h.Percentile(50); p50 < 2 || p50 > 3 {
+		t.Fatalf("p50 = %v, want within bucket [2,3]", p50)
+	}
+	if p99 := h.Percentile(99); p99 != 1024 {
+		t.Fatalf("p99 = %v, want 1024 (clamped to Max)", p99)
+	}
+	// Monotone in p.
+	prev := -1.0
+	for p := 0.0; p <= 100; p += 5 {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("Percentile not monotone at p=%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 7, 100, 5000} {
+		h.Add(v)
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, back) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", h, back)
+	}
+	// Marshal of the round-tripped value must be byte-identical (cache
+	// hits must reproduce the serial output exactly).
+	data2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("re-marshal differs:\n%s\n%s", data, data2)
+	}
+	if back.Percentile(50) != h.Percentile(50) {
+		t.Fatal("percentile differs after round trip")
 	}
 }
 

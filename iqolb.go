@@ -31,6 +31,7 @@ import (
 	"iqolb/internal/core"
 	"iqolb/internal/engine"
 	"iqolb/internal/experiments"
+	"iqolb/internal/harness"
 	"iqolb/internal/isa"
 	"iqolb/internal/machine"
 	"iqolb/internal/mem"
@@ -79,7 +80,22 @@ type (
 	Recorder = trace.Recorder
 	// Result is one experiment's summarized measurements.
 	Result = experiments.Result
+	// Spec canonically describes one simulation job for the harness.
+	Spec = experiments.Spec
+	// Options configures the parallel harness (worker count, result
+	// cache, run artifacts, progress stream). The zero value runs on
+	// runtime.NumCPU() workers with caching and artifacts off.
+	Options = experiments.Options
+	// Manifest is a harness batch's aggregate run artifact.
+	Manifest = harness.Manifest
 )
+
+// ErrCycleLimit marks a simulation aborted at the engine's cycle limit;
+// its measurements would be truncated. Detect it with errors.Is.
+var ErrCycleLimit = experiments.ErrCycleLimit
+
+// DefaultCacheDir is the conventional on-disk result cache location.
+const DefaultCacheDir = harness.DefaultCacheDir
 
 // Hardware modes (the Figure 1 progression).
 const (
@@ -180,21 +196,36 @@ func RunFetchAdd(sys System, procs, totalOps int, think int64) (Result, error) {
 	return experiments.RunFetchAdd(sys, procs, totalOps, think)
 }
 
+// RunSpec resolves and executes one experiment spec serially.
+func RunSpec(s Spec) (Result, error) { return experiments.RunSpec(s) }
+
+// RunSpecs executes a batch of experiment specs through the parallel
+// harness: jobs fan out across a bounded worker pool, completed results
+// are memoized in the on-disk cache keyed by a stable hash of each
+// job's canonical configuration, and the results come back in spec
+// order (independent of completion order). The manifest carries
+// per-job wall times, sim-cycle counts, lock hand-off latency
+// percentiles and cache hit/miss statistics.
+func RunSpecs(opt Options, specs []Spec) ([]Result, *Manifest, error) {
+	return experiments.RunSpecs(opt, specs)
+}
+
 // Table1 renders the configured system parameters (paper Table 1).
 func Table1() string { return experiments.Table1() }
 
 // Table2 renders the benchmark inventory (paper Table 2).
 func Table2() string { return experiments.Table2() }
 
-// Table3 reproduces the paper's results table at the given machine size,
-// returning the rendered table and the raw rows.
-func Table3(procs, scaleFactor int) (string, []experiments.Table3Row, error) {
-	return experiments.Table3(procs, scaleFactor)
+// Table3 reproduces the paper's results table at the given machine size
+// through the parallel harness, returning the rendered table and the raw
+// rows. Options{} runs uncached on runtime.NumCPU() workers.
+func Table3(opt Options, procs, scaleFactor int) (string, []experiments.Table3Row, error) {
+	return experiments.Table3(opt, procs, scaleFactor)
 }
 
 // Figure1 runs the Figure 1 design-space progression on a hot lock.
-func Figure1(procs, totalCS int) (string, []Result, error) {
-	return experiments.Figure1(procs, totalCS)
+func Figure1(opt Options, procs, totalCS int) (string, []Result, error) {
+	return experiments.Figure1(opt, procs, totalCS)
 }
 
 // Figure2 renders the traditional LL/SC message sequence (paper Figure 2).
@@ -208,34 +239,34 @@ func Figure4() (string, *Recorder, error) { return experiments.Figure4() }
 
 // SweepScaling runs a benchmark across processor counts under the main
 // systems (contention scaling).
-func SweepScaling(bench string, procCounts []int, scaleFactor int) (string, error) {
-	return experiments.SweepScaling(bench, procCounts, scaleFactor)
+func SweepScaling(opt Options, bench string, procCounts []int, scaleFactor int) (string, error) {
+	return experiments.SweepScaling(opt, bench, procCounts, scaleFactor)
 }
 
 // SweepTimeout studies the delay time-out budgets (§3.2/§3.3).
-func SweepTimeout(procs, totalCS int, budgets []Time) (string, error) {
-	return experiments.SweepTimeout(procs, totalCS, budgets)
+func SweepTimeout(opt Options, procs, totalCS int, budgets []Time) (string, error) {
+	return experiments.SweepTimeout(opt, procs, totalCS, budgets)
 }
 
 // SweepRetention studies queue retention vs. breakdown on false-shared
 // locks (§3.2/§3.3 alternatives).
-func SweepRetention(procs, totalCS int) (string, error) {
-	return experiments.SweepRetention(procs, totalCS)
+func SweepRetention(opt Options, procs, totalCS int) (string, error) {
+	return experiments.SweepRetention(opt, procs, totalCS)
 }
 
 // SweepCollocation studies the §6 collocation extension.
-func SweepCollocation(procs, totalCS int) (string, error) {
-	return experiments.SweepCollocation(procs, totalCS)
+func SweepCollocation(opt Options, procs, totalCS int) (string, error) {
+	return experiments.SweepCollocation(opt, procs, totalCS)
 }
 
 // SweepPredictor compares the §3.4 predictor against the always-lock
 // ablation.
-func SweepPredictor(procs, totalCS int) (string, error) {
-	return experiments.SweepPredictor(procs, totalCS)
+func SweepPredictor(opt Options, procs, totalCS int) (string, error) {
+	return experiments.SweepPredictor(opt, procs, totalCS)
 }
 
 // SweepGeneralized evaluates the §6 Generalized IQOLB extension on a
 // reader/writer kernel.
-func SweepGeneralized(procs, totalCS int) (string, error) {
-	return experiments.SweepGeneralized(procs, totalCS)
+func SweepGeneralized(opt Options, procs, totalCS int) (string, error) {
+	return experiments.SweepGeneralized(opt, procs, totalCS)
 }
