@@ -26,6 +26,7 @@ func main() {
 		procs       = flag.Int("procs", 32, "processor count")
 		scale       = flag.Int("scale", 1, "divide the workload by this factor")
 		verbose     = flag.Bool("v", false, "print detailed statistics")
+		checked     = flag.Bool("check", false, "run under the protocol-invariant monitors (internal/check)")
 		printConfig = flag.Bool("print-config", false, "print the Table 1 system configuration and exit")
 		listWl      = flag.Bool("list-workloads", false, "print the Table 2 benchmark inventory and exit")
 		listSys     = flag.Bool("list-systems", false, "print the available systems and exit")
@@ -59,6 +60,7 @@ func main() {
 		Benchmark:  *bench,
 		System:     sys,
 		Processors: *procs,
+		Check:      *checked,
 		ScaleFactor: func() int {
 			if *scale < 1 {
 				return 1

@@ -37,10 +37,11 @@ func main() {
 		cacheDir  = flag.String("cache-dir", iqolb.DefaultCacheDir, "on-disk result cache location")
 		artifacts = flag.String("artifacts", "", "write per-job result JSON and the run manifest to this directory")
 		quiet     = flag.Bool("q", false, "suppress progress output on stderr")
+		checked   = flag.Bool("check", false, "run every job under the protocol-invariant monitors (internal/check)")
 	)
 	flag.Parse()
 
-	opt := iqolb.Options{Jobs: *jobs, CacheDir: *cacheDir, ArtifactDir: *artifacts}
+	opt := iqolb.Options{Jobs: *jobs, CacheDir: *cacheDir, ArtifactDir: *artifacts, Check: *checked}
 	if *noCache {
 		opt.CacheDir = ""
 	}

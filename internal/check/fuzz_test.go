@@ -1,0 +1,21 @@
+package check
+
+import "testing"
+
+// FuzzSignature drives arbitrary workload signatures through the
+// differential oracle: whatever the seed, all five lock mechanisms must
+// produce the identical final protected-counter state, with the invariant
+// monitors clean on every run.
+func FuzzSignature(f *testing.F) {
+	f.Add(uint64(1), uint8(0))
+	f.Add(uint64(42), uint8(1))
+	f.Add(uint64(0xdeadbeef), uint8(2))
+	f.Add(uint64(7777), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, procsRaw uint8) {
+		procs := 2 + int(procsRaw%3) // 2..4
+		p := RandomSignature(seed, procs)
+		if _, err := Diff(p, DiffOptions{Procs: procs, Monitor: true}, nil); err != nil {
+			t.Fatalf("seed %d procs %d (%+v): %v", seed, procs, p, err)
+		}
+	})
+}

@@ -1,0 +1,370 @@
+// Package check is the correctness-verification subsystem for the IQOLB
+// simulator: always-on protocol-invariant monitors (this file), a bounded
+// schedule explorer that permutes coherence-message delivery orders
+// (explorer.go), and a differential oracle that runs one workload
+// signature under every lock primitive and compares final memory state
+// (oracle.go).
+//
+// The monitors watch the properties the paper's delay machinery is most
+// likely to break: single-writer-multiple-reader, the data-value
+// invariant, bus-order lock hand-off, tear-off copies staying
+// non-coherent, and freedom from starvation of queued LPRFO waiters.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"iqolb/internal/coherence"
+	"iqolb/internal/engine"
+	"iqolb/internal/interconnect"
+	"iqolb/internal/machine"
+	"iqolb/internal/mem"
+)
+
+// Config tunes a Monitor. The zero value is a sensible always-on setup:
+// full invariant scans every defaultScanStride events, a starvation bound
+// derived from the policy's delay budgets, and fail-fast halting.
+type Config struct {
+	// ScanStride runs a full invariant scan every N dispatched events
+	// (1 = every event, as the explorer uses; 0 = defaultScanStride).
+	// Installs and grants are additionally checked immediately, so a
+	// sparse stride only delays detection of scan-only violations.
+	ScanStride uint64
+	// StarvationBound is the maximum age, in cycles, of an observed but
+	// ungranted LPRFO before the watchdog flags starvation. 0 derives a
+	// bound from the policy's lock/SC delay budgets and the node count.
+	StarvationBound engine.Time
+	// KeepGoing records violations without halting the engine. The
+	// default (false) halts the machine at the end of the first violating
+	// event, so a broken run stops burning cycles.
+	KeepGoing bool
+	// MaxViolations caps the recorded violation list (0 = 32).
+	MaxViolations int
+}
+
+const (
+	defaultScanStride    = 4096
+	defaultMaxViolations = 32
+)
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	At     engine.Time
+	Kind   string // "swmr", "data-value", "handoff-order", "tearoff-ownership", "starvation"
+	Line   mem.LineID
+	Node   mem.NodeID
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("cycle %d: %s: node %s line %d: %s", v.At, v.Kind, v.Node, v.Line, v.Detail)
+}
+
+// pendingGrant is an observed LPRFO that has not yet been granted the line.
+type pendingGrant struct {
+	node  mem.NodeID
+	since engine.Time
+}
+
+// Monitor implements coherence.Probe and engine after-step checking. It
+// tracks only lines contended by two or more distinct requesters, so
+// private streaming traffic costs one map lookup per bus transaction.
+type Monitor struct {
+	eng       *engine.Engine
+	f         *coherence.Fabric
+	procs     int
+	cfg       Config
+	retention bool
+
+	tracked  map[mem.LineID]bool
+	firstReq map[mem.LineID]mem.NodeID
+	shadow   map[mem.Addr]uint64
+	pending  map[mem.LineID][]pendingGrant
+
+	tearNode  mem.NodeID
+	tearLine  mem.LineID
+	tearValid bool
+
+	events     uint64
+	scans      uint64
+	violations []Violation
+	halted     bool
+}
+
+// Attach builds a monitor over an assembled fabric and hooks it into the
+// engine and the coherence probe. Call before the machine runs.
+func Attach(eng *engine.Engine, f *coherence.Fabric, procs int, cfg Config) *Monitor {
+	pol := f.Node(0).Policy().Config()
+	if cfg.ScanStride == 0 {
+		cfg.ScanStride = defaultScanStride
+	}
+	if cfg.MaxViolations == 0 {
+		cfg.MaxViolations = defaultMaxViolations
+	}
+	if cfg.StarvationBound == 0 {
+		cfg.StarvationBound = engine.Time(procs+1)*(pol.LockTimeout+pol.SCTimeout) + 1_000_000
+	}
+	mo := &Monitor{
+		eng:       eng,
+		f:         f,
+		procs:     procs,
+		cfg:       cfg,
+		retention: pol.QueueRetention,
+		tracked:   make(map[mem.LineID]bool),
+		firstReq:  make(map[mem.LineID]mem.NodeID),
+		shadow:    make(map[mem.Addr]uint64),
+		pending:   make(map[mem.LineID][]pendingGrant),
+	}
+	f.SetProbe(mo)
+	eng.SetAfterStep(mo.afterStep)
+	return mo
+}
+
+// AttachToMachine attaches a monitor to an assembled, not-yet-run machine.
+func AttachToMachine(m *machine.Machine, cfg Config) *Monitor {
+	return Attach(m.Engine(), m.Fabric(), m.Processors(), cfg)
+}
+
+// Violations returns the recorded breaches (nil when the run was clean).
+func (mo *Monitor) Violations() []Violation { return mo.violations }
+
+// Events reports how many engine events the monitor observed.
+func (mo *Monitor) Events() uint64 { return mo.events }
+
+// Scans reports how many full invariant scans ran.
+func (mo *Monitor) Scans() uint64 { return mo.scans }
+
+// TrackedLines reports how many contended lines the monitor is checking.
+func (mo *Monitor) TrackedLines() int { return len(mo.tracked) }
+
+// Err summarizes the violations as an error, nil if the run was clean.
+func (mo *Monitor) Err() error {
+	if len(mo.violations) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %d invariant violation(s):", len(mo.violations))
+	for i, v := range mo.violations {
+		if i == 4 {
+			fmt.Fprintf(&b, "\n  ... and %d more", len(mo.violations)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Finish runs the end-of-run checks (a final full scan plus the committed
+// value vs. surviving memory state comparison) and returns Err.
+func (mo *Monitor) Finish() error {
+	mo.scanAll(mo.eng.Now())
+	for addr, want := range mo.shadow {
+		if got := mo.peek(addr); got != want {
+			mo.report(Violation{At: mo.eng.Now(), Kind: "data-value", Line: addr.Line(),
+				Node: mem.MemoryNode,
+				Detail: fmt.Sprintf("final state of addr %#x is %d, last committed store was %d",
+					uint64(addr), got, want)})
+		}
+	}
+	return mo.Err()
+}
+
+// peek reads an address the way a quiescent machine would: dirty cached
+// copies first, then home memory.
+func (mo *Monitor) peek(addr mem.Addr) uint64 {
+	for i := 0; i < mo.procs; i++ {
+		if v, ok := mo.f.Node(i).PeekWord(addr); ok {
+			return v
+		}
+	}
+	return mo.f.Memory().Peek(addr)
+}
+
+func (mo *Monitor) report(v Violation) {
+	// A broken state persists across the probes of one event (and across
+	// events in KeepGoing mode); collapse consecutive repeats.
+	if n := len(mo.violations); n > 0 {
+		last := mo.violations[n-1]
+		if last.Kind == v.Kind && last.Line == v.Line && last.Node == v.Node {
+			return
+		}
+	}
+	if len(mo.violations) < mo.cfg.MaxViolations {
+		mo.violations = append(mo.violations, v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// coherence.Probe
+// ---------------------------------------------------------------------------
+
+// Observe tracks contention and the bus-order hand-off queue.
+func (mo *Monitor) Observe(tx interconnect.Tx) {
+	line := tx.Line
+	if !mo.tracked[line] {
+		if first, ok := mo.firstReq[line]; !ok {
+			mo.firstReq[line] = tx.Requester
+		} else if first != tx.Requester {
+			mo.tracked[line] = true
+		}
+	}
+	if tx.Kind == mem.TxLPRFO {
+		mo.pending[line] = append(mo.pending[line], pendingGrant{node: tx.Requester, since: mo.eng.Now()})
+	}
+}
+
+// DataSend checks that exclusive grants respect the bus-order queue.
+func (mo *Monitor) DataSend(m interconnect.Msg) {
+	if m.Kind != mem.DataExclusive || m.Loan || m.To == mem.MemoryNode {
+		return
+	}
+	q := mo.pending[m.Line]
+	for i, p := range q {
+		if p.node != m.To {
+			continue
+		}
+		if i != 0 {
+			mo.report(Violation{At: mo.eng.Now(), Kind: "handoff-order", Line: m.Line, Node: m.To,
+				Detail: fmt.Sprintf("granted ahead of %d earlier queued LPRFO(s) (head %s)",
+					i, q[0].node)})
+		}
+		mo.pending[m.Line] = append(q[:i:i], q[i+1:]...)
+		return
+	}
+	// Not in the queue: a plain writer cutting in at the holder, which
+	// the paper permits. Nothing to check.
+}
+
+// DataDeliver arms the tear-off ownership check for this event.
+func (mo *Monitor) DataDeliver(m interconnect.Msg) {
+	if m.Kind == mem.DataTearOff {
+		mo.tearNode, mo.tearLine, mo.tearValid = m.To, m.Line, true
+	}
+}
+
+// Install checks SWMR immediately at every install of a tracked line, and
+// that tear-off deliveries never install anything.
+func (mo *Monitor) Install(node mem.NodeID, line mem.LineID, state mem.State) {
+	if mo.tearValid && mo.tearNode == node && mo.tearLine == line {
+		mo.report(Violation{At: mo.eng.Now(), Kind: "tearoff-ownership", Line: line, Node: node,
+			Detail: fmt.Sprintf("tear-off delivery installed a durable %s copy", state)})
+	}
+	if mo.tracked[line] {
+		mo.checkLine(line, mo.eng.Now())
+	}
+}
+
+// CommitStore maintains the last-committed-value shadow for tracked lines.
+func (mo *Monitor) CommitStore(node mem.NodeID, addr mem.Addr, value uint64) {
+	if mo.tracked[addr.Line()] {
+		mo.shadow[addr] = value
+	}
+}
+
+// Squash removes the squashing node from the hand-off queue; its re-issued
+// LPRFO re-enters at its new bus position with a fresh starvation clock.
+func (mo *Monitor) Squash(node mem.NodeID, line mem.LineID) {
+	q := mo.pending[line]
+	for i, p := range q {
+		if p.node == node {
+			mo.pending[line] = append(q[:i:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scanning
+// ---------------------------------------------------------------------------
+
+// afterStep runs after every dispatched engine event.
+func (mo *Monitor) afterStep(now engine.Time) {
+	mo.events++
+	mo.tearValid = false
+	if mo.events%mo.cfg.ScanStride == 0 {
+		mo.scanAll(now)
+	}
+	if !mo.cfg.KeepGoing && len(mo.violations) > 0 && !mo.halted {
+		mo.halted = true
+		mo.eng.Halt()
+	}
+}
+
+// scanAll checks every tracked line plus the starvation watchdog.
+func (mo *Monitor) scanAll(now engine.Time) {
+	mo.scans++
+	for line := range mo.tracked {
+		mo.checkLine(line, now)
+	}
+	for line, q := range mo.pending {
+		for _, p := range q {
+			if now-p.since > mo.cfg.StarvationBound {
+				mo.report(Violation{At: now, Kind: "starvation", Line: line, Node: p.node,
+					Detail: fmt.Sprintf("LPRFO observed at cycle %d still ungranted after %d cycles",
+						p.since, now-p.since)})
+			}
+		}
+	}
+}
+
+// checkLine verifies SWMR and the data-value invariant on one line.
+func (mo *Monitor) checkLine(line mem.LineID, now engine.Time) {
+	exclusive, owned, readers := 0, 0, 0
+	exclNode := mem.MemoryNode
+	for i := 0; i < mo.procs; i++ {
+		st := mo.f.Node(i).State(line)
+		switch st {
+		case mem.Exclusive, mem.Modified:
+			exclusive++
+			exclNode = mem.NodeID(i)
+		case mem.Owned:
+			owned++
+		}
+		if st.CanRead() {
+			readers++
+		}
+	}
+	switch {
+	case exclusive > 1:
+		mo.report(Violation{At: now, Kind: "swmr", Line: line, Node: exclNode,
+			Detail: fmt.Sprintf("%d writable (E/M) copies", exclusive)})
+	case exclusive == 1 && readers > 1:
+		mo.report(Violation{At: now, Kind: "swmr", Line: line, Node: exclNode,
+			Detail: fmt.Sprintf("writable copy coexists with %d other readable copies", readers-1)})
+	case exclusive+owned > 1:
+		mo.report(Violation{At: now, Kind: "swmr", Line: line, Node: exclNode,
+			Detail: fmt.Sprintf("%d owning copies (E/M/O)", exclusive + owned)})
+	}
+	// Data-value invariant: every readable copy agrees with every other
+	// copy and with the last committed store where one is known.
+	base := line.Base()
+	haveRef := false
+	var ref [mem.WordsPerLine]uint64
+	for i := 0; i < mo.procs; i++ {
+		if !mo.f.Node(i).State(line).CanRead() {
+			continue
+		}
+		for w := 0; w < mem.WordsPerLine; w++ {
+			addr := base + mem.Addr(w*mem.WordSize)
+			v, ok := mo.f.Node(i).PeekWord(addr)
+			if !ok {
+				continue
+			}
+			if want, known := mo.shadow[addr]; known && v != want {
+				mo.report(Violation{At: now, Kind: "data-value", Line: line, Node: mem.NodeID(i),
+					Detail: fmt.Sprintf("addr %#x reads %d, last committed store was %d",
+						uint64(addr), v, want)})
+			}
+			if haveRef && v != ref[w] {
+				mo.report(Violation{At: now, Kind: "data-value", Line: line, Node: mem.NodeID(i),
+					Detail: fmt.Sprintf("addr %#x reads %d, another copy reads %d",
+						uint64(addr), v, ref[w])})
+			}
+			if !haveRef {
+				ref[w] = v
+			}
+		}
+		haveRef = true
+	}
+}

@@ -1,0 +1,76 @@
+package check
+
+import (
+	"testing"
+
+	"iqolb/internal/coherence"
+	"iqolb/internal/machine"
+	"iqolb/internal/workload"
+)
+
+// mutationRun executes the 2-proc hand-off kernel under IQOLB with a
+// full-strength monitor and returns it without failing on run errors (a
+// detected violation halts the machine, which surfaces as a deadlock).
+func mutationRun(t *testing.T) *Monitor {
+	t.Helper()
+	p := defaultHandoffParams(2)
+	mech := Mechanisms()[4] // iqolb
+	bld, err := workload.Generate(p, mech.Primitive, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mech.Config(2)
+	cfg.CycleLimit = 5_000_000 // backstop: the stuck-delay fault livelocks
+	m, err := machine.New(cfg, bld.Program, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range bld.Locks {
+		m.RegisterLockAddr(l)
+	}
+	mon := AttachToMachine(m, Config{ScanStride: 1, StarvationBound: 50_000})
+	m.Run()
+	mon.Finish()
+	return mon
+}
+
+func kinds(vs []Violation) map[string]int {
+	k := make(map[string]int)
+	for _, v := range vs {
+		k[v.Kind]++
+	}
+	return k
+}
+
+// TestMutationTearOffOwnership: with the seeded fault sending tear-offs as
+// ownership transfers (two writable copies of the lock line), the SWMR
+// monitor must fire. Guards against a vacuously passing checker.
+func TestMutationTearOffOwnership(t *testing.T) {
+	coherence.SetFaultTearOffOwnership(true)
+	defer coherence.SetFaultTearOffOwnership(false)
+	mon := mutationRun(t)
+	if kinds(mon.Violations())["swmr"] == 0 {
+		t.Fatalf("seeded tear-off-ownership mutation not detected; violations: %v", mon.Violations())
+	}
+}
+
+// TestMutationStuckDelay: with the seeded fault making delayed responses
+// permanent (flush and time-out both suppressed), the queued LPRFO waiter
+// starves and the watchdog must fire.
+func TestMutationStuckDelay(t *testing.T) {
+	coherence.SetFaultStuckDelay(true)
+	defer coherence.SetFaultStuckDelay(false)
+	mon := mutationRun(t)
+	if kinds(mon.Violations())["starvation"] == 0 {
+		t.Fatalf("seeded stuck-delay mutation not detected; violations: %v", mon.Violations())
+	}
+}
+
+// TestMutationsOff: the identical run with both faults clear is clean —
+// the mutation tests above detect the faults, not the workload.
+func TestMutationsOff(t *testing.T) {
+	mon := mutationRun(t)
+	if len(mon.Violations()) != 0 {
+		t.Fatalf("unmutated run not clean: %v", mon.Violations())
+	}
+}

@@ -1,0 +1,170 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iqolb/internal/core"
+	"iqolb/internal/engine"
+	"iqolb/internal/machine"
+	"iqolb/internal/synclib"
+	"iqolb/internal/workload"
+)
+
+// Mechanism names one lock implementation × hardware pairing the
+// differential oracle compares. (It deliberately mirrors
+// experiments.System without importing it: experiments imports this
+// package for the -check wiring.)
+type Mechanism struct {
+	Name      string
+	Primitive synclib.Primitive
+	Mode      core.Mode
+	Retention bool
+	TearOff   bool
+}
+
+// Mechanisms returns the five primitives of the oracle: TTS, ticket, MCS,
+// explicit QOLB, and IQOLB. Timing differs wildly across them; final
+// memory state may not.
+func Mechanisms() []Mechanism {
+	return []Mechanism{
+		{Name: "tts", Primitive: synclib.PrimTTS, Mode: core.ModeBaseline},
+		{Name: "ticket", Primitive: synclib.PrimTicket, Mode: core.ModeBaseline},
+		{Name: "mcs", Primitive: synclib.PrimMCS, Mode: core.ModeBaseline},
+		{Name: "qolb", Primitive: synclib.PrimQOLB, Mode: core.ModeBaseline},
+		{Name: "iqolb", Primitive: synclib.PrimTTS, Mode: core.ModeIQOLB, Retention: true, TearOff: true},
+	}
+}
+
+// Config derives the machine configuration for the mechanism.
+func (mech Mechanism) Config(procs int) machine.Config {
+	cfg := machine.DefaultConfig(procs, mech.Mode)
+	cfg.Core.QueueRetention = mech.Retention
+	cfg.Core.TearOff = mech.TearOff
+	return cfg
+}
+
+// DiffOptions configures a differential run.
+type DiffOptions struct {
+	// Procs is the machine size (the oracle targets small configs).
+	Procs int
+	// Monitor additionally attaches the invariant monitors to every run.
+	Monitor bool
+	// MonitorCfg tunes the attached monitors (zero value = defaults).
+	MonitorCfg Config
+	// CycleLimit overrides the runaway-run abort budget (0 = default).
+	CycleLimit engine.Time
+}
+
+// FinalState is the semantically meaningful outcome of one run: the
+// per-lock protected counters (the lock words themselves legitimately hold
+// primitive-specific residue — ticket counts, MCS queue tails — and are
+// excluded).
+type FinalState struct {
+	Mechanism string
+	Counters  []uint64
+	Cycles    uint64
+}
+
+// RunMechanism executes the signature under one mechanism and extracts its
+// final state, verifying the workload's own mutual-exclusion counter sum.
+func RunMechanism(p workload.Params, mech Mechanism, opt DiffOptions) (FinalState, error) {
+	fs := FinalState{Mechanism: mech.Name}
+	bld, err := workload.Generate(p, mech.Primitive, opt.Procs)
+	if err != nil {
+		return fs, fmt.Errorf("%s: %w", mech.Name, err)
+	}
+	cfg := mech.Config(opt.Procs)
+	if opt.CycleLimit != 0 {
+		cfg.CycleLimit = opt.CycleLimit
+	}
+	m, err := machine.New(cfg, bld.Program, nil)
+	if err != nil {
+		return fs, fmt.Errorf("%s: %w", mech.Name, err)
+	}
+	for _, l := range bld.Locks {
+		m.RegisterLockAddr(l)
+	}
+	var mon *Monitor
+	if opt.Monitor {
+		mon = AttachToMachine(m, opt.MonitorCfg)
+	}
+	res, err := m.Run()
+	if mon != nil {
+		if cerr := mon.Finish(); cerr != nil {
+			return fs, fmt.Errorf("%s: %w", mech.Name, cerr)
+		}
+	}
+	if err != nil {
+		return fs, fmt.Errorf("%s: %w", mech.Name, err)
+	}
+	if res.HitLimit {
+		return fs, fmt.Errorf("%s: hit the cycle limit at %d", mech.Name, res.Cycles)
+	}
+	if err := bld.VerifyCounters(p, m.Peek); err != nil {
+		return fs, fmt.Errorf("%s: %w", mech.Name, err)
+	}
+	fs.Cycles = res.Cycles
+	fs.Counters = make([]uint64, p.Locks)
+	for i := 0; i < p.Locks; i++ {
+		fs.Counters[i] = m.Peek(p.DataAddr(i))
+	}
+	return fs, nil
+}
+
+// Diff runs the signature under every mechanism and asserts identical
+// final protected-counter state. The kernels draw lock choices and think
+// jitter from per-CPU RNGs consumed in program order, so the per-lock
+// counter vector is timing-independent: any divergence is a lost or
+// duplicated critical section.
+func Diff(p workload.Params, opt DiffOptions, mechs []Mechanism) ([]FinalState, error) {
+	if len(mechs) == 0 {
+		mechs = Mechanisms()
+	}
+	states := make([]FinalState, 0, len(mechs))
+	for _, mech := range mechs {
+		fs, err := RunMechanism(p, mech, opt)
+		if err != nil {
+			return states, err
+		}
+		states = append(states, fs)
+	}
+	ref := states[0]
+	for _, fs := range states[1:] {
+		for i := range ref.Counters {
+			if fs.Counters[i] != ref.Counters[i] {
+				return states, fmt.Errorf(
+					"check: divergence on lock %d: %s left counter %d, %s left %d",
+					i, ref.Mechanism, ref.Counters[i], fs.Mechanism, fs.Counters[i])
+			}
+		}
+	}
+	return states, nil
+}
+
+// RandomSignature derives a small valid workload signature from a seed.
+// The space stays inside every primitive's constraints (no collocation or
+// lock packing, which the ticket lock rejects) and small enough that a
+// 5-mechanism differential run completes in milliseconds.
+func RandomSignature(seed uint64, procs int) workload.Params {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	workers := procs // the oracle uses no pollers: every proc runs the loop
+	p := workload.Params{
+		Iterations: 1 + rng.Intn(2),
+		Locks:      1 + rng.Intn(4),
+		TotalCS:    workers * (1 + rng.Intn(6)),
+		HotPct:     []int{0, 50, 100}[rng.Intn(3)],
+		CSWork:     int64(rng.Intn(30)),
+		CSWrites:   1 + rng.Intn(2),
+		ThinkWork:  int64(rng.Intn(100)),
+		ThinkJitter: func() int64 {
+			if rng.Intn(2) == 0 {
+				return 0
+			}
+			return int64(1 + rng.Intn(50))
+		}(),
+		PrivateLines:    rng.Intn(3),
+		BarriersPerIter: rng.Intn(2),
+	}
+	return p
+}

@@ -285,6 +285,7 @@ func (c *Controller) accessStore(req mem.Request) {
 	case state.CanWrite():
 		lat := c.hitLatency(line)
 		c.lineData(line)[req.Addr.WordIndex()] = req.Value
+		c.probeCommit(req.Addr, req.Value)
 		if state == mem.Exclusive {
 			c.l2.SetState(line, mem.Modified)
 		}
@@ -313,6 +314,7 @@ func (c *Controller) accessSC(req mem.Request) {
 	case state.CanWrite():
 		lat := c.hitLatency(line)
 		c.lineData(line)[req.Addr.WordIndex()] = req.Value
+		c.probeCommit(req.Addr, req.Value)
 		if state == mem.Exclusive {
 			c.l2.SetState(line, mem.Modified)
 		}
@@ -379,6 +381,7 @@ func (c *Controller) accessSwap(req mem.Request) {
 		d := c.lineData(line)
 		old := d[req.Addr.WordIndex()]
 		d[req.Addr.WordIndex()] = req.Value
+		c.probeCommit(req.Addr, req.Value)
 		if state == mem.Exclusive {
 			c.l2.SetState(line, mem.Modified)
 		}
@@ -535,6 +538,9 @@ func (c *Controller) snoop(tx interconnect.Tx) {
 // squash abandons a queued LPRFO after a queue breakdown (retention off)
 // and re-issues it; the queue rebuilds in new bus order (§3.2).
 func (c *Controller) squash(m *mshr) {
+	if c.f.probe != nil {
+		c.f.probe.Squash(c.id, m.line)
+	}
 	c.st.QueueBreakdowns++
 	c.traceEv(trace.EvSquash, m.line, "")
 	m.hasTear = false
@@ -670,6 +676,7 @@ func (c *Controller) upgradeGranted(tx interconnect.Tx) {
 	c.f.st.MissLatency.Add(uint64(c.eng.Now() - m.issuedAt))
 	c.l2.SetState(line, mem.Modified)
 	c.l1.Invalidate(line) // refresh permission on next touch
+	c.probeInstall(line, mem.Modified)
 	c.completeWriteOp(m, c.lineData(line))
 	c.runPending(m)
 	c.processDuties(line)
@@ -683,12 +690,14 @@ func (c *Controller) completeWriteOp(m *mshr, d *mem.LineData) {
 	switch req.Kind {
 	case mem.Store:
 		d[idx] = req.Value
+		c.probeCommit(req.Addr, req.Value)
 		c.traceEv(trace.EvStore, m.line, "")
 		req.Done(mem.Result{})
 		c.afterStore(req.Addr)
 	case mem.StoreCond:
 		if c.linkValid && c.linkAddr == req.Addr && !c.linkFragile {
 			d[idx] = req.Value
+			c.probeCommit(req.Addr, req.Value)
 			c.linkValid = false
 			req.Done(mem.Result{OK: true})
 			c.afterSCSuccess(req)
@@ -702,6 +711,7 @@ func (c *Controller) completeWriteOp(m *mshr, d *mem.LineData) {
 	case mem.SwapOp:
 		old := d[idx]
 		d[idx] = req.Value
+		c.probeCommit(req.Addr, req.Value)
 		req.Done(mem.Result{Value: old})
 		c.afterStore(req.Addr)
 	case mem.Load, mem.LoadLinked:
@@ -904,6 +914,7 @@ func (c *Controller) install(line mem.LineID, state mem.State, data mem.LineData
 	d := data
 	c.data[line] = &d
 	c.l1.Install(line, c.l1PermFor(line))
+	c.probeInstall(line, state)
 }
 
 // evict removes a victim line, honouring the paper's rule that evicting a
@@ -1187,6 +1198,9 @@ func (c *Controller) forwardOwnership(line mem.LineID, ev trace.Kind, note strin
 // or the lock was released) by forwarding the line; with nothing delayed it
 // re-walks the queue so reads parked behind the delay get serviced.
 func (c *Controller) flushDelayed(line mem.LineID, ev trace.Kind, note string) {
+	if faultStuckDelay {
+		return // seeded mutation: the delay never releases
+	}
 	if !c.l2.State(line).CanRead() {
 		return // loaned out or already gone; duties travel with the line
 	}
@@ -1200,6 +1214,9 @@ func (c *Controller) flushDelayed(line mem.LineID, ev trace.Kind, note string) {
 
 // armTimer (re)schedules the delay's time-out.
 func (c *Controller) armTimer(line mem.LineID, d *duty, budget engine.Time) {
+	if faultStuckDelay {
+		return // seeded mutation: the time-out safety net is dead
+	}
 	c.timerSeq++
 	seq := c.timerSeq
 	d.timerSeq = seq
@@ -1232,8 +1249,14 @@ func (c *Controller) maybeTearOff(line mem.LineID, d *duty) {
 
 func (c *Controller) sendTearOff(line mem.LineID, to mem.NodeID) {
 	c.st.TearOffsOut++
+	kind := mem.DataTearOff
+	if faultTearOffOwnership {
+		// Seeded mutation: the tear-off arrives as an ownership transfer
+		// while this node keeps its writable copy.
+		kind = mem.DataExclusive
+	}
 	c.f.send(interconnect.Msg{
-		Kind: mem.DataTearOff, Line: line, Data: *c.lineData(line),
+		Kind: kind, Line: line, Data: *c.lineData(line),
 		From: c.id, To: to,
 	})
 }

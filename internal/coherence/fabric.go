@@ -40,8 +40,9 @@ type Fabric struct {
 	lockAddrs   map[mem.Addr]bool
 	lastRelease map[mem.Addr]engine.Time
 
-	st  *stats.Machine
-	rec *trace.Recorder
+	st    *stats.Machine
+	rec   *trace.Recorder
+	probe Probe
 }
 
 // NewFabric assembles the memory system for n nodes. Each node's
@@ -152,6 +153,9 @@ func (f *Fabric) setOwner(line mem.LineID, n mem.NodeID) {
 // send puts a data message on the crossbar, maintaining the holder register
 // and the trace/stat streams.
 func (f *Fabric) send(m interconnect.Msg) {
+	if f.probe != nil {
+		f.probe.DataSend(m)
+	}
 	switch m.Kind {
 	case mem.DataExclusive:
 		if !m.Loan {
@@ -196,6 +200,9 @@ func (f *Fabric) setHolderIfNode(line mem.LineID, from, to mem.NodeID) {
 
 // deliver routes an arriving data message.
 func (f *Fabric) deliver(m interconnect.Msg) {
+	if f.probe != nil {
+		f.probe.DataDeliver(m)
+	}
 	f.rec.Add(trace.Event{At: f.eng.Now(), Kind: trace.EvDataRecv, Node: m.To, Peer: m.From,
 		Line: m.Line, Data: m.Kind})
 	if m.To == mem.MemoryNode {
@@ -213,6 +220,9 @@ var dbgObserve func(f *Fabric, tx interconnect.Tx)
 func (f *Fabric) observe(tx interconnect.Tx) {
 	if dbgObserve != nil {
 		dbgObserve(f, tx)
+	}
+	if f.probe != nil {
+		f.probe.Observe(tx)
 	}
 	f.rec.Add(trace.Event{At: f.eng.Now(), Kind: trace.EvTxObserve, Node: tx.Requester,
 		Line: tx.Line, Tx: tx.Kind})

@@ -1,0 +1,27 @@
+package coherence
+
+// Fault injection for mutation-testing the invariant monitors
+// (internal/check). Each switch plants one specific protocol bug; the
+// monitor suite asserts that its checkers catch both, guarding against a
+// checker that passes vacuously. Test-only: nothing in the simulator or
+// the CLIs ever sets these, and they are global, so tests flipping them
+// must not run in parallel with other machine runs.
+var (
+	// faultStuckDelay makes a started delayed response permanent: the
+	// release-time flush and the time-out timer are both suppressed, so a
+	// queued LPRFO waiter behind a delaying holder is never granted. The
+	// starvation watchdog must flag the waiter.
+	faultStuckDelay bool
+
+	// faultTearOffOwnership sends tear-off copies as ownership transfers
+	// (DataExclusive) while the supplier keeps its Modified line — two
+	// writable copies of one line. The SWMR monitor must flag the install.
+	faultTearOffOwnership bool
+)
+
+// SetFaultStuckDelay plants or clears the stuck-delay fault (tests only).
+func SetFaultStuckDelay(on bool) { faultStuckDelay = on }
+
+// SetFaultTearOffOwnership plants or clears the tear-off-ownership fault
+// (tests only).
+func SetFaultTearOffOwnership(on bool) { faultTearOffOwnership = on }

@@ -1,0 +1,52 @@
+package coherence
+
+import (
+	"iqolb/internal/interconnect"
+	"iqolb/internal/mem"
+)
+
+// Probe observes the protocol's externally meaningful events: bus-order
+// observation, data-network traffic, cache installs, committed stores, and
+// queue breakdowns. It exists for the invariant monitors in internal/check
+// — the protocol never reads anything back from it, so a probe cannot
+// perturb a run (it must not call back into the fabric).
+//
+// All methods are invoked synchronously inside the event that caused them,
+// so a probe sees a consistent global snapshot: no other protocol activity
+// interleaves with a callback.
+type Probe interface {
+	// Observe fires at the coherence point, when tx becomes globally
+	// ordered on the address bus, before the fabric routes it.
+	Observe(tx interconnect.Tx)
+	// DataSend fires when a data message enters the crossbar.
+	DataSend(m interconnect.Msg)
+	// DataDeliver fires when a data message arrives, before the receiving
+	// controller processes it.
+	DataDeliver(m interconnect.Msg)
+	// Install fires after node has placed line into its hierarchy with the
+	// given state (including upgrade grants, which install in place).
+	Install(node mem.NodeID, line mem.LineID, state mem.State)
+	// CommitStore fires when a store-class operation (Store, successful
+	// StoreCond, Swap) commits its value to a cached copy of addr.
+	CommitStore(node mem.NodeID, addr mem.Addr, value uint64)
+	// Squash fires when node abandons its queued LPRFO and re-issues
+	// (queue breakdown).
+	Squash(node mem.NodeID, line mem.LineID)
+}
+
+// SetProbe attaches a protocol probe; nil detaches. Call before Run.
+func (f *Fabric) SetProbe(p Probe) { f.probe = p }
+
+// probeInstall reports an install (or in-place writable upgrade) on c.
+func (c *Controller) probeInstall(line mem.LineID, state mem.State) {
+	if c.f.probe != nil {
+		c.f.probe.Install(c.id, line, state)
+	}
+}
+
+// probeCommit reports a committed store-class write on c.
+func (c *Controller) probeCommit(addr mem.Addr, v uint64) {
+	if c.f.probe != nil {
+		c.f.probe.CommitStore(c.id, addr, v)
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"iqolb/internal/mem"
+)
+
+// Table-driven aliasing tests for the direct-mapped predictor: two PCs
+// that map to the same slot (pc & (size-1)) fight over one entry, and
+// the most recent training always wins the slot outright.
+func TestPredictorAliasingTable(t *testing.T) {
+	type step struct {
+		op string // "lock", "notlock", "predict"
+		pc int
+		// want applies to "predict" steps only.
+		want bool
+	}
+	cases := []struct {
+		name  string
+		size  int // requested entry count (rounded up to power of two)
+		steps []step
+	}{
+		{
+			name: "alias-evicts-confident-entry",
+			size: 4,
+			steps: []step{
+				{op: "lock", pc: 1},
+				{op: "predict", pc: 1, want: true},
+				{op: "lock", pc: 5}, // 5 & 3 == 1: same slot
+				{op: "predict", pc: 5, want: true},
+				{op: "predict", pc: 1, want: false}, // evicted, conservative default
+			},
+		},
+		{
+			name: "notlock-alias-resets-slot",
+			size: 4,
+			steps: []step{
+				{op: "lock", pc: 2},
+				{op: "notlock", pc: 6}, // 6 & 3 == 2: replaces with conf 0
+				{op: "predict", pc: 2, want: false},
+				{op: "predict", pc: 6, want: false},
+				{op: "lock", pc: 6},
+				{op: "predict", pc: 6, want: true},
+			},
+		},
+		{
+			name: "distinct-slots-do-not-interfere",
+			size: 4,
+			steps: []step{
+				{op: "lock", pc: 1},
+				{op: "lock", pc: 2},
+				{op: "notlock", pc: 3},
+				{op: "predict", pc: 1, want: true},
+				{op: "predict", pc: 2, want: true},
+				{op: "predict", pc: 3, want: false},
+			},
+		},
+		{
+			name: "size-rounds-up-so-pc3-and-pc7-alias",
+			size: 3, // rounds up to 4, so 3 and 7 share a slot
+			steps: []step{
+				{op: "lock", pc: 3},
+				{op: "lock", pc: 7},
+				{op: "predict", pc: 3, want: false},
+				{op: "predict", pc: 7, want: true},
+			},
+		},
+		{
+			name: "single-entry-table-everything-aliases",
+			size: 1,
+			steps: []step{
+				{op: "lock", pc: 10},
+				{op: "predict", pc: 10, want: true},
+				{op: "lock", pc: 11},
+				{op: "predict", pc: 10, want: false},
+				{op: "predict", pc: 11, want: true},
+			},
+		},
+		{
+			name: "decay-needs-two-timeouts-from-max",
+			size: 8,
+			steps: []step{
+				{op: "lock", pc: 4}, // conf = confMax = 3
+				{op: "notlock", pc: 4},
+				{op: "predict", pc: 4, want: true}, // conf 2 >= threshold
+				{op: "notlock", pc: 4},
+				{op: "predict", pc: 4, want: false}, // conf 1 < threshold
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPredictor(tc.size)
+			for i, s := range tc.steps {
+				switch s.op {
+				case "lock":
+					p.TrainLock(s.pc)
+				case "notlock":
+					p.TrainNotLock(s.pc)
+				case "predict":
+					if got := p.PredictLock(s.pc); got != s.want {
+						t.Fatalf("step %d: PredictLock(%d) = %v, want %v", i, s.pc, got, s.want)
+					}
+				default:
+					t.Fatalf("step %d: bad op %q", i, s.op)
+				}
+			}
+		})
+	}
+}
+
+// Table-driven overflow tests for the held-locks table: insertion order
+// decides the eviction victim (oldest first), refreshes never evict, and
+// capacity is clamped to at least one entry.
+func TestHeldTableOverflowTable(t *testing.T) {
+	entry := func(i int) HeldLock {
+		return HeldLock{Line: mem.LineID(i), Addr: mem.Addr(i * 64), PC: i}
+	}
+	cases := []struct {
+		name        string
+		cap         int
+		inserts     []int // entry indices passed to entry()
+		wantEvicted []int // PCs of evicted entries, in eviction order
+		wantLive    []int // entry indices still present afterwards
+	}{
+		{
+			name:        "underfull-never-evicts",
+			cap:         3,
+			inserts:     []int{1, 2, 3},
+			wantEvicted: nil,
+			wantLive:    []int{1, 2, 3},
+		},
+		{
+			name:        "overflow-evicts-in-fifo-order",
+			cap:         2,
+			inserts:     []int{1, 2, 3, 4},
+			wantEvicted: []int{1, 2},
+			wantLive:    []int{3, 4},
+		},
+		{
+			name:        "refresh-does-not-count-against-capacity",
+			cap:         2,
+			inserts:     []int{1, 2, 1, 1, 2},
+			wantEvicted: nil,
+			wantLive:    []int{1, 2},
+		},
+		{
+			name:        "capacity-clamped-to-one",
+			cap:         0,
+			inserts:     []int{1, 2, 3},
+			wantEvicted: []int{1, 2},
+			wantLive:    []int{3},
+		},
+		{
+			name:        "refresh-then-overflow-victim-is-original-slot",
+			cap:         2,
+			inserts:     []int{1, 2, 1, 3}, // refreshing 1 does not make 2 the oldest
+			wantEvicted: []int{1},
+			wantLive:    []int{2, 3},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ht := NewHeldTable(tc.cap)
+			var evicted []int
+			for _, i := range tc.inserts {
+				if e, was := ht.Insert(entry(i)); was {
+					evicted = append(evicted, e.PC)
+				}
+			}
+			if fmt.Sprint(evicted) != fmt.Sprint(tc.wantEvicted) {
+				t.Errorf("evicted PCs %v, want %v", evicted, tc.wantEvicted)
+			}
+			wantCap := tc.cap
+			if wantCap < 1 {
+				wantCap = 1
+			}
+			if ht.Cap() != wantCap || ht.Len() != len(tc.wantLive) {
+				t.Errorf("cap %d len %d, want cap %d len %d", ht.Cap(), ht.Len(), wantCap, len(tc.wantLive))
+			}
+			for _, i := range tc.wantLive {
+				if _, ok := ht.Lookup(entry(i).Addr); !ok {
+					t.Errorf("entry %d missing after inserts", i)
+				}
+				if _, ok := ht.LookupLine(entry(i).Line); !ok {
+					t.Errorf("entry %d not found by line", i)
+				}
+			}
+		})
+	}
+}
+
+// TestHeldTableRemoveLineFirstMatch: RemoveLine deletes only the first
+// entry on a line, leaving later same-line entries live.
+func TestHeldTableRemoveLineFirstMatch(t *testing.T) {
+	ht := NewHeldTable(4)
+	ht.Insert(HeldLock{Line: 9, Addr: 576, PC: 1})
+	ht.Insert(HeldLock{Line: 9, Addr: 584, PC: 2})
+	e, ok := ht.RemoveLine(9)
+	if !ok || e.PC != 1 {
+		t.Fatalf("RemoveLine = %+v ok=%v, want first entry PC 1", e, ok)
+	}
+	if e, ok := ht.LookupLine(9); !ok || e.PC != 2 {
+		t.Fatalf("second same-line entry lost: %+v ok=%v", e, ok)
+	}
+	if _, ok := ht.RemoveLine(9); !ok {
+		t.Fatal("second RemoveLine failed")
+	}
+	if _, ok := ht.RemoveLine(9); ok {
+		t.Fatal("RemoveLine on empty line succeeded")
+	}
+}

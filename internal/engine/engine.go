@@ -52,11 +52,12 @@ func (h *eventHeap) Pop() any {
 //
 // The zero value is not ready to use; call New.
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	fired  uint64
-	halted bool
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	fired     uint64
+	halted    bool
+	afterStep func(Time)
 }
 
 // New returns an empty engine with the clock at cycle zero.
@@ -93,6 +94,12 @@ func (e *Engine) After(delay Time, ev Event) {
 // from inside an event.
 func (e *Engine) Halt() { e.halted = true }
 
+// SetAfterStep installs a callback invoked after every dispatched event,
+// with the clock at that event's time. Observers (invariant monitors) use
+// it for periodic scans; the callback must not schedule events or otherwise
+// perturb the simulation. nil removes it.
+func (e *Engine) SetAfterStep(fn func(Time)) { e.afterStep = fn }
+
 // Step dispatches the single earliest pending event, advancing the clock to
 // its timestamp. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
@@ -103,6 +110,9 @@ func (e *Engine) Step() bool {
 	e.now = it.at
 	e.fired++
 	it.call(e.now)
+	if e.afterStep != nil {
+		e.afterStep(e.now)
+	}
 	return true
 }
 

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+
+	"iqolb/internal/engine"
+	"iqolb/internal/harness"
+)
+
+func specKey(t *testing.T, s Spec) string {
+	t.Helper()
+	r, err := s.resolve()
+	if err != nil {
+		t.Fatalf("resolve %+v: %v", s, err)
+	}
+	key, err := harness.Key(r.canonical())
+	if err != nil {
+		t.Fatalf("key %+v: %v", s, err)
+	}
+	return key
+}
+
+// TestCacheKeyInvalidation: every Spec field that changes what a run
+// computes must change the canonical cache key, so stale cached results
+// can never be served for an edited spec — while a byte-identical spec
+// hashes identically (that is the whole point of the cache).
+func TestCacheKeyInvalidation(t *testing.T) {
+	base := Spec{Bench: "hotlock", System: "iqolb", Procs: 4}
+	baseKey := specKey(t, base)
+
+	if again := specKey(t, base); again != baseKey {
+		t.Fatalf("identical spec produced different keys: %s vs %s", baseKey, again)
+	}
+	// The label must not leak into the key: renaming a job must still hit
+	// the cache.
+	renamed := base
+	renamed.Name = "renamed"
+	if got := specKey(t, renamed); got != baseKey {
+		t.Errorf("Name changed the cache key; labels must not affect results identity")
+	}
+
+	timeout := engine.Time(123)
+	limit := engine.Time(77_000_000)
+	entries := 0
+	variants := map[string]Spec{
+		"System":           {Bench: "hotlock", System: "tts", Procs: 4},
+		"Procs":            {Bench: "hotlock", System: "iqolb", Procs: 8},
+		"Scale":            {Bench: "hotlock", System: "iqolb", Procs: 4, Scale: 4},
+		"Bench":            {Bench: "multilock", System: "iqolb", Procs: 4},
+		"Kernel":           {Kernel: "fetchadd", System: "iqolb", Procs: 4, TotalOps: 64},
+		"LockTimeout":      {Bench: "hotlock", System: "iqolb", Procs: 4, LockTimeout: &timeout},
+		"PredictorEntries": {Bench: "hotlock", System: "iqolb", Procs: 4, PredictorEntries: &entries},
+		"CycleLimit":       {Bench: "hotlock", System: "iqolb", Procs: 4, CycleLimit: &limit},
+		"Check":            {Bench: "hotlock", System: "iqolb", Procs: 4, Check: true},
+	}
+	seen := map[string]string{baseKey: "base"}
+	for field, s := range variants {
+		key := specKey(t, s)
+		if key == baseKey {
+			t.Errorf("changing %s did not change the cache key", field)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s and %s collide on cache key %s", field, prev, key)
+		}
+		seen[key] = field
+	}
+}
+
+// TestCacheKeyFetchAddOps: the fetchadd kernel's op count and think time
+// are part of the run's identity too.
+func TestCacheKeyFetchAddOps(t *testing.T) {
+	a := specKey(t, Spec{Kernel: "fetchadd", System: "tts", Procs: 4, TotalOps: 64})
+	b := specKey(t, Spec{Kernel: "fetchadd", System: "tts", Procs: 4, TotalOps: 128})
+	c := specKey(t, Spec{Kernel: "fetchadd", System: "tts", Procs: 4, TotalOps: 64, Think: 50})
+	if a == b || a == c || b == c {
+		t.Fatalf("fetchadd parameter changes must change the key: %s %s %s", a, b, c)
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"iqolb/internal/check"
 	"iqolb/internal/machine"
 	"iqolb/internal/mem"
 	"iqolb/internal/stats"
@@ -102,6 +103,10 @@ func RunBenchmark(benchName string, sys System, procs, scaleFactor int) (Result,
 
 // RunFetchAdd executes the lock-free Fetch&Add kernel under one system.
 func RunFetchAdd(sys System, procs, totalOps int, think int64) (Result, error) {
+	return runFetchAdd(sys, procs, totalOps, think, false)
+}
+
+func runFetchAdd(sys System, procs, totalOps int, think int64, checked bool) (Result, error) {
 	totalOps -= totalOps % procs
 	if totalOps == 0 {
 		totalOps = procs
@@ -115,7 +120,16 @@ func RunFetchAdd(sys System, procs, totalOps int, think int64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var mon *check.Monitor
+	if checked {
+		mon = check.AttachToMachine(m, check.Config{})
+	}
 	res, err := m.Run()
+	if mon != nil {
+		if cerr := mon.Finish(); cerr != nil {
+			return Result{}, fmt.Errorf("fetchadd/%s: %w", sys.Name, cerr)
+		}
+	}
 	if err != nil {
 		return Result{}, err
 	}

@@ -52,6 +52,10 @@ type Spec struct {
 	// CycleLimit overrides the engine's runaway-run abort budget when
 	// non-nil. Runs that hit it fail with ErrCycleLimit.
 	CycleLimit *engine.Time `json:"cycle_limit,omitempty"`
+	// Check runs the job under the internal/check protocol-invariant
+	// monitors; any violation fails the job. Checked results are cached
+	// separately from unchecked ones (the configuration hash differs).
+	Check bool `json:"check,omitempty"`
 }
 
 // resolved is a Spec with every default filled in: the effective
@@ -64,6 +68,7 @@ type resolved struct {
 	think    int64
 	sys      System
 	cfg      machine.Config
+	check    bool
 }
 
 // resolve validates the spec and computes its full execution plan.
@@ -85,7 +90,7 @@ func (s Spec) resolve() (resolved, error) {
 	if s.CycleLimit != nil {
 		cfg.CycleLimit = *s.CycleLimit
 	}
-	r := resolved{name: s.Name, kernel: s.Kernel, sys: sys, cfg: cfg}
+	r := resolved{name: s.Name, kernel: s.Kernel, sys: sys, cfg: cfg, check: s.Check}
 	switch s.Kernel {
 	case "fetchadd":
 		ops := s.TotalOps - s.TotalOps%s.Procs
@@ -146,6 +151,7 @@ type canonicalConfig struct {
 	Think     int64              `json:"think"`
 	Primitive synclibPrimitiveID `json:"primitive"`
 	Machine   machine.Config     `json:"machine"`
+	Check     bool               `json:"check,omitempty"`
 }
 
 // synclibPrimitiveID pins the primitive's identity into the hash even if
@@ -161,19 +167,20 @@ func (r resolved) canonical() canonicalConfig {
 		Think:     r.think,
 		Primitive: synclibPrimitiveID(fmt.Sprint(r.sys.Primitive)),
 		Machine:   r.cfg,
+		Check:     r.check,
 	}
 }
 
 // run executes the resolved plan.
 func (r resolved) run() (Result, error) {
 	if r.kernel == "fetchadd" {
-		return RunFetchAdd(r.sys, r.cfg.Processors, r.totalOps, r.think)
+		return runFetchAdd(r.sys, r.cfg.Processors, r.totalOps, r.think, r.check)
 	}
 	bld, err := workload.Generate(r.params, r.sys.Primitive, r.cfg.Processors)
 	if err != nil {
 		return Result{}, err
 	}
-	return runConfigured(r.cfg, bld, r.params, r.name, r.sys.Name, r.cfg.Processors)
+	return runConfigured(r.cfg, bld, r.params, r.name, r.sys.Name, r.cfg.Processors, r.check)
 }
 
 // RunSpec resolves and executes one spec serially (no pool, no cache).
@@ -199,6 +206,9 @@ type Options struct {
 	// Progress receives streaming completed/total/ETA lines (stderr in
 	// the CLIs); nil is silent.
 	Progress io.Writer
+	// Check forces every spec in the batch to run under the
+	// internal/check invariant monitors (the CLIs' -check flag).
+	Check bool
 }
 
 func (o Options) harness() harness.Options {
@@ -217,6 +227,9 @@ func (o Options) harness() harness.Options {
 func RunSpecs(opt Options, specs []Spec) ([]Result, *harness.Manifest, error) {
 	jobs := make([]harness.Job[Result], len(specs))
 	for i, s := range specs {
+		if opt.Check {
+			s.Check = true
+		}
 		r, err := s.resolve()
 		if err != nil {
 			return nil, nil, err

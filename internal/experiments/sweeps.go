@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"iqolb/internal/check"
 	"iqolb/internal/engine"
 	"iqolb/internal/machine"
 	"iqolb/internal/report"
@@ -185,9 +186,11 @@ func SweepPredictor(opt Options, procs, totalCS int) (string, error) {
 }
 
 // runConfigured executes a pre-built kernel under an explicit machine
-// configuration (for sweeps that tweak policy knobs directly).
+// configuration (for sweeps that tweak policy knobs directly). With
+// checked set, the run executes under the internal/check invariant
+// monitors, and any violation fails the run.
 func runConfigured(cfg machine.Config, bld *workload.Build, p workload.Params,
-	name, sysName string, procs int) (Result, error) {
+	name, sysName string, procs int, checked bool) (Result, error) {
 	var rec *trace.Recorder
 	m, err := machine.New(cfg, bld.Program, rec)
 	if err != nil {
@@ -196,7 +199,18 @@ func runConfigured(cfg machine.Config, bld *workload.Build, p workload.Params,
 	for _, l := range bld.Locks {
 		m.RegisterLockAddr(l)
 	}
+	var mon *check.Monitor
+	if checked {
+		mon = check.AttachToMachine(m, check.Config{})
+	}
 	res, err := m.Run()
+	// The monitor halts the machine on a violation, which surfaces from
+	// Run as a deadlock: report the violation, not the symptom.
+	if mon != nil {
+		if cerr := mon.Finish(); cerr != nil {
+			return Result{}, fmt.Errorf("%s: %w", name, cerr)
+		}
+	}
 	if err != nil {
 		return Result{}, fmt.Errorf("%s: %w", name, err)
 	}

@@ -53,6 +53,12 @@ type Network struct {
 
 	portFree map[mem.NodeID]engine.Time
 
+	// perturb, when installed, stretches individual message latencies for
+	// schedule exploration; lastArrive keeps per-source delivery order
+	// intact under arbitrary perturbations.
+	perturb    func(idx uint64, m Msg) engine.Time
+	lastArrive map[mem.NodeID]engine.Time
+
 	// Statistics.
 	Messages  uint64
 	ByKind    [8]uint64
@@ -67,6 +73,21 @@ func NewNetwork(eng *engine.Engine, cfg NetConfig, deliver func(Msg)) *Network {
 	return &Network{eng: eng, cfg: cfg, deliver: deliver, portFree: make(map[mem.NodeID]engine.Time)}
 }
 
+// SetPerturb installs a per-message delivery-delay function used by the
+// schedule explorer: message idx (the network's send sequence number) is
+// delivered fn(idx, m) cycles later than its nominal arrival. Deliveries
+// from the same source port remain in send order — the crossbar's
+// constant-latency, port-serialized model guarantees per-source FIFO and
+// the protocol is entitled to rely on it — but messages from distinct
+// sources may now be reordered arbitrarily within the perturbation window.
+// fn must be deterministic; nil restores exact nominal timing.
+func (n *Network) SetPerturb(fn func(idx uint64, m Msg) engine.Time) {
+	n.perturb = fn
+	if fn != nil && n.lastArrive == nil {
+		n.lastArrive = make(map[mem.NodeID]engine.Time)
+	}
+}
+
 // Send schedules the message and returns its departure time (after source
 // port serialization).
 func (n *Network) Send(m Msg) engine.Time {
@@ -76,11 +97,20 @@ func (n *Network) Send(m Msg) engine.Time {
 		depart = now
 	}
 	n.portFree[m.From] = depart + n.cfg.PortInterval
+	idx := n.Messages
 	n.Messages++
 	n.ByKind[m.Kind]++
 	if m.Kind != mem.DataTearOff {
 		n.LineMoves++
 	}
-	n.eng.At(depart+n.cfg.Latency, func(engine.Time) { n.deliver(m) })
+	arrive := depart + n.cfg.Latency
+	if n.perturb != nil {
+		arrive += n.perturb(idx, m)
+		if la := n.lastArrive[m.From]; arrive < la {
+			arrive = la
+		}
+		n.lastArrive[m.From] = arrive
+	}
+	n.eng.At(arrive, func(engine.Time) { n.deliver(m) })
 	return depart
 }

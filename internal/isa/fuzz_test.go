@@ -1,0 +1,57 @@
+package isa
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// renderAssemblable prints a program back to assembler text: a label at
+// every pc (so the raw "@N" branch targets of Instr.String become
+// resolvable names) plus one trailing label for branches to the end.
+func renderAssemblable(p *Program) string {
+	var sb strings.Builder
+	for pc, in := range p.Code {
+		fmt.Fprintf(&sb, "L%d:\n", pc)
+		fmt.Fprintf(&sb, "\t%s\n", strings.ReplaceAll(in.String(), "@", "L"))
+	}
+	fmt.Fprintf(&sb, "L%d:\n", len(p.Code))
+	return sb.String()
+}
+
+// FuzzAsmDisasmRoundTrip: any source the assembler accepts must survive
+// print → re-assemble with identical code. (Label names and the li/mov
+// pseudo-ops are not preserved — pseudo-ops expand at assembly — so the
+// round trip compares the instruction encodings, not the text.)
+func FuzzAsmDisasmRoundTrip(f *testing.F) {
+	f.Add("halt\n")
+	f.Add("\tli t0, 1\nspin:\tll t1, 0(a0)\n\tbne t1, r0, spin\n\tsc t0, 0(a0)\n\tbeq t0, r0, spin\n\thalt\n")
+	f.Add("a:\tadd t0, t1, t2\n\twork 100\n\trand s5, 8\n\tbar 1\n\tj a\n")
+	f.Add("\tcpuid t0\n\tprocs t1\n\tswap t2, 8(a0)\n\tenqolb t3, 0(a1)\n\tdeqolb 0(a1)\n\tjal end\nend:\thalt\n")
+	f.Add("\tli s0, 1048576\n\tlw t0, -8(s0)\n\tsw t0, 16(s0)\n\tworkr t0\n\tjr lr\n")
+	if src, err := os.ReadFile("../../testdata/counter.s"); err == nil {
+		f.Add(string(src))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := Assemble(src)
+		if err != nil {
+			t.Skip()
+		}
+		rendered := renderAssemblable(p1)
+		p2, err := Assemble(rendered)
+		if err != nil {
+			t.Fatalf("re-assembly of printed program failed: %v\nprinted:\n%s", err, rendered)
+		}
+		if len(p2.Code) != len(p1.Code) {
+			t.Fatalf("round trip changed length: %d -> %d\nprinted:\n%s", len(p1.Code), len(p2.Code), rendered)
+		}
+		for i := range p1.Code {
+			a, b := p1.Code[i], p2.Code[i]
+			a.Sym, b.Sym = "", "" // label names are not preserved
+			if a != b {
+				t.Fatalf("pc %d: round trip changed %v -> %v\nprinted:\n%s", i, p1.Code[i], p2.Code[i], rendered)
+			}
+		}
+	})
+}

@@ -140,6 +140,9 @@ func New(cfg Config, prog *isa.Program, rec *trace.Recorder) (*Machine, error) {
 // Fabric exposes the memory system (setup and inspection).
 func (m *Machine) Fabric() *coherence.Fabric { return m.fabric }
 
+// Processors reports the configured node count.
+func (m *Machine) Processors() int { return m.cfg.Processors }
+
 // Engine exposes the event engine (tests).
 func (m *Machine) Engine() *engine.Engine { return m.eng }
 

@@ -1,0 +1,76 @@
+package stats
+
+import "testing"
+
+// TestPercentileEdges pins the documented edge behavior of
+// Histogram.Percentile: empty → 0, p<=0 → Min, p>=100 → Max, and a
+// single-bucket histogram interpolating strictly inside [Min, Max].
+func TestPercentileEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		for _, p := range []float64{0, 50, 100} {
+			if got := h.Percentile(p); got != 0 {
+				t.Errorf("empty histogram Percentile(%v) = %v, want 0", p, got)
+			}
+		}
+	})
+
+	t.Run("bounds", func(t *testing.T) {
+		var h Histogram
+		for _, v := range []uint64{37, 5, 900, 41} {
+			h.Add(v)
+		}
+		if got := h.Percentile(0); got != 5 {
+			t.Errorf("Percentile(0) = %v, want Min 5", got)
+		}
+		if got := h.Percentile(-10); got != 5 {
+			t.Errorf("Percentile(-10) = %v, want Min 5", got)
+		}
+		if got := h.Percentile(100); got != 900 {
+			t.Errorf("Percentile(100) = %v, want Max 900", got)
+		}
+		if got := h.Percentile(150); got != 900 {
+			t.Errorf("Percentile(150) = %v, want Max 900", got)
+		}
+	})
+
+	t.Run("single-sample", func(t *testing.T) {
+		var h Histogram
+		h.Add(64)
+		for _, p := range []float64{0, 1, 50, 99, 100} {
+			if got := h.Percentile(p); got != 64 {
+				t.Errorf("single-sample Percentile(%v) = %v, want 64 (Min==Max clamp)", p, got)
+			}
+		}
+	})
+
+	t.Run("single-bucket", func(t *testing.T) {
+		// All samples inside one power-of-two bucket [32,64): the
+		// interpolated percentile must stay within the recorded
+		// [Min, Max] range and be monotone in p.
+		var h Histogram
+		for _, v := range []uint64{40, 44, 48, 52} {
+			h.Add(v)
+		}
+		prev := -1.0
+		for _, p := range []float64{10, 25, 50, 75, 90} {
+			got := h.Percentile(p)
+			if got < 40 || got > 52 {
+				t.Errorf("Percentile(%v) = %v outside [Min=40, Max=52]", p, got)
+			}
+			if got < prev {
+				t.Errorf("Percentile(%v) = %v not monotone (prev %v)", p, got, prev)
+			}
+			prev = got
+		}
+	})
+
+	t.Run("zero-sample", func(t *testing.T) {
+		var h Histogram
+		h.Add(0)
+		h.Add(0)
+		if got := h.Percentile(50); got != 0 {
+			t.Errorf("all-zero Percentile(50) = %v, want 0", got)
+		}
+	})
+}

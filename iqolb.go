@@ -173,6 +173,9 @@ type Experiment struct {
 	Processors int
 	// ScaleFactor > 1 shrinks the workload proportionally for quick runs.
 	ScaleFactor int
+	// Check runs the experiment under the internal/check
+	// protocol-invariant monitors; any violation fails the run.
+	Check bool
 }
 
 // Run executes the experiment, verifying the workload's mutual-exclusion
@@ -181,6 +184,12 @@ func Run(e Experiment) (Result, error) {
 	scale := e.ScaleFactor
 	if scale < 1 {
 		scale = 1
+	}
+	if e.Check {
+		return experiments.RunSpec(Spec{
+			Bench: e.Benchmark, System: e.System.Name,
+			Procs: e.Processors, Scale: scale, Check: true,
+		})
 	}
 	return experiments.RunBenchmark(e.Benchmark, e.System, e.Processors, scale)
 }
