@@ -248,6 +248,46 @@ func BenchmarkFetchAddThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead measures the cost of the observability layer
+// (internal/obs) on a contended IQOLB workload. "disabled" is the default
+// path every untraced run takes — the probe fan-out slices are empty, so
+// each hook reduces to ranging over nothing — and must stay within ~2% of
+// pre-observability throughput. "enabled" attaches the full collector
+// (lock lifecycle, delays, tear-offs, bus occupancy, barriers) and builds
+// the metrics snapshot. BENCH_obs.json tracks measured numbers; the
+// sim-cycle side of the contract (instrumented runs are cycle-identical)
+// is pinned by TestNoPerturbation in internal/obs.
+func BenchmarkObsOverhead(b *testing.B) {
+	spec := iqolb.Spec{Bench: "hotlock", System: "iqolb", Procs: benchProcs, Scale: 2}
+	b.Run("disabled", func(b *testing.B) {
+		var simCycles uint64
+		for i := 0; i < b.N; i++ {
+			res, err := iqolb.RunSpec(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			simCycles = res.Cycles
+		}
+		reportCycles(b, simCycles)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		traced := spec
+		traced.Trace = &iqolb.TraceOptions{}
+		var events int
+		for i := 0; i < b.N; i++ {
+			res, err := iqolb.RunSpec(traced)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Obs == nil {
+				b.Fatal("traced run produced no snapshot")
+			}
+			events = res.Obs.Events
+		}
+		b.ReportMetric(float64(events), "events")
+	})
+}
+
 // BenchmarkSimulatorThroughput measures the simulator itself: host time per
 // simulated cycle on a contended IQOLB workload (a performance regression
 // guard for the engine and protocol fast paths).

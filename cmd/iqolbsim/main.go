@@ -27,6 +27,7 @@ func main() {
 		scale       = flag.Int("scale", 1, "divide the workload by this factor")
 		verbose     = flag.Bool("v", false, "print detailed statistics")
 		checked     = flag.Bool("check", false, "run under the protocol-invariant monitors (internal/check)")
+		tracePath   = flag.String("trace", "", "collect the observability event stream and write a Perfetto trace to this path")
 		printConfig = flag.Bool("print-config", false, "print the Table 1 system configuration and exit")
 		listWl      = flag.Bool("list-workloads", false, "print the Table 2 benchmark inventory and exit")
 		listSys     = flag.Bool("list-systems", false, "print the available systems and exit")
@@ -56,18 +57,17 @@ func main() {
 
 	sys, err := iqolb.SystemByName(*system)
 	fail(err)
-	res, err := iqolb.Run(iqolb.Experiment{
-		Benchmark:  *bench,
-		System:     sys,
-		Processors: *procs,
-		Check:      *checked,
-		ScaleFactor: func() int {
-			if *scale < 1 {
-				return 1
-			}
-			return *scale
-		}(),
-	})
+	spec := iqolb.Spec{
+		Bench:  *bench,
+		System: sys.Name,
+		Procs:  *procs,
+		Scale:  *scale,
+		Check:  *checked,
+	}
+	if *tracePath != "" {
+		spec.Trace = &iqolb.TraceOptions{Perfetto: *tracePath}
+	}
+	res, err := iqolb.RunSpec(spec)
 	fail(err)
 
 	fmt.Printf("%s on %s, %d processors: %d cycles\n", sys.Name, *bench, *procs, res.Cycles)
@@ -77,6 +77,10 @@ func main() {
 	fmt.Printf("  tear-offs        : %d\n", res.TearOffs)
 	fmt.Printf("  delay time-outs  : %d\n", res.Timeouts)
 	fmt.Printf("  queue breakdowns : %d\n", res.Breakdowns)
+	if res.Obs != nil {
+		fmt.Printf("  trace            : %d events to cycle %d, written to %s\n",
+			res.Obs.Events, res.Obs.EndCycle, *tracePath)
+	}
 	if *verbose {
 		st := res.Stats
 		fmt.Printf("  memory reads     : %d (writebacks %d)\n", st.MemReads, st.MemWritebacks)

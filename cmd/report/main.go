@@ -8,6 +8,11 @@
 //
 //	report             # full scale (seconds on a warm cache)
 //	report -quick      # 8 processors, workloads divided by 8
+//
+// The trace subcommand runs one traced simulation instead and writes a
+// Perfetto-loadable Chrome trace (see internal/obs):
+//
+//	report trace -bench raytrace -system iqolb -p 8
 package main
 
 import (
@@ -21,6 +26,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceCmd(os.Args[2:])
+		return
+	}
 	var (
 		quick = flag.Bool("quick", false, "small machine, scaled-down workloads")
 
@@ -73,22 +82,23 @@ func main() {
 	f4, _, err := iqolb.Figure4()
 	emit("figure4", f4, err)
 
-	sc, err := iqolb.SweepScaling(opt, "raytrace", []int{1, 2, 4, 8, 16, 32}, scale)
+	sc, err := iqolb.Sweep(opt, iqolb.SweepSpec{
+		Kind: iqolb.SweepScalingKind, Bench: "raytrace",
+		ProcCounts: []int{1, 2, 4, 8, 16, 32}, Scale: scale,
+	})
 	emit("scaling", sc, err)
 
-	to, err := iqolb.SweepTimeout(opt, sweepProcs, sweepCS,
-		[]iqolb.Time{200, 500, 1000, 5000, 10000, 50000})
+	to, err := iqolb.Sweep(opt, iqolb.SweepSpec{
+		Kind: iqolb.SweepTimeoutKind, Procs: sweepProcs, TotalCS: sweepCS,
+		Budgets: []iqolb.Time{200, 500, 1000, 5000, 10000, 50000},
+	})
 	emit("timeout", to, err)
 
-	re, err := iqolb.SweepRetention(opt, sweepProcs, sweepCS)
-	emit("retention", re, err)
-
-	co, err := iqolb.SweepCollocation(opt, sweepProcs, sweepCS)
-	emit("collocation", co, err)
-
-	pr, err := iqolb.SweepPredictor(opt, sweepProcs, sweepCS)
-	emit("predictor", pr, err)
-
-	ge, err := iqolb.SweepGeneralized(opt, sweepProcs, sweepCS)
-	emit("generalized", ge, err)
+	for _, kind := range []iqolb.SweepKind{
+		iqolb.SweepRetentionKind, iqolb.SweepCollocationKind,
+		iqolb.SweepPredictorKind, iqolb.SweepGeneralizedKind,
+	} {
+		out, err := iqolb.Sweep(opt, iqolb.SweepSpec{Kind: kind, Procs: sweepProcs, TotalCS: sweepCS})
+		emit(string(kind), out, err)
+	}
 }

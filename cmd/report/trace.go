@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iqolb"
+)
+
+// traceCmd implements `report trace`: run one traced simulation and emit
+// its Perfetto (Chrome trace-event) export plus a contention summary.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("report trace", flag.ExitOnError)
+	var (
+		bench  = fs.String("bench", "raytrace", "benchmark or microbenchmark name")
+		system = fs.String("system", "iqolb", "synchronization system")
+		procs  = fs.Int("p", 8, "processor count")
+		scale  = fs.Int("scale", 1, "divide the workload by this factor")
+		out    = fs.String("o", "", "trace output path (default <bench>_<system>_p<procs>.trace.json)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: report trace [-bench B] [-system S] [-p N] [-scale K] [-o FILE]")
+		fmt.Fprintln(os.Stderr, "runs one traced simulation and writes a Perfetto-loadable trace")
+		fmt.Fprintln(os.Stderr, "(open at https://ui.perfetto.dev or chrome://tracing)")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s_%s_p%d.trace.json", *bench, *system, *procs)
+	}
+
+	res, err := iqolb.RunSpec(iqolb.Spec{
+		Bench: *bench, System: *system, Procs: *procs, Scale: *scale,
+		Trace: &iqolb.TraceOptions{Perfetto: path},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report trace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s, %d processors: %d cycles\n", *system, *bench, *procs, res.Cycles)
+	snap := res.Obs
+	fmt.Printf("observed %d events to cycle %d\n", snap.Events, snap.EndCycle)
+	for _, l := range snap.Locks {
+		fmt.Printf("lock %#x: %d acquires / %d attempts, max queue %d\n",
+			l.Addr, l.Acquires, l.Attempts, l.MaxQueueDepth)
+		fmt.Printf("  hold time        : mean %.0f cycles (p50 %.0f, p99 %.0f)\n",
+			l.HoldTime.Mean(), l.HoldTime.Percentile(50), l.HoldTime.Percentile(99))
+		fmt.Printf("  hand-off latency : mean %.0f cycles (p50 %.0f, p99 %.0f)\n",
+			l.HandoffLatency.Mean(), l.HandoffLatency.Percentile(50), l.HandoffLatency.Percentile(99))
+		fmt.Printf("  acquire wait     : mean %.0f cycles (p50 %.0f, p99 %.0f)\n",
+			l.AcquireWait.Mean(), l.AcquireWait.Percentile(50), l.AcquireWait.Percentile(99))
+		shares := make([]string, len(l.AcquiresByProc))
+		for i, n := range l.AcquiresByProc {
+			shares[i] = fmt.Sprint(n)
+		}
+		fmt.Printf("  acquires by proc : [%s]\n", strings.Join(shares, " "))
+	}
+	fmt.Printf("bus: %d occupancy samples, max %d queued / %d outstanding\n",
+		snap.Bus.Samples, snap.Bus.MaxQueued, snap.Bus.MaxOutstanding)
+	if snap.Barriers.Episodes > 0 {
+		fmt.Printf("barriers: %d episodes, span mean %.0f cycles\n",
+			snap.Barriers.Episodes, snap.Barriers.Span.Mean())
+	}
+	fmt.Printf("trace written to %s (open at https://ui.perfetto.dev)\n", path)
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"iqolb"
 )
@@ -38,10 +39,11 @@ func main() {
 		artifacts = flag.String("artifacts", "", "write per-job result JSON and the run manifest to this directory")
 		quiet     = flag.Bool("q", false, "suppress progress output on stderr")
 		checked   = flag.Bool("check", false, "run every job under the protocol-invariant monitors (internal/check)")
+		traceDir  = flag.String("trace-dir", "", "trace every job: write per-job Perfetto exports to this directory (disables the result cache for the run)")
 	)
 	flag.Parse()
 
-	opt := iqolb.Options{Jobs: *jobs, CacheDir: *cacheDir, ArtifactDir: *artifacts, Check: *checked}
+	opt := iqolb.Options{Jobs: *jobs, CacheDir: *cacheDir, ArtifactDir: *artifacts, Check: *checked, Obs: *traceDir}
 	if *noCache {
 		opt.CacheDir = ""
 	}
@@ -49,28 +51,29 @@ func main() {
 		opt.Progress = os.Stderr
 	}
 
-	var (
-		out string
-		err error
-	)
-	switch *study {
-	case "scaling":
-		out, err = iqolb.SweepScaling(opt, *bench, []int{1, 2, 4, 8, 16, 32}, *scale)
-	case "timeout":
-		out, err = iqolb.SweepTimeout(opt, *procs, *cs, []iqolb.Time{200, 500, 1000, 5000, 10000, 50000})
-	case "retention":
-		out, err = iqolb.SweepRetention(opt, *procs, *cs)
-	case "collocation":
-		out, err = iqolb.SweepCollocation(opt, *procs, *cs)
-	case "predictor":
-		out, err = iqolb.SweepPredictor(opt, *procs, *cs)
-	case "generalized":
-		out, err = iqolb.SweepGeneralized(opt, *procs, *cs)
-	default:
-		err = fmt.Errorf("unknown study %q", *study)
-	}
+	out, err := iqolb.Sweep(opt, iqolb.SweepSpec{
+		Kind:       iqolb.SweepKind(*study),
+		Bench:      *bench,
+		Procs:      *procs,
+		ProcCounts: []int{1, 2, 4, 8, 16, 32},
+		TotalCS:    *cs,
+		Budgets:    []iqolb.Time{200, 500, 1000, 5000, 10000, 50000},
+		Scale:      *scale,
+	})
 	if err != nil {
-		if errors.Is(err, iqolb.ErrCycleLimit) {
+		var specErr *iqolb.SweepSpecError
+		switch {
+		case errors.As(err, &specErr):
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", specErr)
+			if specErr.Field == "Kind" {
+				kinds := make([]string, 0, 6)
+				for _, k := range iqolb.SweepKinds() {
+					kinds = append(kinds, string(k))
+				}
+				fmt.Fprintf(os.Stderr, "sweep: available studies: %s\n", strings.Join(kinds, " | "))
+			}
+			os.Exit(2)
+		case errors.Is(err, iqolb.ErrCycleLimit):
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			fmt.Fprintln(os.Stderr, "sweep: a simulation hit the engine's cycle limit — its results would be truncated; shrink the workload (-scale, -cs) or the machine (-procs)")
 			os.Exit(2)

@@ -246,6 +246,7 @@ func (c *Controller) noteAcquireStart(addr mem.Addr) {
 	if c.f.isLockAddr(addr) {
 		if _, ok := c.acquireStart[addr]; !ok {
 			c.acquireStart[addr] = c.eng.Now()
+			c.f.noteLockAttempt(c.id, addr)
 		}
 	}
 }
@@ -351,7 +352,7 @@ func (c *Controller) afterSCSuccess(req mem.Request) {
 	}
 	if c.f.isLockAddr(req.Addr) {
 		c.st.LockAcquires++
-		c.f.recordAcquire(req.Addr)
+		c.f.recordAcquire(c.id, req.Addr)
 		if s, ok := c.acquireStart[req.Addr]; ok {
 			c.f.st.AcquireWait.Add(uint64(c.eng.Now() - s))
 			delete(c.acquireStart, req.Addr)
@@ -411,7 +412,7 @@ func (c *Controller) accessDeqolb(req mem.Request) {
 	addr := req.Addr
 	c.completeAfter(req, mem.Result{}, c.f.timing.L1Hit)
 	c.st.LockReleases++
-	c.f.recordRelease(addr)
+	c.f.recordRelease(c.id, addr)
 	c.traceEv(trace.EvRelease, addr.Line(), "deqolb")
 	c.f.qolb.Release(c.id, addr)
 }
@@ -428,7 +429,7 @@ func (c *Controller) qolbGranted(addr mem.Addr) {
 	c.f.st.MissLatency.Add(uint64(c.eng.Now() - m.issuedAt))
 	c.st.LockAcquires++
 	if c.f.isLockAddr(addr) {
-		c.f.recordAcquire(addr)
+		c.f.recordAcquire(c.id, addr)
 		if s, ok := c.acquireStart[addr]; ok {
 			c.f.st.AcquireWait.Add(uint64(c.eng.Now() - s))
 			delete(c.acquireStart, addr)
@@ -462,7 +463,7 @@ func (c *Controller) afterStore(addr mem.Addr) {
 		} else {
 			c.st.PredictorMisses++ // was a lock but ran as Fetch&Phi
 		}
-		c.f.recordRelease(addr)
+		c.f.recordRelease(c.id, addr)
 		c.traceEv(trace.EvRelease, e.Line, "store to held lock")
 		c.flushDelayed(e.Line, trace.EvDelayEnd, "release")
 		// Generalized IQOLB: the tenure's protected-data lines are
@@ -474,7 +475,7 @@ func (c *Controller) afterStore(addr mem.Addr) {
 		// Modes without a held-locks table still record the release for
 		// the hand-off statistics.
 		c.st.LockReleases++
-		c.f.recordRelease(addr)
+		c.f.recordRelease(c.id, addr)
 		c.flushDelayed(addr.Line(), trace.EvDelayEnd, "lock-addr store")
 	}
 }
@@ -486,6 +487,9 @@ func (c *Controller) missIssue(req mem.Request, tx mem.TxKind) {
 	c.mshrs[line] = m
 	c.st.TxIssued[tx]++
 	c.f.rec.Add(trace.Event{At: c.eng.Now(), Kind: trace.EvTxIssue, Node: c.id, Line: line, Tx: tx})
+	if tx == mem.TxLPRFO {
+		c.f.probeLPRFOIssue(c.id, line)
+	}
 	m.txID = c.f.bus.Request(tx, req.Addr, c.id)
 }
 
@@ -538,9 +542,7 @@ func (c *Controller) snoop(tx interconnect.Tx) {
 // squash abandons a queued LPRFO after a queue breakdown (retention off)
 // and re-issues it; the queue rebuilds in new bus order (§3.2).
 func (c *Controller) squash(m *mshr) {
-	if c.f.probe != nil {
-		c.f.probe.Squash(c.id, m.line)
-	}
+	c.f.probeSquash(c.id, m.line)
 	c.st.QueueBreakdowns++
 	c.traceEv(trace.EvSquash, m.line, "")
 	m.hasTear = false
@@ -552,6 +554,7 @@ func (c *Controller) squash(m *mshr) {
 	c.f.bus.Complete() // our own abandoned slot
 	c.st.TxIssued[mem.TxLPRFO]++
 	c.f.rec.Add(trace.Event{At: c.eng.Now(), Kind: trace.EvTxIssue, Node: c.id, Line: m.line, Tx: mem.TxLPRFO})
+	c.f.probeLPRFOIssue(c.id, m.line)
 	m.txID = c.f.bus.Request(mem.TxLPRFO, m.req.Addr, c.id)
 }
 
@@ -1055,6 +1058,7 @@ func (c *Controller) startDelay(line mem.LineID, d *duty, holdingLock bool) {
 	c.st.DelaysStarted++
 	c.f.rec.Add(trace.Event{At: c.eng.Now(), Kind: trace.EvDelayStart, Node: c.id,
 		Peer: d.tx.Requester, Line: line})
+	c.f.probeDelayStart(c.id, d.tx.Requester, line, holdingLock)
 	c.armTimer(line, d, c.policy.DelayBudget(holdingLock))
 	if holdingLock {
 		c.maybeTearOff(line, d)
@@ -1191,6 +1195,13 @@ func (c *Controller) forwardOwnership(line mem.LineID, ev trace.Kind, note strin
 	}
 	c.f.rec.Add(trace.Event{At: c.eng.Now(), Kind: ev, Node: c.id, Peer: target.tx.Requester,
 		Line: line, Note: note})
+	if target.delayed {
+		reason := DelayFlushed
+		if ev == trace.EvTimeout {
+			reason = DelayTimedOut
+		}
+		c.f.probeDelayEnd(c.id, target.tx.Requester, line, reason)
+	}
 	c.transferOwnership(line, target)
 }
 
@@ -1249,6 +1260,7 @@ func (c *Controller) maybeTearOff(line mem.LineID, d *duty) {
 
 func (c *Controller) sendTearOff(line mem.LineID, to mem.NodeID) {
 	c.st.TearOffsOut++
+	c.f.probeTearOff(c.id, to, line)
 	kind := mem.DataTearOff
 	if faultTearOffOwnership {
 		// Seeded mutation: the tear-off arrives as an ownership transfer

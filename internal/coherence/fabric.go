@@ -40,9 +40,10 @@ type Fabric struct {
 	lockAddrs   map[mem.Addr]bool
 	lastRelease map[mem.Addr]engine.Time
 
-	st    *stats.Machine
-	rec   *trace.Recorder
-	probe Probe
+	st         *stats.Machine
+	rec        *trace.Recorder
+	probes     []Probe
+	syncProbes []SyncProbe
 }
 
 // NewFabric assembles the memory system for n nodes. Each node's
@@ -104,19 +105,29 @@ func (f *Fabric) RegisterLockAddr(a mem.Addr) { f.lockAddrs[a] = true }
 
 func (f *Fabric) isLockAddr(a mem.Addr) bool { return f.lockAddrs[a] }
 
-func (f *Fabric) recordRelease(a mem.Addr) {
+func (f *Fabric) recordRelease(node mem.NodeID, a mem.Addr) {
 	if f.isLockAddr(a) {
 		f.lastRelease[a] = f.eng.Now()
+		f.probeLockRelease(node, a)
 	}
 }
 
-func (f *Fabric) recordAcquire(a mem.Addr) {
+func (f *Fabric) recordAcquire(node mem.NodeID, a mem.Addr) {
 	if !f.isLockAddr(a) {
 		return
 	}
+	f.probeLockAcquire(node, a)
 	if rel, ok := f.lastRelease[a]; ok {
 		f.st.LockHandoff.Add(uint64(f.eng.Now() - rel))
 		delete(f.lastRelease, a)
+	}
+}
+
+// noteLockAttempt reports the start of an acquire attempt at a registered
+// lock address (controllers call it from their first LL or EnQOLB).
+func (f *Fabric) noteLockAttempt(node mem.NodeID, a mem.Addr) {
+	if f.isLockAddr(a) {
+		f.probeLockAttempt(node, a)
 	}
 }
 
@@ -153,9 +164,7 @@ func (f *Fabric) setOwner(line mem.LineID, n mem.NodeID) {
 // send puts a data message on the crossbar, maintaining the holder register
 // and the trace/stat streams.
 func (f *Fabric) send(m interconnect.Msg) {
-	if f.probe != nil {
-		f.probe.DataSend(m)
-	}
+	f.probeDataSend(m)
 	switch m.Kind {
 	case mem.DataExclusive:
 		if !m.Loan {
@@ -200,9 +209,7 @@ func (f *Fabric) setHolderIfNode(line mem.LineID, from, to mem.NodeID) {
 
 // deliver routes an arriving data message.
 func (f *Fabric) deliver(m interconnect.Msg) {
-	if f.probe != nil {
-		f.probe.DataDeliver(m)
-	}
+	f.probeDataDeliver(m)
 	f.rec.Add(trace.Event{At: f.eng.Now(), Kind: trace.EvDataRecv, Node: m.To, Peer: m.From,
 		Line: m.Line, Data: m.Kind})
 	if m.To == mem.MemoryNode {
@@ -221,9 +228,7 @@ func (f *Fabric) observe(tx interconnect.Tx) {
 	if dbgObserve != nil {
 		dbgObserve(f, tx)
 	}
-	if f.probe != nil {
-		f.probe.Observe(tx)
-	}
+	f.probeObserve(tx)
 	f.rec.Add(trace.Event{At: f.eng.Now(), Kind: trace.EvTxObserve, Node: tx.Requester,
 		Line: tx.Line, Tx: tx.Kind})
 	f.st.BusTransactions++

@@ -8,8 +8,9 @@ import (
 // Probe observes the protocol's externally meaningful events: bus-order
 // observation, data-network traffic, cache installs, committed stores, and
 // queue breakdowns. It exists for the invariant monitors in internal/check
-// — the protocol never reads anything back from it, so a probe cannot
-// perturb a run (it must not call back into the fabric).
+// and the observability collectors in internal/obs — the protocol never
+// reads anything back from it, so a probe cannot perturb a run (it must
+// not call back into the fabric).
 //
 // All methods are invoked synchronously inside the event that caused them,
 // so a probe sees a consistent global snapshot: no other protocol activity
@@ -34,19 +35,166 @@ type Probe interface {
 	Squash(node mem.NodeID, line mem.LineID)
 }
 
-// SetProbe attaches a protocol probe; nil detaches. Call before Run.
-func (f *Fabric) SetProbe(p Probe) { f.probe = p }
+// DelayEndReason classifies how a delayed response ended.
+type DelayEndReason uint8
+
+const (
+	// DelayFlushed: the delay's purpose completed (SC performed or the
+	// lock was released) and the line was forwarded on the hand-off path.
+	DelayFlushed DelayEndReason = iota
+	// DelayTimedOut: the time-out safety net (or an eviction, which is
+	// charged the same way) forced the response out before the release.
+	DelayTimedOut
+)
+
+// SyncProbe observes the synchronization-level events layered over the
+// base protocol: lock acquire attempts, acquisitions and releases at
+// registered lock addresses, LPRFO issue, the delayed-response window, and
+// tear-off hand-outs. It exists for the observability layer in
+// internal/obs; like Probe, it is strictly one-way.
+//
+// A SyncProbe fires only for addresses registered with RegisterLockAddr
+// (the lock-addressed callbacks) or for the line-addressed delay/tear-off
+// machinery, which is inherently lock-related under the LPRFO modes.
+type SyncProbe interface {
+	// LockAttempt fires when node starts waiting on a registered lock (the
+	// first LL or EnQOLB of an acquire attempt). It fires once per
+	// attempt: local spinning does not repeat it.
+	LockAttempt(node mem.NodeID, addr mem.Addr)
+	// LockAcquire fires when node completes an acquisition of a registered
+	// lock (SC success classified at the lock address, or a QOLB grant).
+	LockAcquire(node mem.NodeID, addr mem.Addr)
+	// LockRelease fires when node releases a registered lock (release
+	// store or DeQOLB).
+	LockRelease(node mem.NodeID, addr mem.Addr)
+	// LPRFOIssue fires when node puts an LPRFO transaction on the bus
+	// (first issue and breakdown re-issue alike).
+	LPRFOIssue(node mem.NodeID, line mem.LineID)
+	// DelayStart fires when node begins delaying its response to waiter's
+	// queued LPRFO (the paper's Δ); lockHold distinguishes a lock-hold
+	// delay from an LL→SC window delay.
+	DelayStart(node, waiter mem.NodeID, line mem.LineID, lockHold bool)
+	// DelayEnd fires when the delayed line is forwarded to waiter, with
+	// the reason the delay ended.
+	DelayEnd(node, waiter mem.NodeID, line mem.LineID, reason DelayEndReason)
+	// TearOff fires when node sends to a read-only tear-off copy of line.
+	TearOff(node, to mem.NodeID, line mem.LineID)
+}
+
+// SetProbe attaches a protocol probe, detaching every probe attached
+// before it; nil detaches all. Call before Run. If p also implements
+// SyncProbe it receives the synchronization-level events too.
+func (f *Fabric) SetProbe(p Probe) {
+	f.probes = nil
+	f.syncProbes = nil
+	if p != nil {
+		f.AddProbe(p)
+	}
+}
+
+// AddProbe attaches a protocol probe alongside those already attached
+// (the fan-out lets an invariant monitor and an observability collector
+// share one run). Probes fire in attachment order. If p also implements
+// SyncProbe it receives the synchronization-level events too.
+func (f *Fabric) AddProbe(p Probe) {
+	if p == nil {
+		return
+	}
+	f.probes = append(f.probes, p)
+	if sp, ok := p.(SyncProbe); ok {
+		f.syncProbes = append(f.syncProbes, sp)
+	}
+}
+
+// AddSyncProbe attaches a probe that wants only the synchronization-level
+// events, skipping the (much hotter) base protocol stream.
+func (f *Fabric) AddSyncProbe(p SyncProbe) {
+	if p != nil {
+		f.syncProbes = append(f.syncProbes, p)
+	}
+}
+
+// The base-probe fan-out. Each wrapper reduces to one len check when no
+// probe is attached, keeping the disabled-observability hot path free.
+
+func (f *Fabric) probeObserve(tx interconnect.Tx) {
+	for _, p := range f.probes {
+		p.Observe(tx)
+	}
+}
+
+func (f *Fabric) probeDataSend(m interconnect.Msg) {
+	for _, p := range f.probes {
+		p.DataSend(m)
+	}
+}
+
+func (f *Fabric) probeDataDeliver(m interconnect.Msg) {
+	for _, p := range f.probes {
+		p.DataDeliver(m)
+	}
+}
+
+func (f *Fabric) probeSquash(node mem.NodeID, line mem.LineID) {
+	for _, p := range f.probes {
+		p.Squash(node, line)
+	}
+}
 
 // probeInstall reports an install (or in-place writable upgrade) on c.
 func (c *Controller) probeInstall(line mem.LineID, state mem.State) {
-	if c.f.probe != nil {
-		c.f.probe.Install(c.id, line, state)
+	for _, p := range c.f.probes {
+		p.Install(c.id, line, state)
 	}
 }
 
 // probeCommit reports a committed store-class write on c.
 func (c *Controller) probeCommit(addr mem.Addr, v uint64) {
-	if c.f.probe != nil {
-		c.f.probe.CommitStore(c.id, addr, v)
+	for _, p := range c.f.probes {
+		p.CommitStore(c.id, addr, v)
+	}
+}
+
+// The sync-probe fan-out.
+
+func (f *Fabric) probeLockAttempt(node mem.NodeID, addr mem.Addr) {
+	for _, p := range f.syncProbes {
+		p.LockAttempt(node, addr)
+	}
+}
+
+func (f *Fabric) probeLockAcquire(node mem.NodeID, addr mem.Addr) {
+	for _, p := range f.syncProbes {
+		p.LockAcquire(node, addr)
+	}
+}
+
+func (f *Fabric) probeLockRelease(node mem.NodeID, addr mem.Addr) {
+	for _, p := range f.syncProbes {
+		p.LockRelease(node, addr)
+	}
+}
+
+func (f *Fabric) probeLPRFOIssue(node mem.NodeID, line mem.LineID) {
+	for _, p := range f.syncProbes {
+		p.LPRFOIssue(node, line)
+	}
+}
+
+func (f *Fabric) probeDelayStart(node, waiter mem.NodeID, line mem.LineID, lockHold bool) {
+	for _, p := range f.syncProbes {
+		p.DelayStart(node, waiter, line, lockHold)
+	}
+}
+
+func (f *Fabric) probeDelayEnd(node, waiter mem.NodeID, line mem.LineID, reason DelayEndReason) {
+	for _, p := range f.syncProbes {
+		p.DelayEnd(node, waiter, line, reason)
+	}
+}
+
+func (f *Fabric) probeTearOff(node, to mem.NodeID, line mem.LineID) {
+	for _, p := range f.syncProbes {
+		p.TearOff(node, to, line)
 	}
 }

@@ -57,7 +57,7 @@ type Engine struct {
 	queue     eventHeap
 	fired     uint64
 	halted    bool
-	afterStep func(Time)
+	afterStep []func(Time)
 }
 
 // New returns an empty engine with the clock at cycle zero.
@@ -97,8 +97,25 @@ func (e *Engine) Halt() { e.halted = true }
 // SetAfterStep installs a callback invoked after every dispatched event,
 // with the clock at that event's time. Observers (invariant monitors) use
 // it for periodic scans; the callback must not schedule events or otherwise
-// perturb the simulation. nil removes it.
-func (e *Engine) SetAfterStep(fn func(Time)) { e.afterStep = fn }
+// perturb the simulation. nil removes every installed callback.
+func (e *Engine) SetAfterStep(fn func(Time)) {
+	if fn == nil {
+		e.afterStep = nil
+		return
+	}
+	e.afterStep = []func(Time){fn}
+}
+
+// AddAfterStep appends an after-step callback without displacing those
+// already installed, so independent observers (an invariant monitor and an
+// observability collector, say) can coexist on one engine. Callbacks fire
+// in attachment order.
+func (e *Engine) AddAfterStep(fn func(Time)) {
+	if fn == nil {
+		return
+	}
+	e.afterStep = append(e.afterStep, fn)
+}
 
 // Step dispatches the single earliest pending event, advancing the clock to
 // its timestamp. It reports false when the queue is empty.
@@ -110,8 +127,8 @@ func (e *Engine) Step() bool {
 	e.now = it.at
 	e.fired++
 	it.call(e.now)
-	if e.afterStep != nil {
-		e.afterStep(e.now)
+	for _, fn := range e.afterStep {
+		fn(e.now)
 	}
 	return true
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"iqolb/internal/engine"
@@ -63,6 +65,66 @@ func TestCacheKeyInvalidation(t *testing.T) {
 			t.Errorf("%s and %s collide on cache key %s", field, prev, key)
 		}
 		seen[key] = field
+	}
+}
+
+// TestCacheKeyTraceNeutral: the observability layer is passive, so
+// Spec.Trace must not enter the cache key — enabling tracing on a warmed
+// cache must not invalidate any entry. (Traced jobs skip the cache by
+// other means: RunSpecs clears their harness Config.)
+func TestCacheKeyTraceNeutral(t *testing.T) {
+	base := Spec{Bench: "hotlock", System: "iqolb", Procs: 4}
+	baseKey := specKey(t, base)
+	traced := base
+	traced.Trace = &TraceOptions{Perfetto: "somewhere.trace.json"}
+	if got := specKey(t, traced); got != baseKey {
+		t.Errorf("Trace changed the cache key (%s vs %s); obs options must not invalidate cached results", got, baseKey)
+	}
+}
+
+// TestTracedBatchSkipsCache runs the same spec three times against one
+// cache directory: plain (miss, cached), traced (must simulate fresh for
+// the artifacts, without serving or poisoning the cache), plain again
+// (hit — the traced run left the warmed cache intact).
+func TestTracedBatchSkipsCache(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Bench: "nullcs", System: "iqolb", Procs: 2, Scale: 64}
+	opt := Options{Jobs: 1, CacheDir: dir + "/cache"}
+
+	_, m1, err := RunSpecs(opt, []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.CacheHits != 0 || m1.CacheMisses != 1 {
+		t.Fatalf("first run: hits=%d misses=%d, want 0/1", m1.CacheHits, m1.CacheMisses)
+	}
+
+	traced := opt
+	traced.Obs = dir + "/traces"
+	res, m2, err := RunSpecs(traced, []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.CacheHits != 0 || m2.CacheMisses != 1 {
+		t.Fatalf("traced run: hits=%d misses=%d, want 0/1 (fresh run for artifacts)", m2.CacheHits, m2.CacheMisses)
+	}
+	if res[0].Obs == nil {
+		t.Error("traced run produced no snapshot")
+	}
+	if m2.Records[0].Snapshot == nil {
+		t.Error("traced run's manifest record carries no snapshot")
+	}
+	tracePath := filepath.Join(traced.Obs, harness.SanitizeLabel("nullcs/iqolb/p2")+".trace.json")
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Errorf("traced run left no Perfetto export: %v", err)
+	}
+
+	_, m3, err := RunSpecs(opt, []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.CacheHits != 1 || m3.CacheMisses != 0 {
+		t.Fatalf("third run: hits=%d misses=%d, want 1/0 (traced run must not disturb the cache)", m3.CacheHits, m3.CacheMisses)
 	}
 }
 

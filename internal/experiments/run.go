@@ -6,18 +6,26 @@ import (
 	"iqolb/internal/check"
 	"iqolb/internal/machine"
 	"iqolb/internal/mem"
+	"iqolb/internal/obs"
 	"iqolb/internal/stats"
 	"iqolb/internal/trace"
 	"iqolb/internal/workload"
 )
 
+// ResultSchemaVersion identifies the serialized Result layout. Bump it —
+// together with cacheSchema — whenever a Result field is added, removed,
+// or changes meaning; the golden-file test under testdata/ pins the
+// current shape.
+const ResultSchemaVersion = 1
+
 // Result is one benchmark execution's measurements.
 type Result struct {
-	System     string
-	Benchmark  string
-	Processors int
-	Cycles     uint64
-	Stats      *stats.Machine
+	SchemaVersion int
+	System        string
+	Benchmark     string
+	Processors    int
+	Cycles        uint64
+	Stats         *stats.Machine
 	// Derived headline metrics.
 	BusTransactions uint64
 	SCFailureRate   float64
@@ -25,11 +33,15 @@ type Result struct {
 	Timeouts        uint64
 	Breakdowns      uint64
 	LockHandoffMean float64
+	// Obs carries the observability snapshot for traced runs (Spec.Trace
+	// or Options.Obs); nil otherwise.
+	Obs *obs.Snapshot `json:",omitempty"`
 }
 
 func summarize(sysName, benchName string, procs int, res machine.Result) Result {
 	st := res.Stats
 	return Result{
+		SchemaVersion:   ResultSchemaVersion,
 		System:          sysName,
 		Benchmark:       benchName,
 		Processors:      procs,
@@ -103,10 +115,10 @@ func RunBenchmark(benchName string, sys System, procs, scaleFactor int) (Result,
 
 // RunFetchAdd executes the lock-free Fetch&Add kernel under one system.
 func RunFetchAdd(sys System, procs, totalOps int, think int64) (Result, error) {
-	return runFetchAdd(sys, procs, totalOps, think, false)
+	return runFetchAdd(sys, procs, totalOps, think, false, nil)
 }
 
-func runFetchAdd(sys System, procs, totalOps int, think int64, checked bool) (Result, error) {
+func runFetchAdd(sys System, procs, totalOps int, think int64, checked bool, tr *TraceOptions) (Result, error) {
 	totalOps -= totalOps % procs
 	if totalOps == 0 {
 		totalOps = procs
@@ -120,9 +132,15 @@ func runFetchAdd(sys System, procs, totalOps int, think int64, checked bool) (Re
 	if err != nil {
 		return Result{}, err
 	}
+	// The invariant monitor attaches exclusively (SetProbe); the trace
+	// collector must come after it.
 	var mon *check.Monitor
 	if checked {
 		mon = check.AttachToMachine(m, check.Config{})
+	}
+	var log *obs.Log
+	if tr != nil {
+		log = obs.Attach(m)
 	}
 	res, err := m.Run()
 	if mon != nil {
@@ -139,7 +157,11 @@ func runFetchAdd(sys System, procs, totalOps int, think int64, checked bool) (Re
 	if err := workload.VerifyFetchAdd(uint64(totalOps), m.Peek); err != nil {
 		return Result{}, err
 	}
-	return summarize(sys.Name, "fetchadd", procs, res), nil
+	out := summarize(sys.Name, "fetchadd", procs, res)
+	if err := finishTrace(log, tr, &out); err != nil {
+		return Result{}, fmt.Errorf("fetchadd/%s: %w", sys.Name, err)
+	}
+	return out, nil
 }
 
 // Peeker is the post-run memory view used by verification helpers.

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"iqolb/internal/engine"
 	"iqolb/internal/harness"
 	"iqolb/internal/machine"
+	"iqolb/internal/obs"
 	"iqolb/internal/workload"
 )
 
@@ -18,7 +21,25 @@ var ErrCycleLimit = errors.New("hit the engine cycle limit")
 // cacheSchema versions the canonical job configuration. Bump it whenever
 // a simulator change alters results without altering any config field —
 // every cached entry is then invalidated at once.
-const cacheSchema = 1
+//
+// Schema 2: Result gained SchemaVersion and the observability snapshot.
+const cacheSchema = 2
+
+// TraceOptions enables the observability layer (internal/obs) for a
+// spec's run. A traced run collects the structured event stream, embeds
+// the metrics snapshot in its Result (and manifest record), and — when
+// Perfetto names a path — exports the Chrome trace-event JSON there.
+//
+// Tracing never changes the cache key: the collectors are passive and the
+// measurements are identical, so traced and untraced runs are the same
+// computation. A traced job instead opts out of the result cache entirely
+// — trace artifacts must come from a fresh run, and a cached Result could
+// not supply them.
+type TraceOptions struct {
+	// Perfetto is the output path for the Chrome trace-event JSON export
+	// (loadable at ui.perfetto.dev); empty skips the export.
+	Perfetto string `json:"perfetto,omitempty"`
+}
 
 // Spec is the canonical description of one simulation job: workload ×
 // system × machine size, plus optional policy overrides. Specs are the
@@ -56,6 +77,10 @@ type Spec struct {
 	// monitors; any violation fails the job. Checked results are cached
 	// separately from unchecked ones (the configuration hash differs).
 	Check bool `json:"check,omitempty"`
+	// Trace enables the observability layer for this run (see
+	// TraceOptions). It does not enter the cache key; traced jobs skip
+	// the cache instead.
+	Trace *TraceOptions `json:"trace,omitempty"`
 }
 
 // resolved is a Spec with every default filled in: the effective
@@ -69,6 +94,7 @@ type resolved struct {
 	sys      System
 	cfg      machine.Config
 	check    bool
+	trace    *TraceOptions
 }
 
 // resolve validates the spec and computes its full execution plan.
@@ -90,7 +116,7 @@ func (s Spec) resolve() (resolved, error) {
 	if s.CycleLimit != nil {
 		cfg.CycleLimit = *s.CycleLimit
 	}
-	r := resolved{name: s.Name, kernel: s.Kernel, sys: sys, cfg: cfg, check: s.Check}
+	r := resolved{name: s.Name, kernel: s.Kernel, sys: sys, cfg: cfg, check: s.Check, trace: s.Trace}
 	switch s.Kernel {
 	case "fetchadd":
 		ops := s.TotalOps - s.TotalOps%s.Procs
@@ -174,13 +200,35 @@ func (r resolved) canonical() canonicalConfig {
 // run executes the resolved plan.
 func (r resolved) run() (Result, error) {
 	if r.kernel == "fetchadd" {
-		return runFetchAdd(r.sys, r.cfg.Processors, r.totalOps, r.think, r.check)
+		return runFetchAdd(r.sys, r.cfg.Processors, r.totalOps, r.think, r.check, r.trace)
 	}
 	bld, err := workload.Generate(r.params, r.sys.Primitive, r.cfg.Processors)
 	if err != nil {
 		return Result{}, err
 	}
-	return runConfigured(r.cfg, bld, r.params, r.name, r.sys.Name, r.cfg.Processors, r.check)
+	return runConfigured(r.cfg, bld, r.params, r.name, r.sys.Name, r.cfg.Processors, r.check, r.trace)
+}
+
+// finishTrace completes a traced run: it embeds the metrics snapshot in
+// the result and writes the Perfetto export when a path was given.
+func finishTrace(log *obs.Log, tr *TraceOptions, res *Result) error {
+	if log == nil {
+		return nil
+	}
+	snap := log.Snapshot()
+	res.Obs = &snap
+	if tr.Perfetto == "" {
+		return nil
+	}
+	f, err := os.Create(tr.Perfetto)
+	if err != nil {
+		return err
+	}
+	if err := log.ExportPerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // RunSpec resolves and executes one spec serially (no pool, no cache).
@@ -209,6 +257,12 @@ type Options struct {
 	// Check forces every spec in the batch to run under the
 	// internal/check invariant monitors (the CLIs' -check flag).
 	Check bool
+	// Obs, when non-empty, enables the observability layer for every
+	// job in the batch: each job's Perfetto trace lands at
+	// <Obs>/<label>.trace.json (unless the spec already carries its own
+	// TraceOptions) and its metrics snapshot is embedded in the
+	// manifest record. Traced jobs bypass the result cache.
+	Obs string
 }
 
 func (o Options) harness() harness.Options {
@@ -225,6 +279,11 @@ func (o Options) harness() harness.Options {
 // to a serial run. The manifest carries per-job wall times, sim-cycle
 // counts, lock hand-off latency percentiles, and cache hit/miss totals.
 func RunSpecs(opt Options, specs []Spec) ([]Result, *harness.Manifest, error) {
+	if opt.Obs != "" {
+		if err := os.MkdirAll(opt.Obs, 0o755); err != nil {
+			return nil, nil, err
+		}
+	}
 	jobs := make([]harness.Job[Result], len(specs))
 	for i, s := range specs {
 		if opt.Check {
@@ -234,14 +293,36 @@ func RunSpecs(opt Options, specs []Spec) ([]Result, *harness.Manifest, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if opt.Obs != "" && r.trace == nil {
+			r.trace = &TraceOptions{
+				Perfetto: filepath.Join(opt.Obs, harness.SanitizeLabel(r.label())+".trace.json"),
+			}
+		}
 		jobs[i] = harness.Job[Result]{
 			Label:   r.label(),
 			Config:  r.canonical(),
 			Run:     r.run,
 			Metrics: resultMetrics,
 		}
+		if r.trace != nil {
+			// Tracing is excluded from the cache key (the measurements
+			// are identical), but the artifacts only exist after a fresh
+			// run — so a traced job skips the cache rather than poisoning
+			// it with, or serving, snapshot-less entries.
+			jobs[i].Config = nil
+			jobs[i].Snapshot = resultSnapshot
+		}
 	}
 	return harness.Run(opt.harness(), jobs)
+}
+
+// resultSnapshot surfaces a traced result's observability snapshot for
+// the manifest record.
+func resultSnapshot(r Result) any {
+	if r.Obs == nil {
+		return nil
+	}
+	return r.Obs
 }
 
 // resultMetrics extracts the manifest's scalar measurements from a

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"iqolb/internal/engine"
+)
+
+// SweepKind selects which parameter study a SweepSpec describes.
+type SweepKind string
+
+const (
+	// SweepScalingKind: one benchmark across processor counts under the
+	// main systems (contention scaling).
+	SweepScalingKind SweepKind = "scaling"
+	// SweepTimeoutKind: the §3.2/§3.3 delay time-out budgets.
+	SweepTimeoutKind SweepKind = "timeout"
+	// SweepRetentionKind: queue retention vs. breakdown on false-shared
+	// locks.
+	SweepRetentionKind SweepKind = "retention"
+	// SweepCollocationKind: the §6 lock/data collocation extension.
+	SweepCollocationKind SweepKind = "collocation"
+	// SweepPredictorKind: the §3.4 predictor vs. the always-lock ablation.
+	SweepPredictorKind SweepKind = "predictor"
+	// SweepGeneralizedKind: the §6 Generalized IQOLB reader/writer study.
+	SweepGeneralizedKind SweepKind = "generalized"
+)
+
+// SweepKinds lists every sweep in a stable order (CLI enumeration).
+func SweepKinds() []SweepKind {
+	return []SweepKind{
+		SweepScalingKind, SweepTimeoutKind, SweepRetentionKind,
+		SweepCollocationKind, SweepPredictorKind, SweepGeneralizedKind,
+	}
+}
+
+// ErrInvalidSweepSpec is the sentinel every SweepSpec validation failure
+// wraps; detect the class with errors.Is and the details with errors.As
+// on *SweepSpecError.
+var ErrInvalidSweepSpec = errors.New("invalid sweep spec")
+
+// SweepSpecError reports which field of a SweepSpec is unusable for its
+// Kind. It unwraps to ErrInvalidSweepSpec.
+type SweepSpecError struct {
+	Kind   SweepKind
+	Field  string
+	Reason string
+}
+
+func (e *SweepSpecError) Error() string {
+	return fmt.Sprintf("invalid sweep spec (%s): %s: %s", e.Kind, e.Field, e.Reason)
+}
+
+func (e *SweepSpecError) Unwrap() error { return ErrInvalidSweepSpec }
+
+// SweepSpec is the canonical description of one parameter sweep. Kind
+// selects the study; the other fields parameterize it (unused fields are
+// ignored):
+//
+//	scaling:      Bench, ProcCounts, Scale
+//	timeout:      Procs, TotalCS, Budgets
+//	retention:    Procs, TotalCS
+//	collocation:  Procs, TotalCS
+//	predictor:    Procs, TotalCS
+//	generalized:  Procs, TotalCS
+type SweepSpec struct {
+	Kind SweepKind `json:"kind"`
+	// Bench names the benchmark for the scaling sweep.
+	Bench string `json:"bench,omitempty"`
+	// Procs is the machine size for the fixed-size sweeps.
+	Procs int `json:"procs,omitempty"`
+	// ProcCounts is the machine-size axis of the scaling sweep.
+	ProcCounts []int `json:"proc_counts,omitempty"`
+	// TotalCS is the total critical-section budget per configuration.
+	TotalCS int `json:"total_cs,omitempty"`
+	// Budgets is the delay time-out axis of the timeout sweep.
+	Budgets []engine.Time `json:"budgets,omitempty"`
+	// Scale divides the scaling sweep's workload (0 means unscaled).
+	Scale int `json:"scale,omitempty"`
+}
+
+func (s SweepSpec) bad(field, reason string) error {
+	return &SweepSpecError{Kind: s.Kind, Field: field, Reason: reason}
+}
+
+// Validate reports whether the spec fully describes its sweep. Every
+// failure wraps ErrInvalidSweepSpec and is an *SweepSpecError.
+func (s SweepSpec) Validate() error {
+	needRun := func() error {
+		if s.Procs < 1 {
+			return s.bad("Procs", "must be positive")
+		}
+		if s.TotalCS < 1 {
+			return s.bad("TotalCS", "must be positive")
+		}
+		return nil
+	}
+	switch s.Kind {
+	case SweepScalingKind:
+		if s.Bench == "" {
+			return s.bad("Bench", "required")
+		}
+		if len(s.ProcCounts) == 0 {
+			return s.bad("ProcCounts", "required")
+		}
+		for _, p := range s.ProcCounts {
+			if p < 1 {
+				return s.bad("ProcCounts", fmt.Sprintf("counts must be positive, got %d", p))
+			}
+		}
+		if s.Scale < 0 {
+			return s.bad("Scale", "must be non-negative")
+		}
+		return nil
+	case SweepTimeoutKind:
+		if err := needRun(); err != nil {
+			return err
+		}
+		if len(s.Budgets) == 0 {
+			return s.bad("Budgets", "required")
+		}
+		return nil
+	case SweepRetentionKind, SweepCollocationKind, SweepPredictorKind, SweepGeneralizedKind:
+		return needRun()
+	case "":
+		return s.bad("Kind", "required")
+	default:
+		return s.bad("Kind", fmt.Sprintf("unknown sweep %q", string(s.Kind)))
+	}
+}
+
+// Sweep validates the spec and runs the selected parameter study through
+// the harness, returning the rendered table. This is the single entry
+// point the deprecated per-sweep functions now wrap.
+func Sweep(opt Options, s SweepSpec) (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	switch s.Kind {
+	case SweepScalingKind:
+		scale := s.Scale
+		if scale < 1 {
+			scale = 1
+		}
+		return sweepScaling(opt, s.Bench, s.ProcCounts, scale)
+	case SweepTimeoutKind:
+		return sweepTimeout(opt, s.Procs, s.TotalCS, s.Budgets)
+	case SweepRetentionKind:
+		return sweepRetention(opt, s.Procs, s.TotalCS)
+	case SweepCollocationKind:
+		return sweepCollocation(opt, s.Procs, s.TotalCS)
+	case SweepPredictorKind:
+		return sweepPredictor(opt, s.Procs, s.TotalCS)
+	case SweepGeneralizedKind:
+		return sweepGeneralized(opt, s.Procs, s.TotalCS)
+	}
+	panic("unreachable: Validate admitted unknown kind " + string(s.Kind))
+}
+
+// Deprecated compatibility wrappers for the positional-argument sweep
+// functions. New code should call Sweep with a SweepSpec.
+
+// SweepScaling runs one benchmark across processor counts for the main
+// systems.
+//
+// Deprecated: Use Sweep with SweepScalingKind.
+func SweepScaling(opt Options, benchName string, procCounts []int, scaleFactor int) (string, error) {
+	return Sweep(opt, SweepSpec{Kind: SweepScalingKind, Bench: benchName,
+		ProcCounts: procCounts, Scale: scaleFactor})
+}
+
+// SweepTimeout studies the §3.2/§3.3 delay time-out budgets.
+//
+// Deprecated: Use Sweep with SweepTimeoutKind.
+func SweepTimeout(opt Options, procs, totalCS int, budgets []engine.Time) (string, error) {
+	return Sweep(opt, SweepSpec{Kind: SweepTimeoutKind, Procs: procs,
+		TotalCS: totalCS, Budgets: budgets})
+}
+
+// SweepRetention studies queue retention vs. breakdown on false-shared
+// locks.
+//
+// Deprecated: Use Sweep with SweepRetentionKind.
+func SweepRetention(opt Options, procs, totalCS int) (string, error) {
+	return Sweep(opt, SweepSpec{Kind: SweepRetentionKind, Procs: procs, TotalCS: totalCS})
+}
+
+// SweepCollocation studies the §6 collocation extension.
+//
+// Deprecated: Use Sweep with SweepCollocationKind.
+func SweepCollocation(opt Options, procs, totalCS int) (string, error) {
+	return Sweep(opt, SweepSpec{Kind: SweepCollocationKind, Procs: procs, TotalCS: totalCS})
+}
+
+// SweepPredictor compares the §3.4 predictor against the always-lock
+// ablation.
+//
+// Deprecated: Use Sweep with SweepPredictorKind.
+func SweepPredictor(opt Options, procs, totalCS int) (string, error) {
+	return Sweep(opt, SweepSpec{Kind: SweepPredictorKind, Procs: procs, TotalCS: totalCS})
+}
+
+// SweepGeneralized evaluates the §6 Generalized IQOLB extension.
+//
+// Deprecated: Use Sweep with SweepGeneralizedKind.
+func SweepGeneralized(opt Options, procs, totalCS int) (string, error) {
+	return Sweep(opt, SweepSpec{Kind: SweepGeneralizedKind, Procs: procs, TotalCS: totalCS})
+}

@@ -6,16 +6,17 @@ import (
 	"iqolb/internal/check"
 	"iqolb/internal/engine"
 	"iqolb/internal/machine"
+	"iqolb/internal/obs"
 	"iqolb/internal/report"
 	"iqolb/internal/stats"
 	"iqolb/internal/trace"
 	"iqolb/internal/workload"
 )
 
-// SweepScaling runs one benchmark across processor counts for the main
+// sweepScaling runs one benchmark across processor counts for the main
 // systems — the contention-scaling study behind the paper's motivation.
 // The grid fans out across the harness; rows render in spec order.
-func SweepScaling(opt Options, benchName string, procCounts []int, scaleFactor int) (string, error) {
+func sweepScaling(opt Options, benchName string, procCounts []int, scaleFactor int) (string, error) {
 	systems := []System{SysTTS, SysDelayed, SysIQOLB, SysQOLB}
 	var specs []Spec
 	for _, procs := range procCounts {
@@ -51,10 +52,10 @@ func systemNames(systems []System) []string {
 	return names
 }
 
-// SweepTimeout studies the §3.2/§3.3 time-out budgets: IQOLB's lock delay
+// sweepTimeout studies the §3.2/§3.3 time-out budgets: IQOLB's lock delay
 // budget must comfortably exceed critical-section length or hand-offs
 // degrade into timeouts.
-func SweepTimeout(opt Options, procs, totalCS int, budgets []engine.Time) (string, error) {
+func sweepTimeout(opt Options, procs, totalCS int, budgets []engine.Time) (string, error) {
 	// Long critical sections (400 cycles) so that budgets below the
 	// section length force time-outs and the hand-off degrades, while
 	// ample budgets let every hand-off ride the release.
@@ -86,10 +87,10 @@ func SweepTimeout(opt Options, procs, totalCS int, budgets []engine.Time) (strin
 	return t.String(), nil
 }
 
-// SweepRetention exercises the queue-retention vs. breakdown alternatives
+// sweepRetention exercises the queue-retention vs. breakdown alternatives
 // on a kernel with false-shared locks, where independent lock holders
 // write each other's delayed lines.
-func SweepRetention(opt Options, procs, totalCS int) (string, error) {
+func sweepRetention(opt Options, procs, totalCS int) (string, error) {
 	p := workload.Params{
 		Iterations: 1, TotalCS: totalCS - totalCS%procs, Locks: 8, HotPct: 0,
 		CSWork: 30, ThinkWork: 150, ThinkJitter: 100, LocksPerLine: 2,
@@ -113,10 +114,10 @@ func SweepRetention(opt Options, procs, totalCS int) (string, error) {
 	return t.String(), nil
 }
 
-// SweepCollocation studies the collocation extension (§6 / Generalized
+// sweepCollocation studies the collocation extension (§6 / Generalized
 // IQOLB direction): protected data in the lock's line rides along with the
 // hand-off.
-func SweepCollocation(opt Options, procs, totalCS int) (string, error) {
+func sweepCollocation(opt Options, procs, totalCS int) (string, error) {
 	base := workload.Params{
 		Iterations: 1, TotalCS: totalCS - totalCS%procs, Locks: 1, HotPct: 100,
 		CSWork: 10, ThinkWork: 300, ThinkJitter: 100,
@@ -143,9 +144,9 @@ func SweepCollocation(opt Options, procs, totalCS int) (string, error) {
 	return t.String(), nil
 }
 
-// SweepPredictor compares the §3.4 PC-indexed predictor against the
+// sweepPredictor compares the §3.4 PC-indexed predictor against the
 // always-lock ablation and reports training accuracy.
-func SweepPredictor(opt Options, procs, totalCS int) (string, error) {
+func sweepPredictor(opt Options, procs, totalCS int) (string, error) {
 	spec, err := workload.ByName("hotlock")
 	if err != nil {
 		return "", err
@@ -188,9 +189,10 @@ func SweepPredictor(opt Options, procs, totalCS int) (string, error) {
 // runConfigured executes a pre-built kernel under an explicit machine
 // configuration (for sweeps that tweak policy knobs directly). With
 // checked set, the run executes under the internal/check invariant
-// monitors, and any violation fails the run.
+// monitors, and any violation fails the run. With tr non-nil, the run
+// collects the observability event stream (see TraceOptions).
 func runConfigured(cfg machine.Config, bld *workload.Build, p workload.Params,
-	name, sysName string, procs int, checked bool) (Result, error) {
+	name, sysName string, procs int, checked bool, tr *TraceOptions) (Result, error) {
 	var rec *trace.Recorder
 	m, err := machine.New(cfg, bld.Program, rec)
 	if err != nil {
@@ -199,9 +201,15 @@ func runConfigured(cfg machine.Config, bld *workload.Build, p workload.Params,
 	for _, l := range bld.Locks {
 		m.RegisterLockAddr(l)
 	}
+	// The invariant monitor attaches exclusively (SetProbe); the trace
+	// collector must come after it.
 	var mon *check.Monitor
 	if checked {
 		mon = check.AttachToMachine(m, check.Config{})
+	}
+	var log *obs.Log
+	if tr != nil {
+		log = obs.Attach(m)
 	}
 	res, err := m.Run()
 	// The monitor halts the machine on a violation, which surfaces from
@@ -220,16 +228,20 @@ func runConfigured(cfg machine.Config, bld *workload.Build, p workload.Params,
 	if err := bld.VerifyCounters(p, m.Peek); err != nil {
 		return Result{}, fmt.Errorf("%s: %w", name, err)
 	}
-	return summarize(sysName, name, procs, res), nil
+	out := summarize(sysName, name, procs, res)
+	if err := finishTrace(log, tr, &out); err != nil {
+		return Result{}, fmt.Errorf("%s: %w", name, err)
+	}
+	return out, nil
 }
 
-// SweepGeneralized evaluates the §6 Generalized IQOLB extension on a
+// sweepGeneralized evaluates the §6 Generalized IQOLB extension on a
 // reader/writer kernel: part of the machine updates protected data under a
 // lock while the rest polls it with plain loads. Under plain IQOLB every
 // poll downgrades the writer's data line; with the generalized speculation
 // the polls are answered with tear-offs and the data stays put until the
 // release.
-func SweepGeneralized(opt Options, procs, totalCS int) (string, error) {
+func sweepGeneralized(opt Options, procs, totalCS int) (string, error) {
 	pollers := procs / 2
 	workers := procs - pollers
 	p := workload.Params{

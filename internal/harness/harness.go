@@ -37,6 +37,10 @@ type Job[T any] struct {
 	// the manifest (e.g. sim cycles, latency percentiles). Called for
 	// both fresh and cached results.
 	Metrics func(T) map[string]float64
+	// Snapshot optionally extracts a structured metrics snapshot from a
+	// result for the manifest record; returning nil omits it. Called for
+	// both fresh and cached results.
+	Snapshot func(T) any
 }
 
 // Options configures a batch run.
@@ -181,6 +185,9 @@ func runOne[T any](opt Options, job Job[T]) (Record, T, error) {
 func fillMetrics[T any](rec *Record, job Job[T], res T) {
 	if job.Metrics != nil {
 		rec.Metrics = job.Metrics(res)
+	}
+	if job.Snapshot != nil {
+		rec.Snapshot = job.Snapshot(res)
 	}
 }
 

@@ -9,6 +9,12 @@ import (
 	"time"
 )
 
+// ManifestSchemaVersion identifies the serialized manifest layout. Bump
+// it whenever a Manifest or Record field is added, removed, or changes
+// meaning; the golden-file test in the experiments package pins the
+// current shape.
+const ManifestSchemaVersion = 1
+
 // Job outcome statuses recorded in the manifest.
 const (
 	StatusHit     = "hit"     // served from the result cache
@@ -25,28 +31,33 @@ type Record struct {
 	WallMS  float64            `json:"wall_ms"`
 	Error   string             `json:"error,omitempty"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Snapshot carries the job's structured metrics snapshot (the
+	// observability layer's obs.Snapshot) when the job provides one.
+	Snapshot any `json:"snapshot,omitempty"`
 }
 
 // Manifest aggregates one batch: counts, cache statistics, wall-clock
 // and total simulated cycles (the sum of each job's "cycles" metric).
 type Manifest struct {
-	Workers     int      `json:"workers"`
-	Jobs        int      `json:"jobs"`
-	CacheHits   int      `json:"cache_hits"`
-	CacheMisses int      `json:"cache_misses"`
-	Errors      int      `json:"errors"`
-	Skipped     int      `json:"skipped"`
-	WallMS      float64  `json:"wall_ms"`
-	SimCycles   float64  `json:"sim_cycles"`
-	Records     []Record `json:"records"`
+	SchemaVersion int      `json:"schema_version"`
+	Workers       int      `json:"workers"`
+	Jobs          int      `json:"jobs"`
+	CacheHits     int      `json:"cache_hits"`
+	CacheMisses   int      `json:"cache_misses"`
+	Errors        int      `json:"errors"`
+	Skipped       int      `json:"skipped"`
+	WallMS        float64  `json:"wall_ms"`
+	SimCycles     float64  `json:"sim_cycles"`
+	Records       []Record `json:"records"`
 }
 
 func buildManifest(opt Options, records []Record, wall time.Duration) *Manifest {
 	m := &Manifest{
-		Workers: opt.workers(),
-		Jobs:    len(records),
-		WallMS:  float64(wall) / float64(time.Millisecond),
-		Records: records,
+		SchemaVersion: ManifestSchemaVersion,
+		Workers:       opt.workers(),
+		Jobs:          len(records),
+		WallMS:        float64(wall) / float64(time.Millisecond),
+		Records:       records,
 	}
 	for _, r := range records {
 		switch r.Status {
@@ -103,6 +114,11 @@ func writeArtifacts[T any](dir string, jobs []Job[T], results []T, records []Rec
 	}
 	return m.WriteFile(filepath.Join(dir, "manifest.json"))
 }
+
+// SanitizeLabel maps a job label to a safe file-name stem (the same
+// mapping the artifact writer uses, so callers can predict per-job file
+// names).
+func SanitizeLabel(label string) string { return sanitizeLabel(label) }
 
 // sanitizeLabel maps a job label to a safe file-name stem.
 func sanitizeLabel(label string) string {

@@ -50,6 +50,7 @@ type Bus struct {
 	eng     *engine.Engine
 	cfg     BusConfig
 	observe func(Tx)
+	monitor func(queued, outstanding int)
 
 	nextID      uint64
 	nextGrant   engine.Time
@@ -59,6 +60,19 @@ type Bus struct {
 	// Statistics.
 	Transactions uint64
 	MaxQueue     int
+}
+
+// SetMonitor installs an occupancy probe invoked whenever the bus's queue
+// or outstanding-transaction population changes (request enqueue, grant,
+// completion). The probe observes only — it must not call back into the
+// bus — so a nil-checked no-op is the only cost when detached. nil removes
+// the probe.
+func (b *Bus) SetMonitor(fn func(queued, outstanding int)) { b.monitor = fn }
+
+func (b *Bus) sample() {
+	if b.monitor != nil {
+		b.monitor(len(b.waiting), b.outstanding)
+	}
 }
 
 // NewBus builds the bus; observe is called at each transaction's global
@@ -84,6 +98,7 @@ func (b *Bus) Request(kind mem.TxKind, addr mem.Addr, requester mem.NodeID) uint
 	if len(b.waiting) > b.MaxQueue {
 		b.MaxQueue = len(b.waiting)
 	}
+	b.sample()
 	b.pump()
 	return tx.ID
 }
@@ -94,6 +109,7 @@ func (b *Bus) Complete() {
 		panic("interconnect: Complete without outstanding transaction")
 	}
 	b.outstanding--
+	b.sample()
 	b.pump()
 }
 
@@ -113,6 +129,7 @@ func (b *Bus) pump() {
 	b.outstanding++
 	b.nextGrant = grantAt + b.cfg.GrantInterval
 	b.Transactions++
+	b.sample()
 	b.eng.At(grantAt+b.cfg.Latency, func(engine.Time) {
 		b.observe(tx)
 		// Grant the next waiter (bandwidth period may have passed).

@@ -100,9 +100,10 @@ type Machine struct {
 	st     *stats.Machine
 	rec    *trace.Recorder
 
-	barriers map[int64][]func()
-	halted   int
-	ran      bool
+	barriers   map[int64][]func()
+	barrierObs BarrierObserver
+	halted     int
+	ran        bool
 }
 
 // New builds a machine that will run prog on every processor (programs
@@ -166,12 +167,22 @@ func (m *Machine) Peek(addr mem.Addr) uint64 {
 // RegisterLockAddr marks a lock address for hand-off statistics.
 func (m *Machine) RegisterLockAddr(a mem.Addr) { m.fabric.RegisterLockAddr(a) }
 
+// SetBarrierObserver attaches a barrier-epoch observer (nil detaches).
+// Call before Run.
+func (m *Machine) SetBarrierObserver(o BarrierObserver) { m.barrierObs = o }
+
 // Barrier implements proc.Platform.
 func (m *Machine) Barrier(episode int64, cpu int, release func()) {
+	if m.barrierObs != nil {
+		m.barrierObs.BarrierArrive(episode, cpu)
+	}
 	m.barriers[episode] = append(m.barriers[episode], release)
 	if len(m.barriers[episode]) == m.cfg.Processors {
 		releases := m.barriers[episode]
 		delete(m.barriers, episode)
+		if m.barrierObs != nil {
+			m.barrierObs.BarrierRelease(episode, m.cfg.Processors)
+		}
 		for _, r := range releases {
 			r()
 		}

@@ -1,0 +1,14 @@
+package machine
+
+// BarrierObserver watches barrier traffic at the platform level: each
+// processor's arrival and the episode-wide release. The hardware barrier
+// here and the observability layer in internal/obs meet at this
+// interface. Like the coherence probes, an observer is strictly one-way —
+// it must not call back into the machine.
+type BarrierObserver interface {
+	// BarrierArrive fires when cpu reaches barrier episode and blocks.
+	BarrierArrive(episode int64, cpu int)
+	// BarrierRelease fires when the last of procs participants arrives and
+	// the episode opens (immediately after the final BarrierArrive).
+	BarrierRelease(episode int64, procs int)
+}

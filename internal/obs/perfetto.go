@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"iqolb/internal/coherence"
+)
+
+// TraceSchemaVersion identifies the layout of the exported trace file's
+// envelope (the otherData block); the traceEvents themselves follow the
+// Chrome trace-event format, which Perfetto defines.
+const TraceSchemaVersion = 1
+
+// Process (pid) layout of the exported trace. Chrome trace viewers group
+// tracks by pid, so the machine-wide tracks, the per-processor timelines,
+// and the per-lock tracks each get their own group.
+const (
+	pidMachine = 0 // bus-occupancy counter, barrier spans
+	pidProcs   = 1 // one thread per processor
+	pidLocks   = 2 // one thread + one counter per lock address
+)
+
+// traceEvent is one Chrome trace-event JSON object. Field order (and the
+// sorted map keys in Args) make the marshalled form deterministic.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+func span(name string, pid, tid int, start, end uint64, cat string, args map[string]any) traceEvent {
+	d := end - start
+	return traceEvent{Name: name, Ph: "X", Ts: start, Dur: &d, Pid: pid, Tid: tid, Cat: cat, Args: args}
+}
+
+func instant(name string, pid, tid int, ts uint64, cat string) traceEvent {
+	return traceEvent{Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid, Cat: cat, S: "t"}
+}
+
+// ExportPerfetto writes the log as Chrome trace-event JSON loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. One simulated cycle maps
+// to one microsecond of trace time. The output is deterministic: the same
+// event stream yields byte-identical JSON.
+//
+// The trace renders three process groups: per-processor timelines
+// (lock-wait and lock-hold spans, delayed-response spans, LPRFO and
+// tear-off instants, barrier arrivals), per-lock tracks (hand-off spans
+// between consecutive holders and a queue-depth counter), and machine-wide
+// tracks (bus-occupancy counter, barrier episode spans).
+func (l *Log) ExportPerfetto(w io.Writer) error {
+	end := l.EndCycle()
+	addrs := l.lockAddrs()
+	lockTid := make(map[uint64]int, len(addrs))
+	for i, a := range addrs {
+		lockTid[a] = i
+	}
+
+	var evs []traceEvent
+	meta := func(kind string, pid, tid int, name string) {
+		evs = append(evs, traceEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name}})
+	}
+	meta("process_name", pidMachine, 0, "machine")
+	meta("thread_name", pidMachine, 0, "bus")
+	meta("thread_name", pidMachine, 1, "barriers")
+	meta("process_name", pidProcs, 0, "processors")
+	for p := 0; p < l.procs; p++ {
+		meta("thread_name", pidProcs, p, fmt.Sprintf("cpu %d", p))
+	}
+	meta("process_name", pidLocks, 0, "locks")
+	for i, a := range addrs {
+		meta("thread_name", pidLocks, i, fmt.Sprintf("lock %#x", a))
+	}
+
+	type holdKey struct {
+		addr uint64
+		node int32
+	}
+	type delayKey struct {
+		line uint64
+		node int32
+	}
+	type delayOpen struct {
+		start    uint64
+		waiter   int32
+		lockHold bool
+	}
+	waitStart := make(map[holdKey]uint64)
+	holdStart := make(map[holdKey]uint64)
+	delays := make(map[delayKey]delayOpen)
+	lastRel := make(map[uint64]uint64)     // lock addr -> release cycle
+	lastRelBy := make(map[uint64]int32)    // lock addr -> releasing proc
+	firstArrive := make(map[uint64]uint64) // barrier episode -> first arrival
+
+	for i := range l.events {
+		e := &l.events[i]
+		switch e.Kind {
+		case EvLockAttempt:
+			waitStart[holdKey{e.Addr, e.Node}] = e.Cycle
+		case EvLockAcquire:
+			k := holdKey{e.Addr, e.Node}
+			if start, ok := waitStart[k]; ok {
+				evs = append(evs, span(fmt.Sprintf("wait %#x", e.Addr), pidProcs, int(e.Node),
+					start, e.Cycle, "lock", nil))
+				delete(waitStart, k)
+			}
+			holdStart[k] = e.Cycle
+			if rel, ok := lastRel[e.Addr]; ok {
+				evs = append(evs, span(fmt.Sprintf("handoff cpu%d→cpu%d", lastRelBy[e.Addr], e.Node),
+					pidLocks, lockTid[e.Addr], rel, e.Cycle, "handoff",
+					map[string]any{"from": lastRelBy[e.Addr], "to": e.Node}))
+				delete(lastRel, e.Addr)
+			}
+		case EvLockRelease:
+			k := holdKey{e.Addr, e.Node}
+			if start, ok := holdStart[k]; ok {
+				evs = append(evs, span(fmt.Sprintf("hold %#x", e.Addr), pidProcs, int(e.Node),
+					start, e.Cycle, "lock", nil))
+				delete(holdStart, k)
+			}
+			lastRel[e.Addr] = e.Cycle
+			lastRelBy[e.Addr] = e.Node
+		case EvLPRFOIssue:
+			evs = append(evs, instant("lprfo", pidProcs, int(e.Node), e.Cycle, "tx"))
+		case EvDelayStart:
+			delays[delayKey{e.Line, e.Node}] = delayOpen{start: e.Cycle, waiter: e.Peer, lockHold: e.A == 1}
+		case EvDelayEnd:
+			k := delayKey{e.Line, e.Node}
+			if d, ok := delays[k]; ok {
+				reason := "flushed"
+				if coherence.DelayEndReason(e.A) == coherence.DelayTimedOut {
+					reason = "timeout"
+				}
+				evs = append(evs, span("delay Δ", pidProcs, int(e.Node), d.start, e.Cycle, "delay",
+					map[string]any{"line": e.Line, "lock_hold": d.lockHold, "reason": reason, "waiter": d.waiter}))
+				delete(delays, k)
+			}
+		case EvTearOff:
+			evs = append(evs, instant(fmt.Sprintf("tear-off→cpu%d", e.Peer), pidProcs, int(e.Node),
+				e.Cycle, "tearoff"))
+		case EvBusSample:
+			evs = append(evs, traceEvent{Name: "bus occupancy", Ph: "C", Ts: e.Cycle,
+				Pid: pidMachine, Tid: 0,
+				Args: map[string]any{"outstanding": e.B, "queued": e.A}})
+		case EvBarrierArrive:
+			evs = append(evs, instant(fmt.Sprintf("barrier %d", e.A), pidProcs, int(e.Node),
+				e.Cycle, "barrier"))
+			if _, ok := firstArrive[e.A]; !ok {
+				firstArrive[e.A] = e.Cycle
+			}
+		case EvBarrierRelease:
+			if start, ok := firstArrive[e.A]; ok {
+				evs = append(evs, span(fmt.Sprintf("barrier %d", e.A), pidMachine, 1,
+					start, e.Cycle, "barrier", map[string]any{"procs": e.B}))
+				delete(firstArrive, e.A)
+			}
+		}
+	}
+
+	// Close spans still open at the end of the run (a lock held at halt, a
+	// delay pending when the cycle limit hit) so the timeline stays honest.
+	// Map iteration order is randomized, so route these through the
+	// deterministic replay state instead: collect by replaying keys in
+	// event order.
+	for i := range l.events {
+		e := &l.events[i]
+		switch e.Kind {
+		case EvLockAcquire:
+			k := holdKey{e.Addr, e.Node}
+			if start, ok := holdStart[k]; ok {
+				evs = append(evs, span(fmt.Sprintf("hold %#x", e.Addr), pidProcs, int(e.Node),
+					start, end, "lock", map[string]any{"open": true}))
+				delete(holdStart, k)
+			}
+		case EvDelayStart:
+			k := delayKey{e.Line, e.Node}
+			if d, ok := delays[k]; ok {
+				evs = append(evs, span("delay Δ", pidProcs, int(e.Node), d.start, end, "delay",
+					map[string]any{"line": e.Line, "lock_hold": d.lockHold, "open": true, "waiter": d.waiter}))
+				delete(delays, k)
+			}
+		}
+	}
+
+	// Per-lock queue-depth counter tracks, from the contention profiles.
+	for _, p := range l.Profiles() {
+		name := fmt.Sprintf("queue %#x", p.Addr)
+		for _, s := range p.QueueDepth {
+			evs = append(evs, traceEvent{Name: name, Ph: "C", Ts: s.Cycle,
+				Pid: pidLocks, Tid: lockTid[p.Addr],
+				Args: map[string]any{"waiters": s.Depth}})
+		}
+	}
+
+	out, err := json.Marshal(traceFile{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"schema_version": TraceSchemaVersion,
+			"time_unit":      "1 ts = 1 simulated cycle",
+		},
+	})
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}

@@ -14,16 +14,23 @@
 //
 // # Quick start
 //
-//	res, err := iqolb.Run(iqolb.Experiment{
-//	    Benchmark:  "raytrace",
-//	    System:     iqolb.SystemIQOLB,
-//	    Processors: 32,
+//	res, err := iqolb.RunSpec(iqolb.Spec{
+//	    Bench:  "raytrace",
+//	    System: "iqolb",
+//	    Procs:  32,
 //	})
 //
+// Spec is the one canonical run description: the same struct drives the
+// serial RunSpec, the parallel cached RunSpecs harness, the parameter
+// sweeps (Sweep with a SweepSpec), and the CLIs. Setting Spec.Trace (or
+// Options.Obs for a whole batch) turns on the cycle-accurate
+// observability layer: per-lock contention profiles in Result.Obs and a
+// Perfetto-loadable trace export.
+//
 // The same TTS LL/SC software runs under every hardware mode; switching
-// System from SystemTTS to SystemIQOLB changes only the memory system,
-// which is the paper's point. See EXPERIMENTS.md for the reproduced tables
-// and figures, and DESIGN.md for the modeling substitutions.
+// System from "tts" to "iqolb" changes only the memory system, which is
+// the paper's point. See EXPERIMENTS.md for the reproduced tables and
+// figures, and DESIGN.md for the modeling substitutions.
 package iqolb
 
 import (
@@ -35,6 +42,7 @@ import (
 	"iqolb/internal/isa"
 	"iqolb/internal/machine"
 	"iqolb/internal/mem"
+	"iqolb/internal/obs"
 	"iqolb/internal/stats"
 	"iqolb/internal/synclib"
 	"iqolb/internal/trace"
@@ -81,18 +89,52 @@ type (
 	// Result is one experiment's summarized measurements.
 	Result = experiments.Result
 	// Spec canonically describes one simulation job for the harness.
+	// Every entry point — serial RunSpec, batched RunSpecs, and the CLIs
+	// — flows through it; Spec.Trace turns on the observability layer.
 	Spec = experiments.Spec
 	// Options configures the parallel harness (worker count, result
-	// cache, run artifacts, progress stream). The zero value runs on
-	// runtime.NumCPU() workers with caching and artifacts off.
+	// cache, run artifacts, progress stream, batch-wide tracing via
+	// Options.Obs). The zero value runs on runtime.NumCPU() workers with
+	// caching and artifacts off.
 	Options = experiments.Options
 	// Manifest is a harness batch's aggregate run artifact.
 	Manifest = harness.Manifest
+	// TraceOptions enables the observability layer for one Spec (see
+	// Spec.Trace): metrics snapshot collection plus an optional Perfetto
+	// (Chrome trace-event JSON) export.
+	TraceOptions = experiments.TraceOptions
+	// Snapshot is the observability layer's end-of-run metrics summary:
+	// per-lock contention profiles (hold-time, hand-off and wait
+	// histograms; fairness), bus occupancy maxima, barrier spans.
+	Snapshot = obs.Snapshot
+	// LockProfile is one lock's contention profile within a Snapshot.
+	LockProfile = obs.LockProfile
+	// SweepSpec canonically describes one parameter sweep for Sweep.
+	SweepSpec = experiments.SweepSpec
+	// SweepKind selects which study a SweepSpec runs.
+	SweepKind = experiments.SweepKind
+	// SweepSpecError pinpoints the unusable field of a rejected
+	// SweepSpec; it unwraps to ErrInvalidSweepSpec.
+	SweepSpecError = experiments.SweepSpecError
 )
 
 // ErrCycleLimit marks a simulation aborted at the engine's cycle limit;
 // its measurements would be truncated. Detect it with errors.Is.
 var ErrCycleLimit = experiments.ErrCycleLimit
+
+// ErrInvalidSweepSpec is the sentinel wrapped by every SweepSpec
+// validation failure. Detect it with errors.Is.
+var ErrInvalidSweepSpec = experiments.ErrInvalidSweepSpec
+
+// The sweep studies selectable through SweepSpec.Kind.
+const (
+	SweepScalingKind     = experiments.SweepScalingKind
+	SweepTimeoutKind     = experiments.SweepTimeoutKind
+	SweepRetentionKind   = experiments.SweepRetentionKind
+	SweepCollocationKind = experiments.SweepCollocationKind
+	SweepPredictorKind   = experiments.SweepPredictorKind
+	SweepGeneralizedKind = experiments.SweepGeneralizedKind
+)
 
 // DefaultCacheDir is the conventional on-disk result cache location.
 const DefaultCacheDir = harness.DefaultCacheDir
@@ -164,6 +206,12 @@ func Assemble(src string) (*Program, error) { return isa.Assemble(src) }
 func NewBuilder() *Builder { return isa.NewBuilder() }
 
 // Experiment describes one benchmark run.
+//
+// Deprecated: Experiment predates Spec and describes a strict subset of
+// it. Build a Spec instead (Experiment.Spec converts) — Spec is the one
+// canonical config struct shared by RunSpec, the harness, and the CLIs,
+// and it carries the options Experiment lacks (policy overrides,
+// kernels, tracing).
 type Experiment struct {
 	// Benchmark names a Table 2 benchmark or microbenchmark.
 	Benchmark string
@@ -178,20 +226,25 @@ type Experiment struct {
 	Check bool
 }
 
-// Run executes the experiment, verifying the workload's mutual-exclusion
-// counters before returning measurements.
-func Run(e Experiment) (Result, error) {
+// Spec converts the experiment to the equivalent canonical Spec.
+func (e Experiment) Spec() Spec {
 	scale := e.ScaleFactor
 	if scale < 1 {
 		scale = 1
 	}
-	if e.Check {
-		return experiments.RunSpec(Spec{
-			Bench: e.Benchmark, System: e.System.Name,
-			Procs: e.Processors, Scale: scale, Check: true,
-		})
+	return Spec{
+		Bench: e.Benchmark, System: e.System.Name,
+		Procs: e.Processors, Scale: scale, Check: e.Check,
 	}
-	return experiments.RunBenchmark(e.Benchmark, e.System, e.Processors, scale)
+}
+
+// Run executes the experiment, verifying the workload's mutual-exclusion
+// counters before returning measurements.
+//
+// Deprecated: Use RunSpec (Run is now a thin shim over it via
+// Experiment.Spec).
+func Run(e Experiment) (Result, error) {
+	return RunSpec(e.Spec())
 }
 
 // RunParams executes a custom synchronization signature under a system.
@@ -246,36 +299,60 @@ func Figure3() (string, *Recorder, error) { return experiments.Figure3() }
 // Figure4 renders the IQOLB sequence (paper Figure 4).
 func Figure4() (string, *Recorder, error) { return experiments.Figure4() }
 
+// Sweep validates the spec and runs the selected parameter study through
+// the parallel harness, returning the rendered table. Validation
+// failures wrap ErrInvalidSweepSpec and carry field detail in a
+// *SweepSpecError. This is the single sweep entry point; the SweepX
+// functions below are deprecated positional-argument wrappers over it.
+func Sweep(opt Options, s SweepSpec) (string, error) {
+	return experiments.Sweep(opt, s)
+}
+
+// SweepKinds lists every sweep study in a stable order.
+func SweepKinds() []SweepKind { return experiments.SweepKinds() }
+
 // SweepScaling runs a benchmark across processor counts under the main
 // systems (contention scaling).
+//
+// Deprecated: Use Sweep with SweepScalingKind.
 func SweepScaling(opt Options, bench string, procCounts []int, scaleFactor int) (string, error) {
 	return experiments.SweepScaling(opt, bench, procCounts, scaleFactor)
 }
 
 // SweepTimeout studies the delay time-out budgets (§3.2/§3.3).
+//
+// Deprecated: Use Sweep with SweepTimeoutKind.
 func SweepTimeout(opt Options, procs, totalCS int, budgets []Time) (string, error) {
 	return experiments.SweepTimeout(opt, procs, totalCS, budgets)
 }
 
 // SweepRetention studies queue retention vs. breakdown on false-shared
 // locks (§3.2/§3.3 alternatives).
+//
+// Deprecated: Use Sweep with SweepRetentionKind.
 func SweepRetention(opt Options, procs, totalCS int) (string, error) {
 	return experiments.SweepRetention(opt, procs, totalCS)
 }
 
 // SweepCollocation studies the §6 collocation extension.
+//
+// Deprecated: Use Sweep with SweepCollocationKind.
 func SweepCollocation(opt Options, procs, totalCS int) (string, error) {
 	return experiments.SweepCollocation(opt, procs, totalCS)
 }
 
 // SweepPredictor compares the §3.4 predictor against the always-lock
 // ablation.
+//
+// Deprecated: Use Sweep with SweepPredictorKind.
 func SweepPredictor(opt Options, procs, totalCS int) (string, error) {
 	return experiments.SweepPredictor(opt, procs, totalCS)
 }
 
 // SweepGeneralized evaluates the §6 Generalized IQOLB extension on a
 // reader/writer kernel.
+//
+// Deprecated: Use Sweep with SweepGeneralizedKind.
 func SweepGeneralized(opt Options, procs, totalCS int) (string, error) {
 	return experiments.SweepGeneralized(opt, procs, totalCS)
 }
