@@ -5,10 +5,20 @@
 //
 //	iqolbsim -bench raytrace -system iqolb -procs 32
 //	iqolbsim -bench hotlock -system tts -procs 8 -scale 4 -v
+//	iqolbsim -bench hotlock -faults stuck-delay -fault-seed 7   # one faulted run
+//	iqolbsim -bench hotlock -procs 4 -scale 16 -fault-campaign  # full campaign
 //	iqolbsim -print-config     # the paper's Table 1
 //	iqolbsim -list-workloads   # the paper's Table 2
 //	iqolbsim -list-systems
 //	iqolbsim -taxonomy         # the Figure 1 design-space progression
+//
+// A single faulted run arms the named fault kinds with graceful
+// degradation and prints any degradation and injection summary alongside
+// the usual measurements. -fault-campaign instead sweeps every requested
+// kind (default: all) against a clean reference run and prints the
+// deterministic campaign report as JSON; the exit status is 1 when the
+// campaign records failures (divergence, untyped error, or a bare
+// cycle-limit hang).
 package main
 
 import (
@@ -28,6 +38,10 @@ func main() {
 		verbose     = flag.Bool("v", false, "print detailed statistics")
 		checked     = flag.Bool("check", false, "run under the protocol-invariant monitors (internal/check)")
 		tracePath   = flag.String("trace", "", "collect the observability event stream and write a Perfetto trace to this path")
+		faultsFlag  = flag.String("faults", "", `fault kinds to inject: comma-separated names or "all"`)
+		faultSeed   = flag.Uint64("fault-seed", 1, "deterministic seed for the fault plan")
+		faultRate   = flag.Float64("fault-rate", 0, "per-opportunity injection probability (0 = always)")
+		campaign    = flag.Bool("fault-campaign", false, "sweep the fault kinds against a clean reference and print the report JSON")
 		printConfig = flag.Bool("print-config", false, "print the Table 1 system configuration and exit")
 		listWl      = flag.Bool("list-workloads", false, "print the Table 2 benchmark inventory and exit")
 		listSys     = flag.Bool("list-systems", false, "print the available systems and exit")
@@ -67,6 +81,37 @@ func main() {
 	if *tracePath != "" {
 		spec.Trace = &iqolb.TraceOptions{Perfetto: *tracePath}
 	}
+
+	if *campaign {
+		kinds, err := iqolb.ParseFaultKinds(*faultsFlag)
+		fail(err)
+		rep, err := iqolb.RunCampaign(spec, iqolb.CampaignConfig{
+			Kinds:   kinds,
+			Seeds:   []uint64{*faultSeed},
+			Rate:    *faultRate,
+			Degrade: true,
+		})
+		fail(err)
+		out, err := rep.JSON()
+		fail(err)
+		os.Stdout.Write(out)
+		if rep.Failures > 0 {
+			fmt.Fprintf(os.Stderr, "iqolbsim: campaign recorded %d failure(s)\n", rep.Failures)
+			os.Exit(1)
+		}
+		return
+	}
+	if *faultsFlag != "" {
+		kinds, err := iqolb.ParseFaultKinds(*faultsFlag)
+		fail(err)
+		spec.Faults = &iqolb.FaultPlan{
+			Seed:    *faultSeed,
+			Kinds:   kinds,
+			Rate:    *faultRate,
+			Degrade: true,
+		}
+	}
+
 	res, err := iqolb.RunSpec(spec)
 	fail(err)
 
@@ -80,6 +125,12 @@ func main() {
 	if res.Obs != nil {
 		fmt.Printf("  trace            : %d events to cycle %d, written to %s\n",
 			res.Obs.Events, res.Obs.EndCycle, *tracePath)
+	}
+	if len(res.FaultInjections) > 0 {
+		fmt.Printf("  faults injected  : %v\n", res.FaultInjections)
+	}
+	if res.Degraded {
+		fmt.Printf("  degraded         : %s\n", res.DegradeReason)
 	}
 	if *verbose {
 		st := res.Stats

@@ -40,10 +40,23 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress progress output on stderr")
 		checked   = flag.Bool("check", false, "run every job under the protocol-invariant monitors (internal/check)")
 		traceDir  = flag.String("trace-dir", "", "trace every job: write per-job Perfetto exports to this directory (disables the result cache for the run)")
+
+		faultsFlag = flag.String("faults", "", `inject faults into every job: comma-separated kind names or "all"`)
+		faultSeed  = flag.Uint64("fault-seed", 1, "deterministic seed for the fault plan")
+		faultRate  = flag.Float64("fault-rate", 0, "per-opportunity injection probability (0 = always)")
+		keepGoing  = flag.Bool("keep-going", false, "run every job even after one fails; failed jobs are recorded in the manifest")
 	)
 	flag.Parse()
 
-	opt := iqolb.Options{Jobs: *jobs, CacheDir: *cacheDir, ArtifactDir: *artifacts, Check: *checked, Obs: *traceDir}
+	opt := iqolb.Options{Jobs: *jobs, CacheDir: *cacheDir, ArtifactDir: *artifacts, Check: *checked, Obs: *traceDir, KeepGoing: *keepGoing}
+	if *faultsFlag != "" {
+		kinds, err := iqolb.ParseFaultKinds(*faultsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(2)
+		}
+		opt.Faults = &iqolb.FaultPlan{Seed: *faultSeed, Kinds: kinds, Rate: *faultRate, Degrade: true}
+	}
 	if *noCache {
 		opt.CacheDir = ""
 	}
@@ -73,6 +86,11 @@ func main() {
 				fmt.Fprintf(os.Stderr, "sweep: available studies: %s\n", strings.Join(kinds, " | "))
 			}
 			os.Exit(2)
+		case errors.Is(err, iqolb.ErrDeadlock):
+			// The typed diagnosis carries a per-processor stall dump;
+			// print it whole so the wedged synchronization is visible.
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(3)
 		case errors.Is(err, iqolb.ErrCycleLimit):
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			fmt.Fprintln(os.Stderr, "sweep: a simulation hit the engine's cycle limit — its results would be truncated; shrink the workload (-scale, -cs) or the machine (-procs)")

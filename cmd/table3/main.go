@@ -32,10 +32,11 @@ func main() {
 		cacheDir  = flag.String("cache-dir", iqolb.DefaultCacheDir, "on-disk result cache location")
 		artifacts = flag.String("artifacts", "", "write per-job result JSON and the run manifest to this directory")
 		quiet     = flag.Bool("q", false, "suppress progress output on stderr")
+		keepGoing = flag.Bool("keep-going", false, "run every cell even after one fails; failed cells are recorded in the manifest")
 	)
 	flag.Parse()
 
-	opt := iqolb.Options{Jobs: *jobs, CacheDir: *cacheDir, ArtifactDir: *artifacts}
+	opt := iqolb.Options{Jobs: *jobs, CacheDir: *cacheDir, ArtifactDir: *artifacts, KeepGoing: *keepGoing}
 	if *noCache {
 		opt.CacheDir = ""
 	}

@@ -1,0 +1,50 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrProtocolViolation is the sentinel matched by errors.Is when a
+// monitor recorded invariant violations. The concrete error is a
+// *ViolationError carrying the recorded list.
+var ErrProtocolViolation = errors.New("check: protocol violation")
+
+// ViolationError is the typed form of Monitor.Err: a run whose
+// invariant monitor recorded one or more breaches.
+type ViolationError struct {
+	Violations []Violation
+}
+
+// Error keeps the exact rendering the untyped Monitor.Err used: a count
+// line followed by up to four violations.
+func (e *ViolationError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %d invariant violation(s):", len(e.Violations))
+	for i, v := range e.Violations {
+		if i == 4 {
+			fmt.Fprintf(&b, "\n  ... and %d more", len(e.Violations)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return b.String()
+}
+
+// Unwrap lets errors.Is(err, ErrProtocolViolation) match.
+func (e *ViolationError) Unwrap() error { return ErrProtocolViolation }
+
+// Kinds returns the distinct violation kinds in first-seen order
+// (failure-manifest classification).
+func (e *ViolationError) Kinds() []string {
+	var kinds []string
+	seen := make(map[string]bool)
+	for _, v := range e.Violations {
+		if !seen[v.Kind] {
+			seen[v.Kind] = true
+			kinds = append(kinds, v.Kind)
+		}
+	}
+	return kinds
+}

@@ -13,7 +13,6 @@ package check
 
 import (
 	"fmt"
-	"strings"
 
 	"iqolb/internal/coherence"
 	"iqolb/internal/engine"
@@ -41,6 +40,21 @@ type Config struct {
 	KeepGoing bool
 	// MaxViolations caps the recorded violation list (0 = 32).
 	MaxViolations int
+	// Degrader, when non-nil, turns the starvation watchdog into a
+	// recovery trigger: the first starvation detection calls
+	// Degrade(reason) — dropping the machine to plain-RFO semantics —
+	// instead of reporting a violation, and every pending grant's clock
+	// restarts so the degraded protocol gets a full bound to drain the
+	// queue. A second starvation after degradation reports normally.
+	// Pass the machine's Fabric.
+	Degrader Degrader
+}
+
+// Degrader is the graceful-degradation hook the starvation watchdog
+// fires: coherence.Fabric implements it by falling back to plain-RFO
+// semantics.
+type Degrader interface {
+	Degrade(reason string)
 }
 
 const (
@@ -90,6 +104,10 @@ type Monitor struct {
 	scans      uint64
 	violations []Violation
 	halted     bool
+
+	degraded      bool
+	degradeReason string
+	finishing     bool
 }
 
 // Attach builds a monitor over an assembled fabric and hooks it into the
@@ -138,26 +156,26 @@ func (mo *Monitor) Scans() uint64 { return mo.scans }
 // TrackedLines reports how many contended lines the monitor is checking.
 func (mo *Monitor) TrackedLines() int { return len(mo.tracked) }
 
+// Degraded reports whether (and why) the monitor triggered graceful
+// degradation via Config.Degrader.
+func (mo *Monitor) Degraded() (bool, string) { return mo.degraded, mo.degradeReason }
+
 // Err summarizes the violations as an error, nil if the run was clean.
+// A non-nil result is a *ViolationError matching
+// errors.Is(err, ErrProtocolViolation).
 func (mo *Monitor) Err() error {
 	if len(mo.violations) == 0 {
 		return nil
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "check: %d invariant violation(s):", len(mo.violations))
-	for i, v := range mo.violations {
-		if i == 4 {
-			fmt.Fprintf(&b, "\n  ... and %d more", len(mo.violations)-i)
-			break
-		}
-		fmt.Fprintf(&b, "\n  %s", v)
-	}
-	return fmt.Errorf("%s", b.String())
+	return &ViolationError{Violations: mo.violations}
 }
 
 // Finish runs the end-of-run checks (a final full scan plus the committed
 // value vs. surviving memory state comparison) and returns Err.
 func (mo *Monitor) Finish() error {
+	// The engine has stopped; degrading now would flush delays into a
+	// dead event queue. Starvation found here reports as a violation.
+	mo.finishing = true
 	mo.scanAll(mo.eng.Now())
 	for addr, want := range mo.shadow {
 		if got := mo.peek(addr); got != want {
@@ -300,6 +318,24 @@ func (mo *Monitor) scanAll(now engine.Time) {
 	for line, q := range mo.pending {
 		for _, p := range q {
 			if now-p.since > mo.cfg.StarvationBound {
+				if mo.cfg.Degrader != nil && !mo.degraded && !mo.finishing {
+					// Recovery, not failure: drop the machine to
+					// plain-RFO semantics and give every pending grant
+					// a fresh starvation clock. Only a second
+					// starvation — the degraded protocol itself failing
+					// to make progress — is reported as a violation.
+					mo.degraded = true
+					mo.degradeReason = fmt.Sprintf(
+						"starvation: node %s LPRFO on line %d ungranted after %d cycles",
+						p.node, line, now-p.since)
+					mo.cfg.Degrader.Degrade(mo.degradeReason)
+					for _, pq := range mo.pending {
+						for i := range pq {
+							pq[i].since = now
+						}
+					}
+					return
+				}
 				mo.report(Violation{At: now, Kind: "starvation", Line: line, Node: p.node,
 					Detail: fmt.Sprintf("LPRFO observed at cycle %d still ungranted after %d cycles",
 						p.since, now-p.since)})

@@ -1,17 +1,21 @@
 package check
 
 import (
+	"errors"
 	"testing"
 
-	"iqolb/internal/coherence"
+	"iqolb/internal/faults"
 	"iqolb/internal/machine"
 	"iqolb/internal/workload"
 )
 
 // mutationRun executes the 2-proc hand-off kernel under IQOLB with a
-// full-strength monitor and returns it without failing on run errors (a
+// full-strength monitor and the given fault plan (nil = clean run),
+// returning the monitor and the run error without failing on either (a
 // detected violation halts the machine, which surfaces as a deadlock).
-func mutationRun(t *testing.T) *Monitor {
+// The fault switches are per-machine, so these tests parallelize with
+// the rest of the package.
+func mutationRun(t *testing.T, plan *faults.Plan) (*Monitor, error) {
 	t.Helper()
 	p := defaultHandoffParams(2)
 	mech := Mechanisms()[4] // iqolb
@@ -21,6 +25,7 @@ func mutationRun(t *testing.T) *Monitor {
 	}
 	cfg := mech.Config(2)
 	cfg.CycleLimit = 5_000_000 // backstop: the stuck-delay fault livelocks
+	cfg.Faults = plan
 	m, err := machine.New(cfg, bld.Program, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -29,9 +34,9 @@ func mutationRun(t *testing.T) *Monitor {
 		m.RegisterLockAddr(l)
 	}
 	mon := AttachToMachine(m, Config{ScanStride: 1, StarvationBound: 50_000})
-	m.Run()
+	_, runErr := m.Run()
 	mon.Finish()
-	return mon
+	return mon, runErr
 }
 
 func kinds(vs []Violation) map[string]int {
@@ -42,35 +47,82 @@ func kinds(vs []Violation) map[string]int {
 	return k
 }
 
-// TestMutationTearOffOwnership: with the seeded fault sending tear-offs as
-// ownership transfers (two writable copies of the lock line), the SWMR
+// TestMutationTearOffOwnership: with the injected fault sending tear-offs
+// as ownership transfers (two writable copies of the lock line), the SWMR
 // monitor must fire. Guards against a vacuously passing checker.
 func TestMutationTearOffOwnership(t *testing.T) {
-	coherence.SetFaultTearOffOwnership(true)
-	defer coherence.SetFaultTearOffOwnership(false)
-	mon := mutationRun(t)
+	t.Parallel()
+	mon, _ := mutationRun(t, &faults.Plan{Seed: 1, Kinds: []faults.Kind{faults.TearOffOwnership}})
 	if kinds(mon.Violations())["swmr"] == 0 {
-		t.Fatalf("seeded tear-off-ownership mutation not detected; violations: %v", mon.Violations())
+		t.Fatalf("injected tear-off-ownership fault not detected; violations: %v", mon.Violations())
+	}
+	if !errors.Is(mon.Err(), ErrProtocolViolation) {
+		t.Fatalf("Err() = %v; want ErrProtocolViolation", mon.Err())
 	}
 }
 
-// TestMutationStuckDelay: with the seeded fault making delayed responses
-// permanent (flush and time-out both suppressed), the queued LPRFO waiter
+// TestMutationStuckDelay: with the injected fault wedging delayed
+// responses (flush and time-out both suppressed), the queued LPRFO waiter
 // starves and the watchdog must fire.
 func TestMutationStuckDelay(t *testing.T) {
-	coherence.SetFaultStuckDelay(true)
-	defer coherence.SetFaultStuckDelay(false)
-	mon := mutationRun(t)
+	t.Parallel()
+	mon, _ := mutationRun(t, &faults.Plan{Seed: 1, Kinds: []faults.Kind{faults.StuckDelay}})
 	if kinds(mon.Violations())["starvation"] == 0 {
-		t.Fatalf("seeded stuck-delay mutation not detected; violations: %v", mon.Violations())
+		t.Fatalf("injected stuck-delay fault not detected; violations: %v", mon.Violations())
 	}
 }
 
-// TestMutationsOff: the identical run with both faults clear is clean —
-// the mutation tests above detect the faults, not the workload.
+// TestMutationsOff: the identical run with no fault plan is clean — the
+// mutation tests above detect the faults, not the workload.
 func TestMutationsOff(t *testing.T) {
-	mon := mutationRun(t)
+	t.Parallel()
+	mon, err := mutationRun(t, nil)
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
 	if len(mon.Violations()) != 0 {
 		t.Fatalf("unmutated run not clean: %v", mon.Violations())
+	}
+}
+
+// TestMutationStuckDelayDegrades: the same stuck-delay injection with the
+// fabric wired as the monitor's Degrader recovers instead of starving:
+// the watchdog drops the machine to plain-RFO semantics, the run
+// completes, and no violation is recorded.
+func TestMutationStuckDelayDegrades(t *testing.T) {
+	t.Parallel()
+	p := defaultHandoffParams(2)
+	mech := Mechanisms()[4] // iqolb
+	bld, err := workload.Generate(p, mech.Primitive, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mech.Config(2)
+	cfg.CycleLimit = 5_000_000
+	cfg.Faults = &faults.Plan{Seed: 1, Kinds: []faults.Kind{faults.StuckDelay}}
+	m, err := machine.New(cfg, bld.Program, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range bld.Locks {
+		m.RegisterLockAddr(l)
+	}
+	mon := AttachToMachine(m, Config{ScanStride: 1, StarvationBound: 50_000,
+		Degrader: m.Fabric()})
+	res, runErr := m.Run()
+	if err := mon.Finish(); err != nil {
+		t.Fatalf("degraded run not clean: %v", err)
+	}
+	if runErr != nil {
+		t.Fatalf("degraded run failed: %v", runErr)
+	}
+	if res.HitLimit {
+		t.Fatal("degraded run hit the cycle limit")
+	}
+	if deg, reason := mon.Degraded(); !deg || reason == "" {
+		t.Fatalf("monitor did not degrade (degraded=%v reason=%q)", deg, reason)
+	}
+	if deg, _ := m.Fabric().Degraded(); !deg {
+		t.Fatal("fabric did not degrade")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"iqolb/internal/cache"
 	"iqolb/internal/core"
 	"iqolb/internal/engine"
+	"iqolb/internal/faults"
 	"iqolb/internal/interconnect"
 	"iqolb/internal/mem"
 	"iqolb/internal/stats"
@@ -344,6 +345,12 @@ func (c *Controller) afterSCSuccess(req mem.Request) {
 	line := req.Addr.Line()
 	c.st.SCSuccess++
 	c.traceEv(trace.EvSCOk, line, "")
+	if c.f.fireFault(faults.PredictorCorrupt, line) {
+		// Injected fault: flip the predictor's verdict for this PC before
+		// the acquire is classified. Mispredictions cost time-outs, not
+		// correctness — the run must still finish with the right state.
+		c.policy.CorruptPredictor(req.PC)
+	}
 	class, evicted, wasEvicted := c.policy.OnSCSuccess(req.PC, req.Addr, c.eng.Now())
 	if wasEvicted {
 		// Nested speculation overflow: stop delaying for the discarded
@@ -986,8 +993,12 @@ func (c *Controller) writeback(line mem.LineID) {
 
 // delaying reports whether the node is entitled to delay LPRFO responses
 // for the line: it is inside an LL→SC window on it, or it holds a
-// predicted lock on it. The second result is the lock-hold case.
+// predicted lock on it. The second result is the lock-hold case. A
+// degraded fabric never delays — that is what plain-RFO fallback means.
 func (c *Controller) delaying(line mem.LineID) (bool, bool) {
+	if c.f.degraded {
+		return false, false
+	}
 	holdingLock := c.policy.HoldingLockOn(line)
 	inWindow := c.linkValid && !c.linkFragile && c.linkAddr.Line() == line
 	return inWindow || holdingLock, holdingLock
@@ -1005,6 +1016,9 @@ func (c *Controller) processDuties(line mem.LineID) {
 	}
 	for _, d := range c.liveDuties(line) {
 		if d.delayed {
+			if c.f.lineStuck(line) {
+				continue // injected StuckDelay: nothing ends this delay
+			}
 			shouldDelay, _ := c.delaying(line)
 			if !shouldDelay {
 				// The delay's basis vanished without a flush (the SC
@@ -1177,15 +1191,26 @@ func (c *Controller) giveUpLine(line mem.LineID) {
 // duty: the flush path shared by SC completion, lock release, time-out,
 // and eviction.
 func (c *Controller) forwardOwnership(line mem.LineID, ev trace.Kind, note string) {
-	var target *duty
+	var targets []*duty
 	for _, d := range c.liveDuties(line) {
 		if d.inService {
 			continue
 		}
 		if d.tx.Kind == mem.TxLPRFO || d.tx.Kind == mem.TxGETX {
-			target = d
-			break
+			targets = append(targets, d)
+			if len(targets) == 2 {
+				break
+			}
 		}
+	}
+	var target *duty
+	if len(targets) > 0 {
+		target = targets[0]
+	}
+	if len(targets) > 1 && c.f.fireFault(faults.GrantReorder, line) {
+		// Injected fault: the grant jumps the bus-order queue. The
+		// hand-off-order monitor must flag the out-of-order send.
+		target = targets[1]
 	}
 	if target == nil {
 		// Only reads are queued (or nothing). The line is leaving (this
@@ -1209,13 +1234,16 @@ func (c *Controller) forwardOwnership(line mem.LineID, ev trace.Kind, note strin
 // or the lock was released) by forwarding the line; with nothing delayed it
 // re-walks the queue so reads parked behind the delay get serviced.
 func (c *Controller) flushDelayed(line mem.LineID, ev trace.Kind, note string) {
-	if faultStuckDelay {
-		return // seeded mutation: the delay never releases
+	if c.f.lineStuck(line) {
+		return // injected StuckDelay: the delay never releases
 	}
 	if !c.l2.State(line).CanRead() {
 		return // loaned out or already gone; duties travel with the line
 	}
 	if d := c.delayedDuty(line); d != nil {
+		if c.f.fireFault(faults.FlushDropped, line) {
+			return // the flush is lost; the armed time-out is the backstop
+		}
 		c.st.DelaysReleased++
 		c.forwardOwnership(line, ev, note)
 		return
@@ -1223,10 +1251,17 @@ func (c *Controller) flushDelayed(line mem.LineID, ev trace.Kind, note string) {
 	c.processDuties(line)
 }
 
-// armTimer (re)schedules the delay's time-out.
+// armTimer (re)schedules the delay's time-out. StuckDelay injection
+// rolls here — once per arming, the natural start of a delay episode —
+// and wedges the whole line: neither this timer nor any later flush or
+// re-arm will end the delay (until degradation clears the mark).
 func (c *Controller) armTimer(line mem.LineID, d *duty, budget engine.Time) {
-	if faultStuckDelay {
-		return // seeded mutation: the time-out safety net is dead
+	if c.f.lineStuck(line) {
+		return // injected StuckDelay: the time-out safety net is dead
+	}
+	if c.f.fireFault(faults.StuckDelay, line) {
+		c.f.markStuck(line)
+		return
 	}
 	c.timerSeq++
 	seq := c.timerSeq
@@ -1262,8 +1297,8 @@ func (c *Controller) sendTearOff(line mem.LineID, to mem.NodeID) {
 	c.st.TearOffsOut++
 	c.f.probeTearOff(c.id, to, line)
 	kind := mem.DataTearOff
-	if faultTearOffOwnership {
-		// Seeded mutation: the tear-off arrives as an ownership transfer
+	if c.f.fireFault(faults.TearOffOwnership, line) {
+		// Injected fault: the tear-off arrives as an ownership transfer
 		// while this node keeps its writable copy.
 		kind = mem.DataExclusive
 	}

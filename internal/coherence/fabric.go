@@ -5,6 +5,7 @@ import (
 
 	"iqolb/internal/core"
 	"iqolb/internal/engine"
+	"iqolb/internal/faults"
 	"iqolb/internal/interconnect"
 	"iqolb/internal/mem"
 	"iqolb/internal/qolb"
@@ -44,6 +45,13 @@ type Fabric struct {
 	rec        *trace.Recorder
 	probes     []Probe
 	syncProbes []SyncProbe
+	faultObs   []FaultObserver
+
+	// Fault injection and graceful degradation (see faults.go).
+	inj           *faults.Injector
+	stuck         map[mem.LineID]bool
+	degraded      bool
+	degradeReason string
 }
 
 // NewFabric assembles the memory system for n nodes. Each node's

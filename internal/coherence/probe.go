@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"iqolb/internal/faults"
 	"iqolb/internal/interconnect"
 	"iqolb/internal/mem"
 )
@@ -81,12 +82,25 @@ type SyncProbe interface {
 	TearOff(node, to mem.NodeID, line mem.LineID)
 }
 
+// FaultObserver receives fault-injection and degradation notifications
+// (see faults.go). Probes that also implement it are attached to this
+// stream automatically; like the other probe interfaces it is strictly
+// one-way.
+type FaultObserver interface {
+	// FaultInjected fires when an armed fault strikes at line.
+	FaultInjected(kind faults.Kind, line mem.LineID)
+	// Degraded fires once, when the fabric falls back to plain-RFO
+	// semantics.
+	Degraded(reason string)
+}
+
 // SetProbe attaches a protocol probe, detaching every probe attached
 // before it; nil detaches all. Call before Run. If p also implements
-// SyncProbe it receives the synchronization-level events too.
+// SyncProbe or FaultObserver it receives those event streams too.
 func (f *Fabric) SetProbe(p Probe) {
 	f.probes = nil
 	f.syncProbes = nil
+	f.faultObs = nil
 	if p != nil {
 		f.AddProbe(p)
 	}
@@ -95,7 +109,7 @@ func (f *Fabric) SetProbe(p Probe) {
 // AddProbe attaches a protocol probe alongside those already attached
 // (the fan-out lets an invariant monitor and an observability collector
 // share one run). Probes fire in attachment order. If p also implements
-// SyncProbe it receives the synchronization-level events too.
+// SyncProbe or FaultObserver it receives those event streams too.
 func (f *Fabric) AddProbe(p Probe) {
 	if p == nil {
 		return
@@ -104,13 +118,21 @@ func (f *Fabric) AddProbe(p Probe) {
 	if sp, ok := p.(SyncProbe); ok {
 		f.syncProbes = append(f.syncProbes, sp)
 	}
+	if fo, ok := p.(FaultObserver); ok {
+		f.faultObs = append(f.faultObs, fo)
+	}
 }
 
 // AddSyncProbe attaches a probe that wants only the synchronization-level
-// events, skipping the (much hotter) base protocol stream.
+// events, skipping the (much hotter) base protocol stream. If p also
+// implements FaultObserver it receives that stream too.
 func (f *Fabric) AddSyncProbe(p SyncProbe) {
-	if p != nil {
-		f.syncProbes = append(f.syncProbes, p)
+	if p == nil {
+		return
+	}
+	f.syncProbes = append(f.syncProbes, p)
+	if fo, ok := p.(FaultObserver); ok {
+		f.faultObs = append(f.faultObs, fo)
 	}
 }
 
@@ -196,5 +218,19 @@ func (f *Fabric) probeDelayEnd(node, waiter mem.NodeID, line mem.LineID, reason 
 func (f *Fabric) probeTearOff(node, to mem.NodeID, line mem.LineID) {
 	for _, p := range f.syncProbes {
 		p.TearOff(node, to, line)
+	}
+}
+
+// The fault-observer fan-out.
+
+func (f *Fabric) probeFaultInjected(kind faults.Kind, line mem.LineID) {
+	for _, p := range f.faultObs {
+		p.FaultInjected(kind, line)
+	}
+}
+
+func (f *Fabric) probeDegraded(reason string) {
+	for _, p := range f.faultObs {
+		p.Degraded(reason)
 	}
 }

@@ -334,6 +334,15 @@ func (p *Policy) OnDelayTimeout(line mem.LineID) {
 // Held-table entries therefore persist until the release store, a delay
 // time-out (OnDelayTimeout), or capacity eviction.
 
+// CorruptPredictor flips the predictor's verdict for pc (fault
+// injection, see Predictor.Corrupt). No-op with the predictor disabled.
+func (p *Policy) CorruptPredictor(pc int) {
+	if p.pred == nil {
+		return
+	}
+	p.pred.Corrupt(pc)
+}
+
 // DelayBudget returns how long a response for the line may be delayed from
 // the moment the delay starts, given whether the node is inside an LL→SC
 // window or holding a predicted lock. A zero budget means "respond

@@ -83,6 +83,21 @@ func (p *Predictor) TrainNotLock(pc int) {
 	}
 }
 
+// Corrupt flips the predictor's verdict for the PC (fault injection):
+// a confident entry is cleared to zero confidence, anything else jumps
+// straight to full confidence. The protocol must survive either
+// misprediction — a wrong "lock" costs a LockTimeout, a wrong
+// "fetchphi" just forgoes the delay — so this models a soft error in
+// the predictor SRAM without touching protocol state.
+func (p *Predictor) Corrupt(pc int) {
+	e := p.slot(pc)
+	if e.valid && e.pc == pc && e.conf >= confThreshold {
+		e.conf = 0
+		return
+	}
+	*e = predEntry{pc: pc, valid: true, conf: confMax}
+}
+
 // Confidence exposes the counter for a PC (tests and the sweep tool).
 func (p *Predictor) Confidence(pc int) int {
 	e := p.slot(pc)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"iqolb/internal/engine"
+	"iqolb/internal/faults"
 	"iqolb/internal/harness"
 )
 
@@ -54,6 +55,10 @@ func TestCacheKeyInvalidation(t *testing.T) {
 		"PredictorEntries": {Bench: "hotlock", System: "iqolb", Procs: 4, PredictorEntries: &entries},
 		"CycleLimit":       {Bench: "hotlock", System: "iqolb", Procs: 4, CycleLimit: &limit},
 		"Check":            {Bench: "hotlock", System: "iqolb", Procs: 4, Check: true},
+		"Faults": {Bench: "hotlock", System: "iqolb", Procs: 4,
+			Faults: &faults.Plan{Seed: 1, Kinds: []faults.Kind{faults.StuckDelay}}},
+		"FaultSeed": {Bench: "hotlock", System: "iqolb", Procs: 4,
+			Faults: &faults.Plan{Seed: 2, Kinds: []faults.Kind{faults.StuckDelay}}},
 	}
 	seen := map[string]string{baseKey: "base"}
 	for field, s := range variants {

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"iqolb/internal/check"
+	"iqolb/internal/faults"
+	"iqolb/internal/machine"
+)
+
+// CampaignSchemaVersion identifies the serialized CampaignReport layout.
+const CampaignSchemaVersion = 1
+
+// CampaignConfig parameterizes a fault campaign: which fault kinds to
+// inject, under which seeds, and whether the machine may gracefully
+// degrade to plain-RFO semantics when a fault wedges it.
+type CampaignConfig struct {
+	// Kinds selects the fault kinds to sweep (nil = all).
+	Kinds []faults.Kind `json:"kinds,omitempty"`
+	// Seeds drives one run per kind per seed (nil = {1}).
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Rate is the per-opportunity injection probability (0 = 1.0).
+	Rate float64 `json:"rate,omitempty"`
+	// Degrade arms graceful degradation: the invariant monitor's
+	// starvation watchdog drops a wedged machine to plain-RFO semantics
+	// instead of reporting a violation.
+	Degrade bool `json:"degrade,omitempty"`
+	// StarvationBound overrides the watchdog bound, in cycles (0 = a
+	// campaign default of 200k — tight enough that a wedged run degrades
+	// and recovers well before any cycle limit).
+	StarvationBound uint64 `json:"starvation_bound,omitempty"`
+	// MaxInjections caps injections per run (0 = unlimited).
+	MaxInjections uint64 `json:"max_injections,omitempty"`
+}
+
+// Campaign outcome statuses.
+const (
+	// OutcomeClean: the armed fault found no opportunity to fire.
+	OutcomeClean = "clean"
+	// OutcomeAbsorbed: faults fired and the protocol's own safety nets
+	// (time-outs, re-issue) absorbed them — correct final state, no
+	// degradation needed.
+	OutcomeAbsorbed = "absorbed"
+	// OutcomeRecovered: faults fired, the machine degraded to plain-RFO
+	// semantics, and the run completed with correct final state.
+	OutcomeRecovered = "recovered"
+	// OutcomeProtocolViolation / OutcomeDeadlock / OutcomeCycleLimit:
+	// the run failed with the corresponding typed diagnosis.
+	OutcomeProtocolViolation = "protocol-violation"
+	OutcomeDeadlock          = "deadlock"
+	OutcomeCycleLimit        = "cycle-limit"
+	// OutcomeDivergence: the run completed but its final counters differ
+	// from the clean reference run — a silently wrong result, the worst
+	// outcome a campaign can find.
+	OutcomeDivergence = "divergence"
+	// OutcomeError: any other failure (configuration, workload).
+	OutcomeError = "error"
+)
+
+// FaultOutcome is one (kind, seed) run's classified result.
+type FaultOutcome struct {
+	Kind       faults.Kind       `json:"kind"`
+	Seed       uint64            `json:"seed"`
+	Status     string            `json:"status"`
+	Degraded   bool              `json:"degraded,omitempty"`
+	Reason     string            `json:"reason,omitempty"`
+	Injections map[string]uint64 `json:"injections,omitempty"`
+	Cycles     uint64            `json:"cycles,omitempty"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// CampaignReport aggregates a fault campaign. It contains no wall-clock
+// times or other environmental noise: the same spec, config and seeds
+// produce a byte-identical report.
+type CampaignReport struct {
+	SchemaVersion int            `json:"schema_version"`
+	Spec          Spec           `json:"spec"`
+	Config        CampaignConfig `json:"config"`
+	// Reference carries the clean run's final counters and cycle count.
+	ReferenceCycles   uint64         `json:"reference_cycles"`
+	ReferenceCounters []uint64       `json:"reference_counters,omitempty"`
+	Outcomes          []FaultOutcome `json:"outcomes"`
+	// Failures counts outcomes that indicate a robustness bug: silent
+	// divergence, an untyped error, or a bare cycle-limit hang. Typed
+	// protocol violations and deadlocks are expected fail-stop
+	// detections, not failures — the contract is that every injected
+	// fault ends in oracle-verified recovery or a typed diagnosis.
+	Failures int `json:"failures"`
+}
+
+// JSON renders the report deterministically.
+func (r *CampaignReport) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// failureOutcome reports whether a status counts toward Failures: a
+// silently wrong result, an untyped error, or a bare cycle-limit hang
+// (the diagnosis the fault machinery exists to eliminate). Typed
+// protocol violations and deadlocks are expected fail-stop detections.
+func failureOutcome(status string) bool {
+	switch status {
+	case OutcomeDivergence, OutcomeError, OutcomeCycleLimit:
+		return true
+	}
+	return false
+}
+
+// classify maps a faulted run's result (or typed error) to an outcome.
+func classify(res Result, err error, ref []uint64) FaultOutcome {
+	out := FaultOutcome{}
+	if err != nil {
+		switch {
+		case errors.Is(err, check.ErrProtocolViolation):
+			out.Status = OutcomeProtocolViolation
+		case errors.Is(err, machine.ErrDeadlock):
+			out.Status = OutcomeDeadlock
+		case errors.Is(err, ErrCycleLimit):
+			out.Status = OutcomeCycleLimit
+		default:
+			out.Status = OutcomeError
+		}
+		out.Error = err.Error()
+		return out
+	}
+	out.Degraded, out.Reason = res.Degraded, res.DegradeReason
+	out.Injections = res.FaultInjections
+	out.Cycles = res.Cycles
+	total := uint64(0)
+	for _, n := range res.FaultInjections {
+		total += n
+	}
+	switch {
+	case len(ref) > 0 && !equalCounters(res.FinalCounters, ref):
+		out.Status = OutcomeDivergence
+	case total == 0:
+		out.Status = OutcomeClean
+	case res.Degraded:
+		out.Status = OutcomeRecovered
+	default:
+		out.Status = OutcomeAbsorbed
+	}
+	return out
+}
+
+func equalCounters(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunCampaign sweeps every configured fault kind × seed over the base
+// spec, one serial run each (typed error classification needs the
+// concrete error values, which the parallel harness flattens to
+// strings). A clean reference run establishes the expected final
+// counters; every faulted run must either match them (recovered or
+// absorbed), or fail with a typed diagnosis. The report is
+// deterministic: same spec + config → byte-identical JSON.
+func RunCampaign(base Spec, c CampaignConfig) (*CampaignReport, error) {
+	kinds := c.Kinds
+	if len(kinds) == 0 {
+		kinds = faults.Kinds()
+	}
+	seeds := c.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	bound := c.StarvationBound
+	if bound == 0 {
+		bound = 200_000
+	}
+
+	// The reference run: the same spec under the same monitors with an
+	// empty fault plan (no kinds armed), so monitor overheads and
+	// workload are identical and only the injections differ.
+	refSpec := base
+	refSpec.Faults = &faults.Plan{Seed: seeds[0], Degrade: c.Degrade, StarvationBound: bound}
+	refRes, err := RunSpec(refSpec)
+	if err != nil {
+		return nil, fmt.Errorf("campaign reference run: %w", err)
+	}
+	report := &CampaignReport{
+		SchemaVersion:     CampaignSchemaVersion,
+		Spec:              base,
+		Config:            c,
+		ReferenceCycles:   refRes.Cycles,
+		ReferenceCounters: refRes.FinalCounters,
+	}
+
+	for _, kind := range kinds {
+		for _, seed := range seeds {
+			s := base
+			s.Faults = &faults.Plan{
+				Seed:            seed,
+				Kinds:           []faults.Kind{kind},
+				Rate:            c.Rate,
+				MaxInjections:   c.MaxInjections,
+				Degrade:         c.Degrade,
+				StarvationBound: bound,
+			}
+			res, err := RunSpec(s)
+			out := classify(res, err, report.ReferenceCounters)
+			out.Kind, out.Seed = kind, seed
+			if failureOutcome(out.Status) {
+				report.Failures++
+			}
+			report.Outcomes = append(report.Outcomes, out)
+		}
+	}
+	return report, nil
+}

@@ -79,7 +79,8 @@ func fixtureSnapshot() obs.Snapshot {
 	}
 }
 
-// TestGoldenResult pins the serialized Result layout (schema version 1).
+// TestGoldenResult pins the serialized Result layout (schema version 2),
+// including the fault-campaign fields.
 func TestGoldenResult(t *testing.T) {
 	snap := fixtureSnapshot()
 	goldenCheck(t, "result", Result{
@@ -95,6 +96,10 @@ func TestGoldenResult(t *testing.T) {
 		Breakdowns:      1,
 		LockHandoffMean: 26.5,
 		Obs:             &snap,
+		Degraded:        true,
+		DegradeReason:   "starvation: node P1 LPRFO on line 256 ungranted after 200001 cycles",
+		FaultInjections: map[string]uint64{"stuck-delay": 1},
+		FinalCounters:   []uint64{4096},
 	})
 }
 
@@ -105,7 +110,8 @@ func TestGoldenSnapshot(t *testing.T) {
 }
 
 // TestGoldenManifest pins the serialized harness.Manifest layout (schema
-// version 1), including a record carrying a snapshot.
+// version 2), including a record carrying a snapshot and one recording a
+// retried failure.
 func TestGoldenManifest(t *testing.T) {
 	snap := fixtureSnapshot()
 	goldenCheck(t, "manifest", harness.Manifest{
@@ -131,6 +137,13 @@ func TestGoldenManifest(t *testing.T) {
 				Metrics:  map[string]float64{"cycles": 123456},
 				Snapshot: &snap,
 			},
+			{
+				Label:    "hotlock/iqolb/p8",
+				Status:   harness.StatusError,
+				WallMS:   30,
+				Error:    "timed out after 10ms (job abandoned)",
+				Attempts: 3,
+			},
 		},
 	})
 }
@@ -138,15 +151,16 @@ func TestGoldenManifest(t *testing.T) {
 // TestGoldenSchemaVersions pins the constants themselves: bumping one is a
 // deliberate act that must come with regenerated golden files.
 func TestGoldenSchemaVersions(t *testing.T) {
-	versions := map[string]int{
-		"result":   ResultSchemaVersion,
-		"manifest": harness.ManifestSchemaVersion,
-		"snapshot": obs.SnapshotSchemaVersion,
-		"trace":    obs.TraceSchemaVersion,
+	versions := map[string]struct{ got, want int }{
+		"result":   {ResultSchemaVersion, 2},
+		"manifest": {harness.ManifestSchemaVersion, 2},
+		"snapshot": {obs.SnapshotSchemaVersion, 1},
+		"trace":    {obs.TraceSchemaVersion, 1},
+		"campaign": {CampaignSchemaVersion, 1},
 	}
 	for name, v := range versions {
-		if v != 1 {
-			t.Errorf("%s schema version = %d; this test pins 1 — update it and the golden files together", name, v)
+		if v.got != v.want {
+			t.Errorf("%s schema version = %d; this test pins %d — update it and the golden files together", name, v.got, v.want)
 		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"iqolb/internal/check"
+	"iqolb/internal/engine"
+	"iqolb/internal/faults"
 	"iqolb/internal/machine"
 	"iqolb/internal/mem"
 	"iqolb/internal/obs"
@@ -16,7 +18,10 @@ import (
 // together with cacheSchema — whenever a Result field is added, removed,
 // or changes meaning; the golden-file test under testdata/ pins the
 // current shape.
-const ResultSchemaVersion = 1
+//
+// Version 2: added the fault-campaign fields (Degraded, DegradeReason,
+// FaultInjections, FinalCounters).
+const ResultSchemaVersion = 2
 
 // Result is one benchmark execution's measurements.
 type Result struct {
@@ -36,6 +41,15 @@ type Result struct {
 	// Obs carries the observability snapshot for traced runs (Spec.Trace
 	// or Options.Obs); nil otherwise.
 	Obs *obs.Snapshot `json:",omitempty"`
+	// Fault-campaign observables, populated only when the run carried a
+	// fault plan (Spec.Faults): whether the machine fell back to
+	// plain-RFO semantics and why, how many injections fired per fault
+	// kind, and the final per-lock data counters (compared against a
+	// clean reference run by the campaign's differential check).
+	Degraded        bool              `json:",omitempty"`
+	DegradeReason   string            `json:",omitempty"`
+	FaultInjections map[string]uint64 `json:",omitempty"`
+	FinalCounters   []uint64          `json:",omitempty"`
 }
 
 func summarize(sysName, benchName string, procs int, res machine.Result) Result {
@@ -53,6 +67,38 @@ func summarize(sysName, benchName string, procs int, res machine.Result) Result 
 		Timeouts:        st.Total(func(n *stats.Node) uint64 { return n.DelayTimeouts }),
 		Breakdowns:      st.Total(func(n *stats.Node) uint64 { return n.QueueBreakdowns }),
 		LockHandoffMean: st.LockHandoff.Mean(),
+	}
+}
+
+// monitorConfig derives the invariant-monitor configuration for a run
+// carrying fault plan fp (nil = the always-on defaults). A degrading
+// plan wires the fabric in as the starvation watchdog's recovery hook.
+func monitorConfig(m *machine.Machine, fp *faults.Plan) check.Config {
+	cfg := check.Config{}
+	if fp == nil {
+		return cfg
+	}
+	if fp.StarvationBound > 0 {
+		cfg.StarvationBound = engine.Time(fp.StarvationBound)
+	}
+	if fp.Degrade {
+		cfg.Degrader = m.Fabric()
+	}
+	return cfg
+}
+
+// fillFaultOutcome copies a faulted run's observables into the result:
+// degradation state, per-kind injection counts, and (when the workload
+// has per-lock counters) the final data values for the campaign's
+// differential check. p is nil for counterless kernels.
+func fillFaultOutcome(m *machine.Machine, p *workload.Params, out *Result) {
+	out.Degraded, out.DegradeReason = m.Fabric().Degraded()
+	out.FaultInjections = m.Fabric().FaultInjector().Counts()
+	if p != nil && p.Locks > 0 {
+		out.FinalCounters = make([]uint64, p.Locks)
+		for i := 0; i < p.Locks; i++ {
+			out.FinalCounters[i] = m.Peek(p.DataAddr(i))
+		}
 	}
 }
 
@@ -115,10 +161,10 @@ func RunBenchmark(benchName string, sys System, procs, scaleFactor int) (Result,
 
 // RunFetchAdd executes the lock-free Fetch&Add kernel under one system.
 func RunFetchAdd(sys System, procs, totalOps int, think int64) (Result, error) {
-	return runFetchAdd(sys, procs, totalOps, think, false, nil)
+	return runFetchAdd(sys.MachineConfig(procs), sys, procs, totalOps, think, false, nil)
 }
 
-func runFetchAdd(sys System, procs, totalOps int, think int64, checked bool, tr *TraceOptions) (Result, error) {
+func runFetchAdd(cfg machine.Config, sys System, procs, totalOps int, think int64, checked bool, tr *TraceOptions) (Result, error) {
 	totalOps -= totalOps % procs
 	if totalOps == 0 {
 		totalOps = procs
@@ -127,16 +173,20 @@ func runFetchAdd(sys System, procs, totalOps int, think int64, checked bool, tr 
 	if err != nil {
 		return Result{}, err
 	}
-	cfg := sys.MachineConfig(procs)
 	m, err := machine.New(cfg, bld.Program, nil)
 	if err != nil {
 		return Result{}, err
 	}
+	// A fault plan implies the monitors: an injected fault must be
+	// either survived or reported, never silently absorbed into wrong
+	// measurements.
+	fp := cfg.Faults
+	checked = checked || fp != nil
 	// The invariant monitor attaches exclusively (SetProbe); the trace
 	// collector must come after it.
 	var mon *check.Monitor
 	if checked {
-		mon = check.AttachToMachine(m, check.Config{})
+		mon = check.AttachToMachine(m, monitorConfig(m, fp))
 	}
 	var log *obs.Log
 	if tr != nil {
@@ -158,6 +208,9 @@ func runFetchAdd(sys System, procs, totalOps int, think int64, checked bool, tr 
 		return Result{}, err
 	}
 	out := summarize(sys.Name, "fetchadd", procs, res)
+	if fp != nil {
+		fillFaultOutcome(m, nil, &out)
+	}
 	if err := finishTrace(log, tr, &out); err != nil {
 		return Result{}, fmt.Errorf("fetchadd/%s: %w", sys.Name, err)
 	}

@@ -6,8 +6,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"iqolb/internal/engine"
+	"iqolb/internal/faults"
 	"iqolb/internal/harness"
 	"iqolb/internal/machine"
 	"iqolb/internal/obs"
@@ -23,7 +25,9 @@ var ErrCycleLimit = errors.New("hit the engine cycle limit")
 // every cached entry is then invalidated at once.
 //
 // Schema 2: Result gained SchemaVersion and the observability snapshot.
-const cacheSchema = 2
+// Schema 3: Result gained the fault-campaign fields (Degraded,
+// DegradeReason, FaultInjections, FinalCounters).
+const cacheSchema = 3
 
 // TraceOptions enables the observability layer (internal/obs) for a
 // spec's run. A traced run collects the structured event stream, embeds
@@ -81,6 +85,12 @@ type Spec struct {
 	// TraceOptions). It does not enter the cache key; traced jobs skip
 	// the cache instead.
 	Trace *TraceOptions `json:"trace,omitempty"`
+	// Faults arms a deterministic fault-injection plan for the run
+	// (nil = clean). The plan enters the cache key — a faulted run is a
+	// different computation — and implies the invariant monitors, so
+	// every injected fault is either survived (oracle-verified final
+	// state) or reported as a typed failure.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // resolved is a Spec with every default filled in: the effective
@@ -116,6 +126,7 @@ func (s Spec) resolve() (resolved, error) {
 	if s.CycleLimit != nil {
 		cfg.CycleLimit = *s.CycleLimit
 	}
+	cfg.Faults = s.Faults
 	r := resolved{name: s.Name, kernel: s.Kernel, sys: sys, cfg: cfg, check: s.Check, trace: s.Trace}
 	switch s.Kernel {
 	case "fetchadd":
@@ -200,7 +211,7 @@ func (r resolved) canonical() canonicalConfig {
 // run executes the resolved plan.
 func (r resolved) run() (Result, error) {
 	if r.kernel == "fetchadd" {
-		return runFetchAdd(r.sys, r.cfg.Processors, r.totalOps, r.think, r.check, r.trace)
+		return runFetchAdd(r.cfg, r.sys, r.cfg.Processors, r.totalOps, r.think, r.check, r.trace)
 	}
 	bld, err := workload.Generate(r.params, r.sys.Primitive, r.cfg.Processors)
 	if err != nil {
@@ -263,10 +274,28 @@ type Options struct {
 	// TraceOptions) and its metrics snapshot is embedded in the
 	// manifest record. Traced jobs bypass the result cache.
 	Obs string
+	// Faults arms this fault plan on every spec in the batch that does
+	// not already carry its own (the CLIs' -faults flags).
+	Faults *faults.Plan
+	// KeepGoing runs every job despite failures; the manifest then
+	// doubles as the batch's failure manifest (see harness.Options).
+	KeepGoing bool
+	// JobTimeout bounds one job's wall-clock run time (0 = none).
+	JobTimeout time.Duration
+	// Retries re-runs failed jobs up to N more times (environmental
+	// failures only; deterministic errors fail identically each time).
+	Retries int
 }
 
 func (o Options) harness() harness.Options {
-	hopt := harness.Options{Workers: o.Jobs, Progress: o.Progress, ArtifactDir: o.ArtifactDir}
+	hopt := harness.Options{
+		Workers:     o.Jobs,
+		Progress:    o.Progress,
+		ArtifactDir: o.ArtifactDir,
+		KeepGoing:   o.KeepGoing,
+		JobTimeout:  o.JobTimeout,
+		Retries:     o.Retries,
+	}
 	if o.CacheDir != "" {
 		hopt.Cache = harness.NewCache(o.CacheDir)
 	}
@@ -288,6 +317,9 @@ func RunSpecs(opt Options, specs []Spec) ([]Result, *harness.Manifest, error) {
 	for i, s := range specs {
 		if opt.Check {
 			s.Check = true
+		}
+		if opt.Faults != nil && s.Faults == nil {
+			s.Faults = opt.Faults
 		}
 		r, err := s.resolve()
 		if err != nil {

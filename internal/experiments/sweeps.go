@@ -201,11 +201,16 @@ func runConfigured(cfg machine.Config, bld *workload.Build, p workload.Params,
 	for _, l := range bld.Locks {
 		m.RegisterLockAddr(l)
 	}
+	// A fault plan implies the monitors: an injected fault must be
+	// either survived or reported, never silently absorbed into wrong
+	// measurements.
+	fp := cfg.Faults
+	checked = checked || fp != nil
 	// The invariant monitor attaches exclusively (SetProbe); the trace
 	// collector must come after it.
 	var mon *check.Monitor
 	if checked {
-		mon = check.AttachToMachine(m, check.Config{})
+		mon = check.AttachToMachine(m, monitorConfig(m, fp))
 	}
 	var log *obs.Log
 	if tr != nil {
@@ -229,6 +234,9 @@ func runConfigured(cfg machine.Config, bld *workload.Build, p workload.Params,
 		return Result{}, fmt.Errorf("%s: %w", name, err)
 	}
 	out := summarize(sysName, name, procs, res)
+	if fp != nil {
+		fillFaultOutcome(m, &p, &out)
+	}
 	if err := finishTrace(log, tr, &out); err != nil {
 		return Result{}, fmt.Errorf("%s: %w", name, err)
 	}

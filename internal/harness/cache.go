@@ -58,6 +58,15 @@ func (c *Cache) Get(key string, out any) (bool, error) {
 	return true, nil
 }
 
+// Quarantine moves the entry for key aside to <key>.corrupt so a
+// corrupt or unreadable entry survives for post-mortem instead of being
+// silently overwritten by the repairing fresh run. Best-effort: a
+// missing entry or failed rename is ignored (the fresh Put wins either
+// way).
+func (c *Cache) Quarantine(key string) {
+	os.Rename(c.path(key), filepath.Join(c.Dir, key+".corrupt"))
+}
+
 // Put stores v under key, atomically (write to a temp file, rename).
 func (c *Cache) Put(key string, v any) error {
 	if err := os.MkdirAll(c.Dir, 0o755); err != nil {

@@ -55,6 +55,22 @@ type Options struct {
 	// ArtifactDir, when non-empty, receives one JSON file per job result
 	// plus manifest.json for the batch.
 	ArtifactDir string
+	// KeepGoing runs every job even after failures. The manifest then
+	// doubles as a failure manifest: each failed job carries its error
+	// in its record, and the returned error is still the first failure
+	// in job order (so callers notice), alongside the partial results.
+	KeepGoing bool
+	// JobTimeout bounds one job's wall-clock run time (0 = none). A job
+	// that exceeds it fails with a timeout error; its goroutine is
+	// abandoned (simulation jobs cannot be cancelled mid-event-loop).
+	JobTimeout time.Duration
+	// Retries re-runs a failed job up to N more times; meant for jobs
+	// with environmental failure modes (cache I/O races, timeouts on a
+	// loaded host), not for deterministic simulation errors, which will
+	// simply fail identically each attempt.
+	Retries int
+	// RetryBackoff sleeps attempt*RetryBackoff before each retry.
+	RetryBackoff time.Duration
 }
 
 func (o Options) workers() int {
@@ -66,9 +82,10 @@ func (o Options) workers() int {
 
 // Run executes the batch and returns the results in job order along with
 // the batch manifest. On job failure the remaining queued jobs are
-// skipped, the manifest records every outcome, and the returned error is
-// the first failure in job order (wrapped with its label). The manifest
-// is returned even on error.
+// skipped (or, under Options.KeepGoing, still run), the manifest records
+// every outcome, and the returned error is the first failure in job
+// order (wrapped with its label). The manifest is returned even on
+// error; under KeepGoing the results of every succeeding job are too.
 func Run[T any](opt Options, jobs []Job[T]) ([]T, *Manifest, error) {
 	start := time.Now()
 	results := make([]T, len(jobs))
@@ -91,7 +108,7 @@ func Run[T any](opt Options, jobs []Job[T]) ([]T, *Manifest, error) {
 			defer wg.Done()
 			for i := range idxCh {
 				mu.Lock()
-				skip := failed
+				skip := failed && !opt.KeepGoing
 				mu.Unlock()
 				if skip {
 					records[i] = Record{Label: jobs[i].Label, Status: StatusSkipped}
@@ -152,8 +169,10 @@ func runOne[T any](opt Options, job Job[T]) (Record, T, error) {
 			var cached T
 			ok, err := opt.Cache.Get(key, &cached)
 			if err != nil {
-				// A corrupt or unreadable entry falls back to a fresh
-				// run; the entry is overwritten below.
+				// A corrupt or unreadable entry is quarantined aside as
+				// <key>.corrupt for post-mortem, and the job re-runs
+				// fresh (writing a repaired entry below).
+				opt.Cache.Quarantine(key)
 				ok = false
 			}
 			if ok {
@@ -165,7 +184,22 @@ func runOne[T any](opt Options, job Job[T]) (Record, T, error) {
 		}
 	}
 
-	res, err := job.Run()
+	var res T
+	var err error
+	attempts := 0
+	for {
+		attempts++
+		res, err = runGuarded(opt, job)
+		if err == nil || attempts > opt.Retries {
+			break
+		}
+		if opt.RetryBackoff > 0 {
+			time.Sleep(time.Duration(attempts) * opt.RetryBackoff)
+		}
+	}
+	if attempts > 1 {
+		rec.Attempts = attempts
+	}
 	rec.WallMS = msSince(t0)
 	if err != nil {
 		rec.Status = StatusError
@@ -180,6 +214,40 @@ func runOne[T any](opt Options, job Job[T]) (Record, T, error) {
 		}
 	}
 	return rec, res, nil
+}
+
+// runGuarded invokes job.Run once, converting a panic into an error and
+// enforcing Options.JobTimeout. On timeout the job's goroutine is
+// abandoned, not cancelled: a deterministic simulation offers no
+// preemption point, so the harness walks away and lets it finish (or
+// spin) in the background while the batch proceeds.
+func runGuarded[T any](opt Options, job Job[T]) (T, error) {
+	type outcome struct {
+		res T
+		err error
+	}
+	call := func() (out outcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				out.err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		out.res, out.err = job.Run()
+		return
+	}
+	if opt.JobTimeout <= 0 {
+		out := call()
+		return out.res, out.err
+	}
+	ch := make(chan outcome, 1)
+	go func() { ch <- call() }()
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-time.After(opt.JobTimeout):
+		var zero T
+		return zero, fmt.Errorf("timed out after %s (job abandoned)", opt.JobTimeout)
+	}
 }
 
 func fillMetrics[T any](rec *Record, job Job[T], res T) {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 type out struct {
@@ -188,5 +189,186 @@ func TestSanitizeLabel(t *testing.T) {
 	}
 	if got := sanitizeLabel(""); got != "job" {
 		t.Fatalf("empty label = %q", got)
+	}
+}
+
+// A panicking job becomes a StatusError record instead of crashing the
+// worker pool, and under KeepGoing the other jobs still complete.
+func TestRunRecoversPanic(t *testing.T) {
+	var jobs []Job[out]
+	for i := 0; i < 8; i++ {
+		i := i
+		jobs = append(jobs, Job[out]{
+			Label: fmt.Sprintf("job-%d", i),
+			Run: func() (out, error) {
+				if i == 2 {
+					panic("injected panic")
+				}
+				return out{N: i}, nil
+			},
+		})
+	}
+	res, m, err := Run(Options{Workers: 2, KeepGoing: true}, jobs)
+	if err == nil || !strings.Contains(err.Error(), "panic: injected panic") {
+		t.Fatalf("err = %v; want the recovered panic", err)
+	}
+	if m.Errors != 1 || m.Skipped != 0 {
+		t.Fatalf("manifest: errors=%d skipped=%d", m.Errors, m.Skipped)
+	}
+	if m.Records[2].Status != StatusError || !strings.Contains(m.Records[2].Error, "injected panic") {
+		t.Fatalf("record 2: %+v", m.Records[2])
+	}
+	for i, r := range res {
+		if i != 2 && r.N != i {
+			t.Fatalf("KeepGoing lost result %d: %+v", i, r)
+		}
+	}
+}
+
+// A hung job trips JobTimeout and is recorded as an error while the
+// rest of the batch completes.
+func TestRunJobTimeout(t *testing.T) {
+	hung := make(chan struct{})
+	defer close(hung)
+	jobs := []Job[out]{
+		{Label: "hung", Run: func() (out, error) {
+			<-hung
+			return out{}, nil
+		}},
+		{Label: "fine", Run: func() (out, error) { return out{N: 7}, nil }},
+	}
+	res, m, err := Run(Options{Workers: 1, KeepGoing: true, JobTimeout: 50 * time.Millisecond}, jobs)
+	if err == nil || !strings.Contains(err.Error(), "timed out after") {
+		t.Fatalf("err = %v; want timeout", err)
+	}
+	if m.Records[0].Status != StatusError || !strings.Contains(m.Records[0].Error, "timed out") {
+		t.Fatalf("record 0: %+v", m.Records[0])
+	}
+	if m.Records[1].Status != StatusMiss || res[1].N != 7 {
+		t.Fatalf("later job did not complete: %+v / %+v", m.Records[1], res[1])
+	}
+}
+
+// Retries re-run a flaky job until it succeeds and record the attempt
+// count; a first-try success records no attempts.
+func TestRunRetry(t *testing.T) {
+	var calls atomic.Int64
+	jobs := []Job[out]{{
+		Label: "flaky",
+		Run: func() (out, error) {
+			if calls.Add(1) < 3 {
+				return out{}, errors.New("transient")
+			}
+			return out{N: 9}, nil
+		},
+	}}
+	res, m, err := Run(Options{Workers: 1, Retries: 3}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 || res[0].N != 9 {
+		t.Fatalf("calls=%d res=%+v", calls.Load(), res[0])
+	}
+	if m.Records[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", m.Records[0].Attempts)
+	}
+
+	// Exhausted retries still fail.
+	calls.Store(0)
+	always := []Job[out]{{
+		Label: "doomed",
+		Run: func() (out, error) {
+			calls.Add(1)
+			return out{}, errors.New("permanent")
+		},
+	}}
+	_, m2, err := Run(Options{Workers: 1, Retries: 2}, always)
+	if err == nil || calls.Load() != 3 {
+		t.Fatalf("err=%v calls=%d; want failure after 3 attempts", err, calls.Load())
+	}
+	if m2.Records[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", m2.Records[0].Attempts)
+	}
+}
+
+// KeepGoing runs every job despite failures and the manifest doubles as
+// the failure manifest: no skips, each failure labeled.
+func TestKeepGoingPartialResults(t *testing.T) {
+	var jobs []Job[out]
+	for i := 0; i < 10; i++ {
+		i := i
+		jobs = append(jobs, Job[out]{
+			Label: fmt.Sprintf("job-%d", i),
+			Run: func() (out, error) {
+				if i%3 == 0 {
+					return out{}, fmt.Errorf("fail-%d", i)
+				}
+				return out{N: i * i}, nil
+			},
+		})
+	}
+	res, m, err := Run(Options{Workers: 4, KeepGoing: true}, jobs)
+	if err == nil {
+		t.Fatal("KeepGoing hid the failures")
+	}
+	if m.Skipped != 0 || m.Errors != 4 {
+		t.Fatalf("manifest: skipped=%d errors=%d; want 0 and 4", m.Skipped, m.Errors)
+	}
+	for i, r := range res {
+		if i%3 != 0 && r.N != i*i {
+			t.Fatalf("partial result %d missing: %+v", i, r)
+		}
+	}
+	for i, rec := range m.Records {
+		want := StatusMiss
+		if i%3 == 0 {
+			want = StatusError
+		}
+		if rec.Status != want {
+			t.Fatalf("record %d status %s, want %s", i, rec.Status, want)
+		}
+	}
+}
+
+// A corrupt cache entry is quarantined to <key>.corrupt, the job re-runs
+// as a miss, and the repaired entry serves the next run.
+func TestCorruptCacheEntryQuarantined(t *testing.T) {
+	cache := NewCache(filepath.Join(t.TempDir(), "cache"))
+	var ran atomic.Int64
+
+	if _, _, err := Run(Options{Workers: 1, Cache: cache}, squareJobs(1, &ran)); err != nil {
+		t.Fatal(err)
+	}
+	key, err := Key(map[string]int{"i": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := filepath.Join(cache.Dir, key+".json")
+	if err := os.WriteFile(entry, []byte("{truncated garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, m, err := Run(Options{Workers: 1, Cache: cache}, squareJobs(1, &ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheMisses != 1 || ran.Load() != 2 {
+		t.Fatalf("corrupt entry not treated as miss: manifest=%+v ran=%d", m, ran.Load())
+	}
+	quarantined, err := os.ReadFile(filepath.Join(cache.Dir, key+".corrupt"))
+	if err != nil {
+		t.Fatalf("no quarantine file: %v", err)
+	}
+	if string(quarantined) != "{truncated garbage" {
+		t.Fatalf("quarantine content = %q", quarantined)
+	}
+
+	// The repaired entry now hits.
+	_, m3, err := Run(Options{Workers: 1, Cache: cache}, squareJobs(1, &ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.CacheHits != 1 || ran.Load() != 2 {
+		t.Fatalf("repaired entry did not hit: %+v ran=%d", m3, ran.Load())
 	}
 }

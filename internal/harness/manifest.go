@@ -13,7 +13,7 @@ import (
 // it whenever a Manifest or Record field is added, removed, or changes
 // meaning; the golden-file test in the experiments package pins the
 // current shape.
-const ManifestSchemaVersion = 1
+const ManifestSchemaVersion = 2
 
 // Job outcome statuses recorded in the manifest.
 const (
@@ -31,6 +31,9 @@ type Record struct {
 	WallMS  float64            `json:"wall_ms"`
 	Error   string             `json:"error,omitempty"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Attempts counts how many times the job ran when retries were
+	// needed (omitted for first-try outcomes).
+	Attempts int `json:"attempts,omitempty"`
 	// Snapshot carries the job's structured metrics snapshot (the
 	// observability layer's obs.Snapshot) when the job provides one.
 	Snapshot any `json:"snapshot,omitempty"`

@@ -1,0 +1,53 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"iqolb/internal/proc"
+)
+
+// ErrDeadlock is the sentinel matched by errors.Is when a run's event
+// queue drains with processors still unhalted. The concrete error is a
+// *DeadlockError carrying the per-processor stall dump.
+var ErrDeadlock = errors.New("machine: deadlock")
+
+// DeadlockError reports a run whose event queue drained before every
+// processor halted: nothing was scheduled, nobody had finished. It
+// carries each processor's blocking state so the failure is diagnosable
+// without a trace (which processor, which PC, waiting on what, since
+// which cycle).
+type DeadlockError struct {
+	// Cycle is when the event queue drained.
+	Cycle uint64 `json:"cycle"`
+	// Halted of Procs processors had finished normally.
+	Halted int `json:"halted"`
+	Procs  int `json:"procs"`
+	// Stalls holds every processor's state, halted ones included.
+	Stalls []proc.Stall `json:"stalls"`
+}
+
+// Error renders the classic one-line summary first (unchanged from the
+// old untyped error, so logs and log-scrapers keep working), then one
+// line per stuck processor.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine: deadlock: %d of %d processors halted at cycle %d",
+		e.Halted, e.Procs, e.Cycle)
+	for _, s := range e.Stalls {
+		if s.Halted {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  P%d pc=%d", s.CPU, s.PC)
+		if s.Waiting != "" {
+			fmt.Fprintf(&b, " waiting on %s since cycle %d", s.Waiting, s.Since)
+		} else {
+			b.WriteString(" idle (no operation outstanding)")
+		}
+	}
+	return b.String()
+}
+
+// Unwrap lets errors.Is(err, ErrDeadlock) match.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }

@@ -11,6 +11,8 @@ import (
 	"iqolb/internal/coherence"
 	"iqolb/internal/core"
 	"iqolb/internal/engine"
+	"iqolb/internal/faults"
+	"iqolb/internal/interconnect"
 	"iqolb/internal/isa"
 	"iqolb/internal/mem"
 	"iqolb/internal/proc"
@@ -35,6 +37,10 @@ type Config struct {
 	// CycleLimit aborts runaway runs (0 = none). Livelock-prone modes
 	// (the aggressive baseline) should always set one.
 	CycleLimit engine.Time
+	// Faults optionally arms a deterministic fault-injection plan
+	// (nil = clean run). The omitempty tag keeps nil plans out of the
+	// canonical config JSON, so existing experiment cache keys survive.
+	Faults *faults.Plan `json:",omitempty"`
 }
 
 // DefaultConfig returns the paper's evaluation configuration for n
@@ -61,6 +67,11 @@ func (c Config) Validate() error {
 	}
 	if err := c.Timing.Validate(); err != nil {
 		return err
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := c.Core.Validate(); err != nil {
 		return err
@@ -120,6 +131,22 @@ func New(cfg Config, prog *isa.Program, rec *trace.Recorder) (*Machine, error) {
 	fabric, err := coherence.NewFabric(eng, cfg.Timing, cfg.Caches, cfg.Core, cfg.Processors, st, rec)
 	if err != nil {
 		return nil, err
+	}
+	inj, err := faults.NewInjector(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	fabric.SetFaultInjector(inj)
+	if inj.Enabled(faults.BusLatency) {
+		fabric.Net().SetPerturb(func(idx uint64, msg interconnect.Msg) engine.Time {
+			if !inj.WantsClass(msg.Kind.String()) {
+				return 0
+			}
+			if !inj.Fire(faults.BusLatency, uint64(eng.Now())) {
+				return 0
+			}
+			return engine.Time(inj.ExtraLatency())
+		})
 	}
 	m := &Machine{
 		cfg:      cfg,
@@ -209,8 +236,16 @@ func (m *Machine) Run() (Result, error) {
 	}
 	end, hitLimit := m.eng.Run(m.cfg.CycleLimit)
 	if !hitLimit && m.halted != m.cfg.Processors {
-		return Result{}, fmt.Errorf("machine: deadlock: %d of %d processors halted at cycle %d",
-			m.halted, m.cfg.Processors, end)
+		de := &DeadlockError{
+			Cycle:  uint64(end),
+			Halted: m.halted,
+			Procs:  m.cfg.Processors,
+			Stalls: make([]proc.Stall, len(m.cpus)),
+		}
+		for i, c := range m.cpus {
+			de.Stalls[i] = c.Stall()
+		}
+		return Result{}, de
 	}
 	m.st.Cycles = uint64(end)
 	m.st.BusTransactions = m.fabric.Bus().Transactions

@@ -1,10 +1,13 @@
 package machine
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"iqolb/internal/core"
 	"iqolb/internal/isa"
+	"iqolb/internal/proc"
 	"iqolb/internal/stats"
 )
 
@@ -277,5 +280,54 @@ func TestPeekFindsDirtyCacheData(t *testing.T) {
 	`))
 	if got := m.Peek(0); got != 77 {
 		t.Fatalf("Peek = %d, want 77 (dirty line still in cache)", got)
+	}
+}
+
+func TestDeadlockIsTyped(t *testing.T) {
+	// CPU 0 halts without reaching the barrier; CPU 1 parks there forever.
+	// The drained event queue must surface as a *DeadlockError naming the
+	// stuck processor and its barrier, not a bare formatted error.
+	src := `
+	  cpuid t0
+	  beq   t0, r0, done
+	  bar   7
+	done:
+	  halt
+	`
+	c := cfg(2, core.ModeBaseline)
+	c.CycleLimit = 0 // the queue drains on its own; no limit needed
+	m, err := New(c, isa.MustAssemble(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := m.Run()
+	if runErr == nil {
+		t.Fatal("deadlocked run returned nil error")
+	}
+	if !errors.Is(runErr, ErrDeadlock) {
+		t.Fatalf("errors.Is(err, ErrDeadlock) = false for %v", runErr)
+	}
+	var de *DeadlockError
+	if !errors.As(runErr, &de) {
+		t.Fatalf("error is not a *DeadlockError: %v", runErr)
+	}
+	if de.Halted != 1 || de.Procs != 2 {
+		t.Fatalf("DeadlockError = %+v; want 1 of 2 halted", de)
+	}
+	var stuck *proc.Stall
+	for i := range de.Stalls {
+		if !de.Stalls[i].Halted {
+			stuck = &de.Stalls[i]
+		}
+	}
+	if stuck == nil {
+		t.Fatal("no unhalted processor in the stall dump")
+	}
+	if stuck.CPU != 1 || stuck.Waiting != "barrier 7" {
+		t.Fatalf("stall dump = %+v; want CPU 1 waiting on barrier 7", *stuck)
+	}
+	if !strings.Contains(runErr.Error(), "1 of 2 processors halted") ||
+		!strings.Contains(runErr.Error(), "barrier 7") {
+		t.Fatalf("error text missing summary or stall line:\n%s", runErr)
 	}
 }

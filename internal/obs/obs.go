@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"iqolb/internal/coherence"
+	"iqolb/internal/faults"
 	"iqolb/internal/machine"
 	"iqolb/internal/mem"
 )
@@ -47,12 +48,17 @@ const (
 	EvBarrierArrive
 	// EvBarrierRelease: barrier episode A opened with B participants.
 	EvBarrierRelease
+	// EvFaultInject: an injected fault of kind A (faults.Kind) struck
+	// line Line.
+	EvFaultInject
+	// EvDegrade: the fabric fell back to plain-RFO semantics.
+	EvDegrade
 )
 
 var kindNames = [...]string{
 	"lock-attempt", "lock-acquire", "lock-release", "lprfo-issue",
 	"delay-start", "delay-end", "tear-off", "bus-sample",
-	"barrier-arrive", "barrier-release",
+	"barrier-arrive", "barrier-release", "fault-inject", "degrade",
 }
 
 func (k Kind) String() string {
@@ -97,6 +103,7 @@ type Log struct {
 
 var (
 	_ coherence.SyncProbe     = (*Log)(nil)
+	_ coherence.FaultObserver = (*Log)(nil)
 	_ machine.BarrierObserver = (*Log)(nil)
 )
 
@@ -192,6 +199,18 @@ func (l *Log) BusSample(queued, outstanding int) {
 	l.haveBusSample = true
 	l.lastQueued, l.lastOutstanding = q, o
 	l.add(Event{Kind: EvBusSample, Node: NoNode, Peer: NoNode, A: q, B: o})
+}
+
+// FaultInjected implements coherence.FaultObserver: injected faults
+// enter the event stream so a faulted trace shows where the campaign
+// struck.
+func (l *Log) FaultInjected(kind faults.Kind, line mem.LineID) {
+	l.add(Event{Kind: EvFaultInject, Node: NoNode, Peer: NoNode, Line: uint64(line), A: uint64(kind)})
+}
+
+// Degraded implements coherence.FaultObserver.
+func (l *Log) Degraded(reason string) {
+	l.add(Event{Kind: EvDegrade, Node: NoNode, Peer: NoNode})
 }
 
 // BarrierArrive implements machine.BarrierObserver.

@@ -56,6 +56,11 @@ type CPU struct {
 	halted bool
 	rng    uint64
 
+	// Pending-operation bookkeeping, read only by Stall when a run dies
+	// of deadlock: what the CPU is blocked on and since when.
+	waiting   string // "", or a description of the blocking operation
+	waitSince engine.Time
+
 	// Statistics.
 	Instructions uint64
 	MemOps       uint64
@@ -92,6 +97,34 @@ func (c *CPU) SetReg(r isa.Reg, v uint64) {
 
 // PC exposes the current instruction index (tests).
 func (c *CPU) PC() int { return c.pc }
+
+// Stall is one processor's entry in a deadlock dump: where it stopped
+// and what, if anything, it is still waiting on.
+type Stall struct {
+	// CPU is the processor number; PC the instruction index it stopped at.
+	CPU int `json:"cpu"`
+	PC  int `json:"pc"`
+	// Halted is true when the CPU executed HALT normally (it is not part
+	// of the deadlock, only of the dump's context).
+	Halted bool `json:"halted,omitempty"`
+	// Waiting describes the blocking operation ("sc 0x40", "barrier 2"),
+	// empty when the CPU is between operations.
+	Waiting string `json:"waiting,omitempty"`
+	// Since is the cycle the blocking operation was issued.
+	Since uint64 `json:"since,omitempty"`
+}
+
+// Stall snapshots the CPU's blocking state (deadlock diagnosis; the
+// machine is quiescent when this is called).
+func (c *CPU) Stall() Stall {
+	return Stall{
+		CPU:     c.id,
+		PC:      c.pc,
+		Halted:  c.halted,
+		Waiting: c.waiting,
+		Since:   uint64(c.waitSince),
+	}
+}
 
 // Start schedules the first cycle.
 func (c *CPU) Start() {
@@ -143,7 +176,11 @@ func (c *CPU) step(now engine.Time) {
 		case isa.OpBar:
 			c.Instructions++
 			c.pc++
-			c.plat.Barrier(in.Imm, c.id, func() { c.eng.After(1, c.step) })
+			c.waiting, c.waitSince = fmt.Sprintf("barrier %d", in.Imm), now
+			c.plat.Barrier(in.Imm, c.id, func() {
+				c.waiting = ""
+				c.eng.After(1, c.step)
+			})
 			return
 		case isa.OpHalt:
 			c.Instructions++
@@ -280,12 +317,14 @@ func (c *CPU) issueMem(in isa.Instr, now engine.Time) {
 	}
 	pc := c.pc
 	c.pc++
+	c.waiting, c.waitSince = fmt.Sprintf("%s %#x", in.Op, uint64(addr)), now
 	c.port.Access(mem.Request{
 		Kind:  kind,
 		Addr:  addr,
 		Value: value,
 		PC:    pc,
 		Done: func(res mem.Result) {
+			c.waiting = ""
 			done := c.eng.Now()
 			c.MemCycles += uint64(done - now)
 			if res.TearOff {

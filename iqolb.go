@@ -34,10 +34,12 @@
 package iqolb
 
 import (
+	"iqolb/internal/check"
 	"iqolb/internal/coherence"
 	"iqolb/internal/core"
 	"iqolb/internal/engine"
 	"iqolb/internal/experiments"
+	"iqolb/internal/faults"
 	"iqolb/internal/harness"
 	"iqolb/internal/isa"
 	"iqolb/internal/machine"
@@ -116,6 +118,24 @@ type (
 	// SweepSpecError pinpoints the unusable field of a rejected
 	// SweepSpec; it unwraps to ErrInvalidSweepSpec.
 	SweepSpecError = experiments.SweepSpecError
+	// FaultPlan arms a deterministic fault-injection plan on a Spec or
+	// MachineConfig (nil = clean run). Plans enter the result-cache key.
+	FaultPlan = faults.Plan
+	// FaultKind names one injectable fault (see FaultKinds).
+	FaultKind = faults.Kind
+	// DeadlockError is the typed diagnosis of a run whose event queue
+	// drained with processors still unhalted; it carries a
+	// per-processor stall dump and unwraps to ErrDeadlock.
+	DeadlockError = machine.DeadlockError
+	// ViolationError is the typed diagnosis of a run whose invariant
+	// monitor recorded breaches; it unwraps to ErrProtocolViolation.
+	ViolationError = check.ViolationError
+	// CampaignConfig parameterizes RunCampaign.
+	CampaignConfig = experiments.CampaignConfig
+	// CampaignReport is a fault campaign's deterministic aggregate.
+	CampaignReport = experiments.CampaignReport
+	// FaultOutcome is one (kind, seed) campaign run's classified result.
+	FaultOutcome = experiments.FaultOutcome
 )
 
 // ErrCycleLimit marks a simulation aborted at the engine's cycle limit;
@@ -125,6 +145,30 @@ var ErrCycleLimit = experiments.ErrCycleLimit
 // ErrInvalidSweepSpec is the sentinel wrapped by every SweepSpec
 // validation failure. Detect it with errors.Is.
 var ErrInvalidSweepSpec = experiments.ErrInvalidSweepSpec
+
+// ErrDeadlock marks a run whose event queue drained before every
+// processor halted; the concrete error is a *DeadlockError. Detect it
+// with errors.Is.
+var ErrDeadlock = machine.ErrDeadlock
+
+// ErrProtocolViolation marks a run failed by the invariant monitors;
+// the concrete error is a *ViolationError. Detect it with errors.Is.
+var ErrProtocolViolation = check.ErrProtocolViolation
+
+// FaultKinds lists every injectable fault kind.
+func FaultKinds() []FaultKind { return faults.Kinds() }
+
+// ParseFaultKinds parses a comma-separated fault-kind list ("all" or
+// "*" selects every kind; "" selects none).
+func ParseFaultKinds(s string) ([]FaultKind, error) { return faults.ParseKinds(s) }
+
+// RunCampaign sweeps the configured fault kinds and seeds over the base
+// spec, classifying each run against a clean reference: recovered,
+// absorbed, or a typed diagnosis. Same spec + config → byte-identical
+// report.
+func RunCampaign(base Spec, c CampaignConfig) (*CampaignReport, error) {
+	return experiments.RunCampaign(base, c)
+}
 
 // The sweep studies selectable through SweepSpec.Kind.
 const (
