@@ -153,7 +153,10 @@ func BenchmarkSweepScaling(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepScaling(iqolb.Options{}, "raytrace", []int{1, 4, 16}, benchScale*2)
+		out, err = iqolb.Sweep(iqolb.Options{}, iqolb.SweepSpec{
+			Kind: iqolb.SweepScalingKind, Bench: "raytrace",
+			ProcCounts: []int{1, 4, 16}, Scale: benchScale * 2,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +170,10 @@ func BenchmarkAblationTimeout(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepTimeout(iqolb.Options{}, benchProcs, 512, []iqolb.Time{200, 1000, 10000})
+		out, err = iqolb.Sweep(iqolb.Options{}, iqolb.SweepSpec{
+			Kind: iqolb.SweepTimeoutKind, Procs: benchProcs, TotalCS: 512,
+			Budgets: []iqolb.Time{200, 1000, 10000},
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -181,7 +187,9 @@ func BenchmarkAblationRetention(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepRetention(iqolb.Options{}, benchProcs, 512)
+		out, err = iqolb.Sweep(iqolb.Options{}, iqolb.SweepSpec{
+			Kind: iqolb.SweepRetentionKind, Procs: benchProcs, TotalCS: 512,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +203,9 @@ func BenchmarkAblationPredictor(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepPredictor(iqolb.Options{}, benchProcs, 512)
+		out, err = iqolb.Sweep(iqolb.Options{}, iqolb.SweepSpec{
+			Kind: iqolb.SweepPredictorKind, Procs: benchProcs, TotalCS: 512,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -208,7 +218,9 @@ func BenchmarkExtensionCollocation(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepCollocation(iqolb.Options{}, benchProcs, 512)
+		out, err = iqolb.Sweep(iqolb.Options{}, iqolb.SweepSpec{
+			Kind: iqolb.SweepCollocationKind, Procs: benchProcs, TotalCS: 512,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +234,9 @@ func BenchmarkExtensionGeneralized(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = iqolb.SweepGeneralized(iqolb.Options{}, benchProcs, 512)
+		out, err = iqolb.Sweep(iqolb.Options{}, iqolb.SweepSpec{
+			Kind: iqolb.SweepGeneralizedKind, Procs: benchProcs, TotalCS: 512,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -70,7 +71,7 @@ func main() {
 	}
 
 	sys, err := iqolb.SystemByName(*system)
-	fail(err)
+	usage(err)
 	spec := iqolb.Spec{
 		Bench:  *bench,
 		System: sys.Name,
@@ -84,7 +85,7 @@ func main() {
 
 	if *campaign {
 		kinds, err := iqolb.ParseFaultKinds(*faultsFlag)
-		fail(err)
+		usage(err)
 		rep, err := iqolb.RunCampaign(spec, iqolb.CampaignConfig{
 			Kinds:   kinds,
 			Seeds:   []uint64{*faultSeed},
@@ -103,7 +104,7 @@ func main() {
 	}
 	if *faultsFlag != "" {
 		kinds, err := iqolb.ParseFaultKinds(*faultsFlag)
-		fail(err)
+		usage(err)
 		spec.Faults = &iqolb.FaultPlan{
 			Seed:    *faultSeed,
 			Kinds:   kinds,
@@ -147,9 +148,25 @@ func main() {
 	}
 }
 
-func fail(err error) {
+// usage exits with the configuration-error code (the repo convention:
+// 0 success, 1 run failure, 2 unusable configuration, 3 deadlock).
+func usage(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iqolbsim:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
+}
+
+func fail(err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "iqolbsim:", err)
+	switch {
+	case errors.Is(err, iqolb.ErrDeadlock):
+		os.Exit(3)
+	case errors.Is(err, iqolb.ErrCycleLimit):
+		os.Exit(2)
+	}
+	os.Exit(1)
 }

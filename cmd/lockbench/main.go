@@ -1,0 +1,137 @@
+// Command lockbench replays the simulator's workload signatures against
+// the native lock library on the real machine, across a GOMAXPROCS
+// sweep, and writes a schema-versioned JSON artifact (BENCH_locks.json
+// by convention) that `report crosscheck` joins against a simulator
+// sweep.
+//
+//	lockbench                          # all signatures × all locks, table + BENCH_locks.json
+//	lockbench -procs 4 -json           # one machine size, JSON on stdout too
+//	lockbench -bench raytrace,hotlock -locks ticket,mcs -procs 2,4,8
+//
+// Exit codes follow the repo convention (see README): 0 success, 1 run
+// failure (including a mutual-exclusion violation), 2 unusable
+// configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"iqolb/internal/lockbench"
+	"iqolb/internal/workload"
+	"iqolb/locks"
+)
+
+func main() {
+	var (
+		benches  = flag.String("bench", "all", `comma-separated signature names, or "all" (Table 2 benchmarks + microbenchmarks)`)
+		lockList = flag.String("locks", "all", `comma-separated lock kinds, or "all" (tts ticket mcs clh adaptive)`)
+		procList = flag.String("procs", "4", "comma-separated GOMAXPROCS values to sweep")
+		scale    = flag.Int("scale", 1, "divide each signature's critical-section total")
+		seed     = flag.Uint64("seed", 1, "per-goroutine PRNG seed (operation sequence, not timing)")
+		out      = flag.String("o", "BENCH_locks.json", `artifact path ("" disables the file)`)
+		jsonOut  = flag.Bool("json", false, "print the JSON artifact on stdout instead of the table")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: lockbench [flags]")
+		os.Exit(2)
+	}
+
+	benchNames, err := resolveBenches(*benches)
+	usage(err)
+	kinds, err := resolveLocks(*lockList)
+	usage(err)
+	procs, err := resolveProcs(*procList)
+	usage(err)
+
+	results, err := lockbench.RunMatrix(benchNames, kinds, procs, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockbench:", err)
+		os.Exit(1)
+	}
+	file := lockbench.NewFile(results)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		if err := file.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lockbench: wrote %d results to %s\n", len(results), *out)
+	}
+	if *jsonOut {
+		if err := file.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(lockbench.Render(results))
+}
+
+// usage exits with the configuration-error code on a bad flag value.
+func usage(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockbench:", err)
+		os.Exit(2)
+	}
+}
+
+func resolveBenches(s string) ([]string, error) {
+	if s == "all" {
+		var names []string
+		for _, sp := range append(workload.Specs(), workload.MicroSpecs()...) {
+			if sp.Params.PollProcs > 0 {
+				continue // no native analogue for dedicated pollers
+			}
+			names = append(names, sp.Name)
+		}
+		return names, nil
+	}
+	names := strings.Split(s, ",")
+	for _, n := range names {
+		if _, err := workload.ByName(n); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+func resolveLocks(s string) ([]locks.Kind, error) {
+	if s == "all" {
+		return locks.Kinds(), nil
+	}
+	var kinds []locks.Kind
+	for _, n := range strings.Split(s, ",") {
+		k := locks.Kind(n)
+		if _, err := locks.New(k); err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+func resolveProcs(s string) ([]int, error) {
+	var procs []int
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad proc count %q", f)
+		}
+		procs = append(procs, p)
+	}
+	return procs, nil
+}

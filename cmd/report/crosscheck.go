@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"iqolb"
+	"iqolb/internal/experiments"
+	"iqolb/internal/lockbench"
+)
+
+// crosscheckCmd implements `report crosscheck`: join a native lockbench
+// artifact with a simulator sweep over the same workload signatures and
+// score whether the primitive ordering agrees — the differential oracle
+// between sim and metal.
+//
+// Exit codes: 0 success (agreement, or disagreement when not -strict; a
+// disagreement always carries an explanation), 1 run failure or -strict
+// disagreement, 2 unusable configuration or input, 3 simulated deadlock.
+func crosscheckCmd(args []string) {
+	fs := flag.NewFlagSet("report crosscheck", flag.ExitOnError)
+	var (
+		native   = fs.String("native", "BENCH_locks.json", "lockbench JSON artifact to cross-validate")
+		scale    = fs.Int("scale", 1, "divide the simulator workloads (native results are used as-is)")
+		jobs     = fs.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		noCache  = fs.Bool("no-cache", false, "always simulate; do not read or write the result cache")
+		cacheDir = fs.String("cache-dir", iqolb.DefaultCacheDir, "on-disk result cache location")
+		quiet    = fs.Bool("q", false, "suppress progress output on stderr")
+		jsonOut  = fs.Bool("json", false, "print the schema-versioned JSON report instead of the table")
+		outPath  = fs.String("o", "", "also write the JSON report to this path")
+		strict   = fs.Bool("strict", false, "exit 1 if any signature's primitive ordering disagrees")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: report crosscheck [flags]")
+		os.Exit(2)
+	}
+
+	file, err := lockbench.LoadFile(*native)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report crosscheck:", err)
+		fmt.Fprintln(os.Stderr, "report crosscheck: generate the artifact first: go run ./cmd/lockbench")
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{Jobs: *jobs, CacheDir: *cacheDir}
+	if *noCache {
+		opt.CacheDir = ""
+	}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+
+	rep, err := lockbench.Crosscheck(opt, file.Results, *scale)
+	if err != nil {
+		switch {
+		case errors.Is(err, iqolb.ErrDeadlock):
+			fmt.Fprintf(os.Stderr, "report crosscheck: %v\n", err)
+			os.Exit(3)
+		case errors.Is(err, iqolb.ErrCycleLimit):
+			fmt.Fprintf(os.Stderr, "report crosscheck: %v\n", err)
+			fmt.Fprintln(os.Stderr, "report crosscheck: use -scale to shrink the simulated workloads")
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "report crosscheck:", err)
+		os.Exit(1)
+	}
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report crosscheck:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "report crosscheck:", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "report crosscheck:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(lockbench.RenderReport(rep))
+	}
+	if *strict && rep.Disagreements > 0 {
+		fmt.Fprintf(os.Stderr, "report crosscheck: %d signature(s) disagree (-strict)\n", rep.Disagreements)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,12 @@ func traceCmd(args []string) {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "report trace:", err)
+		switch {
+		case errors.Is(err, iqolb.ErrDeadlock):
+			os.Exit(3)
+		case errors.Is(err, iqolb.ErrCycleLimit):
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 

@@ -34,7 +34,8 @@ func main() {
 	case 4:
 		out, rec, err = iqolb.Figure4()
 	default:
-		err = fmt.Errorf("unknown figure %d (want 2, 3 or 4)", *figure)
+		fmt.Fprintf(os.Stderr, "seqtrace: unknown figure %d (want 2, 3 or 4)\n", *figure)
+		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqtrace:", err)

@@ -20,13 +20,17 @@ func main() {
 	}
 	fmt.Println(out)
 
-	ret, err := iqolb.SweepRetention(iqolb.Options{}, procs, 512)
+	ret, err := iqolb.Sweep(iqolb.Options{}, iqolb.SweepSpec{
+		Kind: iqolb.SweepRetentionKind, Procs: procs, TotalCS: 512,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(ret)
 
-	pred, err := iqolb.SweepPredictor(iqolb.Options{}, procs, 512)
+	pred, err := iqolb.Sweep(iqolb.Options{}, iqolb.SweepSpec{
+		Kind: iqolb.SweepPredictorKind, Procs: procs, TotalCS: 512,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

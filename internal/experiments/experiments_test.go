@@ -209,19 +209,21 @@ func TestFigure4TraceShape(t *testing.T) {
 }
 
 func TestSweepsRunSmall(t *testing.T) {
-	if out, err := SweepScaling(Options{}, "hotlock", []int{1, 2, 4}, 8); err != nil || !strings.Contains(out, "procs") {
+	if out, err := Sweep(Options{}, SweepSpec{Kind: SweepScalingKind, Bench: "hotlock",
+		ProcCounts: []int{1, 2, 4}, Scale: 8}); err != nil || !strings.Contains(out, "procs") {
 		t.Errorf("scaling sweep: %v", err)
 	}
-	if out, err := SweepTimeout(Options{}, 4, 128, []engine.Time{500, 5000}); err != nil || !strings.Contains(out, "lock budget") {
+	if out, err := Sweep(Options{}, SweepSpec{Kind: SweepTimeoutKind, Procs: 4, TotalCS: 128,
+		Budgets: []engine.Time{500, 5000}}); err != nil || !strings.Contains(out, "lock budget") {
 		t.Errorf("timeout sweep: %v", err)
 	}
-	if out, err := SweepRetention(Options{}, 4, 128); err != nil || !strings.Contains(out, "retention") {
+	if out, err := Sweep(Options{}, SweepSpec{Kind: SweepRetentionKind, Procs: 4, TotalCS: 128}); err != nil || !strings.Contains(out, "retention") {
 		t.Errorf("retention sweep: %v", err)
 	}
-	if out, err := SweepCollocation(Options{}, 4, 128); err != nil || !strings.Contains(out, "collocated") {
+	if out, err := Sweep(Options{}, SweepSpec{Kind: SweepCollocationKind, Procs: 4, TotalCS: 128}); err != nil || !strings.Contains(out, "collocated") {
 		t.Errorf("collocation sweep: %v", err)
 	}
-	if out, err := SweepPredictor(Options{}, 4, 128); err != nil || !strings.Contains(out, "always-lock") {
+	if out, err := Sweep(Options{}, SweepSpec{Kind: SweepPredictorKind, Procs: 4, TotalCS: 128}); err != nil || !strings.Contains(out, "always-lock") {
 		t.Errorf("predictor sweep: %v", err)
 	}
 }
@@ -242,7 +244,7 @@ func TestScaleHelper(t *testing.T) {
 }
 
 func TestSweepGeneralizedShape(t *testing.T) {
-	out, err := SweepGeneralized(Options{}, 8, 256)
+	out, err := Sweep(Options{}, SweepSpec{Kind: SweepGeneralizedKind, Procs: 8, TotalCS: 256})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -157,53 +157,3 @@ func Sweep(opt Options, s SweepSpec) (string, error) {
 	}
 	panic("unreachable: Validate admitted unknown kind " + string(s.Kind))
 }
-
-// Deprecated compatibility wrappers for the positional-argument sweep
-// functions. New code should call Sweep with a SweepSpec.
-
-// SweepScaling runs one benchmark across processor counts for the main
-// systems.
-//
-// Deprecated: Use Sweep with SweepScalingKind.
-func SweepScaling(opt Options, benchName string, procCounts []int, scaleFactor int) (string, error) {
-	return Sweep(opt, SweepSpec{Kind: SweepScalingKind, Bench: benchName,
-		ProcCounts: procCounts, Scale: scaleFactor})
-}
-
-// SweepTimeout studies the §3.2/§3.3 delay time-out budgets.
-//
-// Deprecated: Use Sweep with SweepTimeoutKind.
-func SweepTimeout(opt Options, procs, totalCS int, budgets []engine.Time) (string, error) {
-	return Sweep(opt, SweepSpec{Kind: SweepTimeoutKind, Procs: procs,
-		TotalCS: totalCS, Budgets: budgets})
-}
-
-// SweepRetention studies queue retention vs. breakdown on false-shared
-// locks.
-//
-// Deprecated: Use Sweep with SweepRetentionKind.
-func SweepRetention(opt Options, procs, totalCS int) (string, error) {
-	return Sweep(opt, SweepSpec{Kind: SweepRetentionKind, Procs: procs, TotalCS: totalCS})
-}
-
-// SweepCollocation studies the §6 collocation extension.
-//
-// Deprecated: Use Sweep with SweepCollocationKind.
-func SweepCollocation(opt Options, procs, totalCS int) (string, error) {
-	return Sweep(opt, SweepSpec{Kind: SweepCollocationKind, Procs: procs, TotalCS: totalCS})
-}
-
-// SweepPredictor compares the §3.4 predictor against the always-lock
-// ablation.
-//
-// Deprecated: Use Sweep with SweepPredictorKind.
-func SweepPredictor(opt Options, procs, totalCS int) (string, error) {
-	return Sweep(opt, SweepSpec{Kind: SweepPredictorKind, Procs: procs, TotalCS: totalCS})
-}
-
-// SweepGeneralized evaluates the §6 Generalized IQOLB extension.
-//
-// Deprecated: Use Sweep with SweepGeneralizedKind.
-func SweepGeneralized(opt Options, procs, totalCS int) (string, error) {
-	return Sweep(opt, SweepSpec{Kind: SweepGeneralizedKind, Procs: procs, TotalCS: totalCS})
-}

@@ -1,0 +1,286 @@
+package lockbench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iqolb/internal/experiments"
+	"iqolb/internal/report"
+	"iqolb/internal/workload"
+	"iqolb/locks"
+)
+
+// CrosscheckSchemaVersion identifies the serialized Report layout.
+const CrosscheckSchemaVersion = 1
+
+// analogue maps a native lock kind to the simulated system realizing the
+// same hand-off policy. Exact marks a one-to-one correspondence; the two
+// inexact mappings (CLH has no simulated twin, the adaptive lock's
+// hardware relative is the IQOLB hand-off) are reported but excluded
+// from the agreement verdict.
+type analogue struct {
+	System string
+	Exact  bool
+}
+
+var analogues = map[string]analogue{
+	string(locks.KindTTS):      {"tts", true},
+	string(locks.KindTicket):   {"ticket", true},
+	string(locks.KindMCS):      {"mcs", true},
+	string(locks.KindCLH):      {"mcs", false},
+	string(locks.KindAdaptive): {"iqolb", false},
+}
+
+// SimKey identifies one simulator run the crosscheck needs.
+type SimKey struct {
+	Bench  string `json:"bench"`
+	Procs  int    `json:"procs"`
+	System string `json:"system"`
+}
+
+// CollectSim runs the simulator (through the parallel harness, so the
+// result cache applies) over every signature × system the native results
+// reference, and returns throughput in operations per kilocycle.
+func CollectSim(opt experiments.Options, results []Result, scale int) (map[SimKey]float64, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	need := make(map[SimKey]bool)
+	var keys []SimKey
+	for _, r := range results {
+		a, ok := analogues[r.Lock]
+		if !ok {
+			continue
+		}
+		k := SimKey{Bench: r.Bench, Procs: r.Procs, System: a.System}
+		if !need[k] {
+			need[k] = true
+			keys = append(keys, k)
+		}
+	}
+	specs := make([]experiments.Spec, len(keys))
+	for i, k := range keys {
+		specs[i] = experiments.Spec{Bench: k.Bench, System: k.System, Procs: k.Procs, Scale: scale}
+	}
+	simResults, _, err := experiments.RunSpecs(opt, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[SimKey]float64, len(keys))
+	for i, k := range keys {
+		spec, err := workload.ByName(k.Bench)
+		if err != nil {
+			return nil, err
+		}
+		p := experiments.Scale(spec.Params, scale, k.Procs)
+		ops := float64(p.Iterations) * float64(p.TotalCS)
+		if c := simResults[i].Cycles; c > 0 {
+			out[k] = ops / float64(c) * 1000
+		}
+	}
+	return out, nil
+}
+
+// Row is one lock's native-vs-sim cell in a signature check.
+type Row struct {
+	Lock      string `json:"lock"`
+	SimSystem string `json:"sim_system"`
+	Exact     bool   `json:"exact_analogue"`
+	// NativeThroughput is critical sections per second of wall time;
+	// SimThroughput is critical sections per thousand simulated cycles.
+	// Units differ by construction — only the relative columns compare.
+	NativeThroughput float64 `json:"native_ops_per_sec"`
+	SimThroughput    float64 `json:"sim_ops_per_kcycle"`
+	// NativeRel/SimRel normalize to the best primitive on this
+	// signature (1.00 = winner).
+	NativeRel float64 `json:"native_rel"`
+	SimRel    float64 `json:"sim_rel"`
+}
+
+// SignatureCheck is the differential verdict for one workload signature
+// at one machine size.
+type SignatureCheck struct {
+	Bench string `json:"bench"`
+	Procs int    `json:"procs"`
+	Rows  []Row  `json:"rows"`
+	// Rankings are over exact-analogue locks only, best first.
+	NativeRanking []string `json:"native_ranking"`
+	SimRanking    []string `json:"sim_ranking"`
+	WinnerAgree   bool     `json:"winner_agree"`
+	// PairAgreement is the fraction of exact-lock pairs ordered the same
+	// way by simulator and metal.
+	PairAgreement float64 `json:"pair_agreement"`
+	Agree         bool    `json:"agree"`
+	// Explanation is set on disagreement: which orderings flipped and
+	// the standing reasons the comparison can diverge.
+	Explanation string   `json:"explanation,omitempty"`
+	Notes       []string `json:"notes,omitempty"`
+}
+
+// Report is the schema-versioned sim-vs-metal crosscheck artifact.
+type Report struct {
+	SchemaVersion int              `json:"schema_version"`
+	SimScale      int              `json:"sim_scale"`
+	Signatures    []SignatureCheck `json:"signatures"`
+	Agreements    int              `json:"agreements"`
+	Disagreements int              `json:"disagreements"`
+}
+
+// BuildReport joins native results with the simulator throughputs and
+// scores primitive-ordering agreement per signature. Pure function — the
+// unit tests drive it with synthetic numbers.
+func BuildReport(native []Result, sim map[SimKey]float64, simScale int) *Report {
+	rep := &Report{SchemaVersion: CrosscheckSchemaVersion, SimScale: simScale}
+	order, groups := groupResults(native)
+	for _, gk := range order {
+		sc := SignatureCheck{Bench: gk.Bench, Procs: gk.Procs}
+		var bestNative, bestSim float64
+		type exactEntry struct {
+			lock          string
+			nativeT, simT float64
+		}
+		var exacts []exactEntry
+		for _, r := range groups[gk] {
+			a, ok := analogues[r.Lock]
+			if !ok {
+				sc.Notes = append(sc.Notes, fmt.Sprintf("%s: no simulated analogue, skipped", r.Lock))
+				continue
+			}
+			simT := sim[SimKey{Bench: gk.Bench, Procs: gk.Procs, System: a.System}]
+			row := Row{
+				Lock: r.Lock, SimSystem: a.System, Exact: a.Exact,
+				NativeThroughput: r.Throughput, SimThroughput: simT,
+			}
+			sc.Rows = append(sc.Rows, row)
+			if row.NativeThroughput > bestNative {
+				bestNative = row.NativeThroughput
+			}
+			if simT > bestSim {
+				bestSim = simT
+			}
+			if !a.Exact {
+				sc.Notes = append(sc.Notes, fmt.Sprintf(
+					"%s: inexact analogue (compared against sim %q), excluded from the verdict", r.Lock, a.System))
+				continue
+			}
+			if simT == 0 {
+				sc.Notes = append(sc.Notes, fmt.Sprintf("%s: no simulator result, excluded from the verdict", r.Lock))
+				continue
+			}
+			exacts = append(exacts, exactEntry{r.Lock, r.Throughput, simT})
+		}
+		for i := range sc.Rows {
+			if bestNative > 0 {
+				sc.Rows[i].NativeRel = sc.Rows[i].NativeThroughput / bestNative
+			}
+			if bestSim > 0 {
+				sc.Rows[i].SimRel = sc.Rows[i].SimThroughput / bestSim
+			}
+		}
+
+		nativeOrder := append([]exactEntry(nil), exacts...)
+		sort.SliceStable(nativeOrder, func(i, j int) bool { return nativeOrder[i].nativeT > nativeOrder[j].nativeT })
+		simOrder := append([]exactEntry(nil), exacts...)
+		sort.SliceStable(simOrder, func(i, j int) bool { return simOrder[i].simT > simOrder[j].simT })
+		for _, e := range nativeOrder {
+			sc.NativeRanking = append(sc.NativeRanking, e.lock)
+		}
+		for _, e := range simOrder {
+			sc.SimRanking = append(sc.SimRanking, e.lock)
+		}
+
+		var pairs, agreeing int
+		var flipped []string
+		for i := 0; i < len(exacts); i++ {
+			for j := i + 1; j < len(exacts); j++ {
+				pairs++
+				n := exacts[i].nativeT - exacts[j].nativeT
+				s := exacts[i].simT - exacts[j].simT
+				if (n >= 0) == (s >= 0) {
+					agreeing++
+				} else {
+					flipped = append(flipped, fmt.Sprintf("%s vs %s (native %.2fx, sim %.2fx)",
+						exacts[i].lock, exacts[j].lock,
+						ratio(exacts[i].nativeT, exacts[j].nativeT),
+						ratio(exacts[i].simT, exacts[j].simT)))
+				}
+			}
+		}
+		if pairs > 0 {
+			sc.PairAgreement = float64(agreeing) / float64(pairs)
+			sc.WinnerAgree = sc.NativeRanking[0] == sc.SimRanking[0]
+		}
+		sc.Agree = pairs > 0 && sc.WinnerAgree && sc.PairAgreement >= 2.0/3.0
+		if pairs > 0 && !sc.Agree {
+			sc.Explanation = fmt.Sprintf(
+				"ordering flipped for %s — expected divergence sources: the simulator models a 32-node "+
+					"bus-based SMP with cycle-exact backoff, while the native run sees a cache-coherent "+
+					"multicore through the Go scheduler (preemption, sync.Pool traffic, timer-granularity "+
+					"backoff); close calls (relative throughput within ~10%%) flip easily",
+				strings.Join(flipped, "; "))
+		}
+		if sc.Agree {
+			rep.Agreements++
+		} else {
+			rep.Disagreements++
+		}
+		rep.Signatures = append(rep.Signatures, sc)
+	}
+	return rep
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Crosscheck is the end-to-end oracle: simulate the signatures the
+// native results cover and score the ordering agreement.
+func Crosscheck(opt experiments.Options, native []Result, simScale int) (*Report, error) {
+	sim, err := CollectSim(opt, native, simScale)
+	if err != nil {
+		return nil, err
+	}
+	return BuildReport(native, sim, simScale), nil
+}
+
+// RenderReport formats the crosscheck as aligned tables plus a verdict
+// summary.
+func RenderReport(rep *Report) string {
+	var sb strings.Builder
+	for _, sc := range rep.Signatures {
+		t := report.NewTable(fmt.Sprintf("Crosscheck: %s, %d procs", sc.Bench, sc.Procs),
+			"lock", "sim system", "native ops/s", "native rel", "sim ops/kcyc", "sim rel", "verdict basis")
+		for _, r := range sc.Rows {
+			basis := "exact"
+			if !r.Exact {
+				basis = "analogue only"
+			}
+			t.Row(r.Lock, r.SimSystem,
+				fmt.Sprintf("%.0f", r.NativeThroughput), fmt.Sprintf("%.2f", r.NativeRel),
+				fmt.Sprintf("%.2f", r.SimThroughput), fmt.Sprintf("%.2f", r.SimRel),
+				basis)
+		}
+		t.Note("native ranking: %s", strings.Join(sc.NativeRanking, " > "))
+		t.Note("sim ranking:    %s", strings.Join(sc.SimRanking, " > "))
+		verdict := "DISAGREE"
+		if sc.Agree {
+			verdict = "agree"
+		}
+		t.Note("winner agree: %v, pair agreement: %.0f%% → %s", sc.WinnerAgree, sc.PairAgreement*100, verdict)
+		if sc.Explanation != "" {
+			t.Note("explanation: %s", sc.Explanation)
+		}
+		for _, n := range sc.Notes {
+			t.Note("%s", n)
+		}
+		sb.WriteString(t.String())
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "crosscheck: %d/%d signatures agree (schema v%d, sim scale %d)\n",
+		rep.Agreements, rep.Agreements+rep.Disagreements, rep.SchemaVersion, rep.SimScale)
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+package lockbench
+
+import (
+	"strings"
+	"testing"
+
+	"iqolb/internal/experiments"
+	"iqolb/locks"
+)
+
+// synthetic builds a native result with just the fields the crosscheck
+// reads.
+func synthetic(bench string, procs int, lock locks.Kind, tput float64) Result {
+	return Result{
+		SchemaVersion: ResultSchemaVersion,
+		Bench:         bench, Procs: procs, Lock: string(lock), Throughput: tput,
+	}
+}
+
+func TestBuildReportAgreement(t *testing.T) {
+	// Native and sim both order mcs > ticket > tts.
+	native := []Result{
+		synthetic("hotlock", 4, locks.KindTTS, 100),
+		synthetic("hotlock", 4, locks.KindTicket, 200),
+		synthetic("hotlock", 4, locks.KindMCS, 300),
+		synthetic("hotlock", 4, locks.KindCLH, 290),
+		synthetic("hotlock", 4, locks.KindAdaptive, 310),
+	}
+	sim := map[SimKey]float64{
+		{"hotlock", 4, "tts"}:    1.0,
+		{"hotlock", 4, "ticket"}: 2.0,
+		{"hotlock", 4, "mcs"}:    3.0,
+		{"hotlock", 4, "iqolb"}:  3.5,
+	}
+	rep := BuildReport(native, sim, 1)
+	if rep.SchemaVersion != CrosscheckSchemaVersion {
+		t.Fatalf("schema version %d", rep.SchemaVersion)
+	}
+	if len(rep.Signatures) != 1 || rep.Agreements != 1 || rep.Disagreements != 0 {
+		t.Fatalf("agreements %d, disagreements %d, signatures %d",
+			rep.Agreements, rep.Disagreements, len(rep.Signatures))
+	}
+	sc := rep.Signatures[0]
+	if !sc.Agree || !sc.WinnerAgree || sc.PairAgreement != 1 {
+		t.Fatalf("check = %+v", sc)
+	}
+	wantRank := []string{"mcs", "ticket", "tts"}
+	for i, w := range wantRank {
+		if sc.NativeRanking[i] != w || sc.SimRanking[i] != w {
+			t.Fatalf("rankings: native %v, sim %v", sc.NativeRanking, sc.SimRanking)
+		}
+	}
+	// Inexact analogues ride along as rows and notes, never in the verdict.
+	if len(sc.Rows) != 5 {
+		t.Fatalf("rows %d, want 5", len(sc.Rows))
+	}
+	notes := strings.Join(sc.Notes, "\n")
+	if !strings.Contains(notes, "clh") || !strings.Contains(notes, "adaptive") {
+		t.Fatalf("notes missing inexact analogues: %q", notes)
+	}
+	if sc.Explanation != "" {
+		t.Fatalf("explanation on agreement: %q", sc.Explanation)
+	}
+}
+
+func TestBuildReportDisagreement(t *testing.T) {
+	// The winner flips between sim and metal.
+	native := []Result{
+		synthetic("nullcs", 2, locks.KindTTS, 300),
+		synthetic("nullcs", 2, locks.KindTicket, 100),
+		synthetic("nullcs", 2, locks.KindMCS, 200),
+	}
+	sim := map[SimKey]float64{
+		{"nullcs", 2, "tts"}:    1.0,
+		{"nullcs", 2, "ticket"}: 2.0,
+		{"nullcs", 2, "mcs"}:    3.0,
+	}
+	rep := BuildReport(native, sim, 1)
+	if rep.Agreements != 0 || rep.Disagreements != 1 {
+		t.Fatalf("agreements %d, disagreements %d", rep.Agreements, rep.Disagreements)
+	}
+	sc := rep.Signatures[0]
+	if sc.Agree || sc.WinnerAgree {
+		t.Fatalf("check = %+v", sc)
+	}
+	if sc.Explanation == "" || !strings.Contains(sc.Explanation, "tts vs mcs") {
+		t.Fatalf("explanation = %q", sc.Explanation)
+	}
+}
+
+func TestBuildReportMissingSim(t *testing.T) {
+	// Only one exact analogue has a sim result: no pairs, so no verdict
+	// can be claimed — that counts as disagreement, with notes.
+	native := []Result{
+		synthetic("nullcs", 2, locks.KindTTS, 300),
+		synthetic("nullcs", 2, locks.KindTicket, 100),
+	}
+	sim := map[SimKey]float64{{"nullcs", 2, "tts"}: 1.0}
+	rep := BuildReport(native, sim, 1)
+	sc := rep.Signatures[0]
+	if sc.Agree || rep.Disagreements != 1 {
+		t.Fatalf("check = %+v", sc)
+	}
+	if !strings.Contains(strings.Join(sc.Notes, "\n"), "no simulator result") {
+		t.Fatalf("notes = %v", sc.Notes)
+	}
+}
+
+func TestBuildReportGroupsSignatures(t *testing.T) {
+	native := []Result{
+		synthetic("hotlock", 2, locks.KindTTS, 100),
+		synthetic("hotlock", 2, locks.KindMCS, 200),
+		synthetic("hotlock", 4, locks.KindTTS, 100),
+		synthetic("hotlock", 4, locks.KindMCS, 200),
+		synthetic("nullcs", 2, locks.KindTTS, 100),
+		synthetic("nullcs", 2, locks.KindMCS, 200),
+	}
+	sim := map[SimKey]float64{
+		{"hotlock", 2, "tts"}: 1, {"hotlock", 2, "mcs"}: 2,
+		{"hotlock", 4, "tts"}: 1, {"hotlock", 4, "mcs"}: 2,
+		{"nullcs", 2, "tts"}: 1, {"nullcs", 2, "mcs"}: 2,
+	}
+	rep := BuildReport(native, sim, 1)
+	if len(rep.Signatures) != 3 || rep.Agreements != 3 {
+		t.Fatalf("signatures %d, agreements %d", len(rep.Signatures), rep.Agreements)
+	}
+	out := RenderReport(rep)
+	if !strings.Contains(out, "3/3 signatures agree") {
+		t.Fatalf("render summary missing:\n%s", out)
+	}
+}
+
+func TestCollectSimSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	native := []Result{
+		synthetic("nullcs", 2, locks.KindTTS, 1),
+		synthetic("nullcs", 2, locks.KindMCS, 2),
+		synthetic("nullcs", 2, locks.KindCLH, 2), // shares the mcs sim run
+	}
+	sim, err := CollectSim(experiments.Options{Jobs: 2}, native, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim) != 2 {
+		t.Fatalf("sim runs %d, want 2 (tts, mcs): %v", len(sim), sim)
+	}
+	for k, v := range sim {
+		if v <= 0 {
+			t.Fatalf("%+v: throughput %f", k, v)
+		}
+	}
+}

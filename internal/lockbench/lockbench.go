@@ -1,0 +1,292 @@
+// Package lockbench replays the simulator's workload signatures against
+// the native lock library (package locks) on the real machine: the same
+// contention level, critical-section length, compute-to-synchronization
+// ratio and lock count as internal/workload, but with goroutines instead
+// of simulated processors and nanoseconds instead of cycles. Its results
+// feed the sim-vs-metal cross-validation (crosscheck.go): the simulator's
+// primitive ordering on a signature should predict the native ordering.
+package lockbench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"iqolb/internal/stats"
+	"iqolb/internal/workload"
+	"iqolb/locks"
+)
+
+// Config describes one native benchmark run.
+type Config struct {
+	// Bench names a Table 2 benchmark or microbenchmark (workload.ByName).
+	Bench string `json:"bench"`
+	// Lock selects the native primitive.
+	Lock locks.Kind `json:"lock"`
+	// Procs is GOMAXPROCS for the run; one worker goroutine per proc,
+	// matching the simulator's one-thread-per-processor model.
+	Procs int `json:"procs"`
+	// Scale divides the signature's critical-section total, exactly like
+	// the simulator's scale factor (0 or 1 = unscaled).
+	Scale int `json:"scale,omitempty"`
+	// Seed drives the per-goroutine lock-choice and jitter PRNGs, so the
+	// operation sequence (not the timing) is reproducible.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// resolveParams maps the config to the effective signature: scaled, and
+// with the critical-section total divisible by the worker count.
+func (c Config) resolveParams() (workload.Params, error) {
+	spec, err := workload.ByName(c.Bench)
+	if err != nil {
+		return workload.Params{}, err
+	}
+	p := spec.Params
+	if c.Procs < 1 {
+		return workload.Params{}, fmt.Errorf("lockbench: procs = %d", c.Procs)
+	}
+	if p.PollProcs > 0 {
+		return workload.Params{}, fmt.Errorf("lockbench: %q uses poller processors, which have no native analogue", c.Bench)
+	}
+	if s := c.Scale; s > 1 {
+		p.TotalCS /= s
+	}
+	p.TotalCS -= p.TotalCS % c.Procs
+	if p.TotalCS < c.Procs {
+		p.TotalCS = c.Procs
+	}
+	return p, nil
+}
+
+// work burns roughly n units of private compute. The unit is one cheap
+// loop iteration — the native stand-in for one simulated cycle of Work.
+func work(n int64) {
+	for i := int64(0); i < n; i++ {
+	}
+}
+
+// xorshift64* — the same generator family the fault planner uses;
+// deterministic per goroutine.
+type rng uint64
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return rng(seed)
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int64) int64 {
+	return int64(r.next() % uint64(n))
+}
+
+// chooseLock mirrors workload.emitLockChoice: HotPct of acquisitions hit
+// lock zero, the rest spread uniformly.
+func chooseLock(r *rng, p workload.Params) int {
+	switch {
+	case p.Locks == 1 || p.HotPct >= 100:
+		return 0
+	case p.HotPct == 0:
+		return int(r.intn(int64(p.Locks)))
+	default:
+		if r.intn(100) < int64(p.HotPct) {
+			return 0
+		}
+		return int(r.intn(int64(p.Locks)))
+	}
+}
+
+// barrier is a reusable (cyclic) barrier: the native analogue of the
+// workload's barrier episodes.
+type barrier struct {
+	mu      sync.Mutex
+	parties int
+	count   int
+	release chan struct{}
+}
+
+func newBarrier(parties int) *barrier {
+	return &barrier{parties: parties, release: make(chan struct{})}
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	ch := b.release
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.release = make(chan struct{})
+		close(ch)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	<-ch
+}
+
+// paddedCount is a per-lock protected counter on its own cache line, so
+// the verification counters don't add false sharing of their own.
+type paddedCount struct {
+	n uint64
+	_ [56]byte
+}
+
+// shard is one worker goroutine's private measurement state.
+type shard struct {
+	wait stats.Histogram // Lock() entry → lock held, ns
+	hold stats.Histogram // lock held → Unlock() entry, ns
+	ops  uint64
+}
+
+// Run executes one native benchmark: Procs worker goroutines replay the
+// signature against one lock kind, and the per-goroutine shards are
+// merged (stats.Histogram.Merge) into the result. The protected counters
+// are plain uint64s guarded only by the lock under test, so every run
+// doubles as a mutual-exclusion check — exactly like the simulated
+// kernels.
+func Run(cfg Config) (Result, error) {
+	p, err := cfg.resolveParams()
+	if err != nil {
+		return Result{}, err
+	}
+	oldProcs := runtime.GOMAXPROCS(cfg.Procs)
+	defer runtime.GOMAXPROCS(oldProcs)
+
+	// Hook callbacks run on the lock holder, so each lock's histogram is
+	// serialized by that lock; the per-lock shards merge after the run.
+	lks := make([]locks.Lock, p.Locks)
+	handoffs := make([]*stats.Histogram, p.Locks)
+	for i := range lks {
+		handoffs[i] = &stats.Histogram{}
+		l, err := locks.New(cfg.Lock, locks.WithHooks(&locks.Hooks{Handoff: handoffs[i]}))
+		if err != nil {
+			return Result{}, err
+		}
+		lks[i] = l
+	}
+	counters := make([]paddedCount, p.Locks)
+	shards := make([]shard, cfg.Procs)
+	bar := newBarrier(cfg.Procs)
+	csPerG := p.TotalCS / cfg.Procs
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sh := &shards[g]
+			r := newRNG(cfg.Seed + uint64(g)*0x9e3779b97f4a7c15 + 1)
+			for iter := 0; iter < p.Iterations; iter++ {
+				for cs := 0; cs < csPerG; cs++ {
+					think := p.ThinkWork
+					if p.ThinkJitter > 0 {
+						think += r.intn(p.ThinkJitter)
+					}
+					work(think)
+					idx := chooseLock(&r, p)
+					t0 := time.Now()
+					lks[idx].Lock()
+					t1 := time.Now()
+					counters[idx].n++ // guarded only by the lock under test
+					work(p.CSWork)
+					t2 := time.Now()
+					lks[idx].Unlock()
+					sh.wait.Add(uint64(t1.Sub(t0)))
+					sh.hold.Add(uint64(t2.Sub(t1)))
+					sh.ops++
+				}
+				for b := 0; b <= p.BarriersPerIter; b++ {
+					bar.wait()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	expected := uint64(p.Iterations) * uint64(p.TotalCS)
+	var sum uint64
+	for i := range counters {
+		sum += counters[i].n
+	}
+	if sum != expected {
+		return Result{}, fmt.Errorf("lockbench: %s/%s/p%d: protected counters sum to %d, want %d (mutual exclusion violated)",
+			cfg.Bench, cfg.Lock, cfg.Procs, sum, expected)
+	}
+
+	res := Result{
+		SchemaVersion:   ResultSchemaVersion,
+		Bench:           cfg.Bench,
+		Lock:            string(cfg.Lock),
+		Procs:           cfg.Procs,
+		Goroutines:      cfg.Procs,
+		Ops:             expected,
+		WallNS:          wall.Nanoseconds(),
+		Throughput:      float64(expected) / wall.Seconds(),
+		PerGoroutineOps: make([]uint64, cfg.Procs),
+	}
+	for g := range shards {
+		res.Wait.Merge(&shards[g].wait)
+		res.Hold.Merge(&shards[g].hold)
+		res.PerGoroutineOps[g] = shards[g].ops
+	}
+	for _, h := range handoffs {
+		res.Handoff.Merge(h)
+	}
+	res.Fairness = jain(res.PerGoroutineOps)
+	res.WaitP50, res.WaitP99 = res.Wait.Percentile(50), res.Wait.Percentile(99)
+	res.HandoffP50, res.HandoffP99 = res.Handoff.Percentile(50), res.Handoff.Percentile(99)
+	return res, nil
+}
+
+// jain is Jain's fairness index over per-goroutine operation counts:
+// 1 = perfectly even, 1/n = one goroutine did everything. With a fixed
+// per-goroutine quota this measures barrier-phase skew rather than lock
+// fairness, so the bench also reports hand-off tails; signatures with
+// uneven quotas would show up here.
+func jain(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		f := float64(x)
+		sum += f
+		sq += f * f
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// RunMatrix sweeps benches × locks × proc counts in order and returns
+// every result. Each configuration runs exactly once; errors abort the
+// sweep (a mutual-exclusion violation must not be summarized away).
+func RunMatrix(benches []string, kinds []locks.Kind, procs []int, scale int, seed uint64) ([]Result, error) {
+	var out []Result
+	for _, b := range benches {
+		for _, pr := range procs {
+			for _, k := range kinds {
+				res, err := Run(Config{Bench: b, Lock: k, Procs: pr, Scale: scale, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, res)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package lockbench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iqolb/internal/workload"
+	"iqolb/locks"
+)
+
+func TestResolveParams(t *testing.T) {
+	p, err := Config{Bench: "hotlock", Lock: locks.KindTTS, Procs: 3, Scale: 4}.resolveParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024/4 = 256, rounded down to a multiple of 3.
+	if p.TotalCS != 255 {
+		t.Fatalf("TotalCS = %d, want 255", p.TotalCS)
+	}
+	if _, err := (Config{Bench: "hotlock", Lock: locks.KindTTS}).resolveParams(); err == nil {
+		t.Fatal("procs 0 accepted")
+	}
+	if _, err := (Config{Bench: "doom", Lock: locks.KindTTS, Procs: 2}).resolveParams(); err == nil {
+		t.Fatal("unknown bench accepted")
+	}
+	// Extreme scale still leaves every worker at least one section.
+	p, err = Config{Bench: "nullcs", Lock: locks.KindTTS, Procs: 2, Scale: 1 << 20}.resolveParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalCS != 2 {
+		t.Fatalf("TotalCS = %d, want 2", p.TotalCS)
+	}
+}
+
+func TestChooseLockDistribution(t *testing.T) {
+	spec, err := workload.ByName("multilock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 4096; i++ {
+		idx := chooseLock(&r, spec.Params)
+		if idx < 0 || idx >= spec.Params.Locks {
+			t.Fatalf("lock index %d out of range", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != spec.Params.Locks {
+		t.Fatalf("uniform choice hit %d/%d locks", len(seen), spec.Params.Locks)
+	}
+
+	hot, _ := workload.ByName("hotlock")
+	r = newRNG(7)
+	for i := 0; i < 256; i++ {
+		if idx := chooseLock(&r, hot.Params); idx != 0 {
+			t.Fatalf("hotlock chose lock %d", idx)
+		}
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	for _, bench := range []string{"hotlock", "multilock"} {
+		for _, k := range []locks.Kind{locks.KindTTS, locks.KindMCS} {
+			cfg := Config{Bench: bench, Lock: k, Procs: 2, Scale: 8, Seed: 1}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := cfg.resolveParams()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantOps := uint64(p.Iterations) * uint64(p.TotalCS)
+			if res.Ops != wantOps {
+				t.Fatalf("%s/%s: ops = %d, want %d", bench, k, res.Ops, wantOps)
+			}
+			if res.SchemaVersion != ResultSchemaVersion {
+				t.Fatalf("schema version %d", res.SchemaVersion)
+			}
+			if res.Wait.Count != wantOps || res.Hold.Count != wantOps {
+				t.Fatalf("%s/%s: wait count %d, hold count %d, want %d",
+					bench, k, res.Wait.Count, res.Hold.Count, wantOps)
+			}
+			// One hand-off per acquisition after each lock's first, so the
+			// count sits in [ops - locks, ops - 1].
+			if res.Handoff.Count >= wantOps || res.Handoff.Count+uint64(p.Locks) < wantOps {
+				t.Fatalf("%s/%s: handoff count %d, ops %d, locks %d",
+					bench, k, res.Handoff.Count, wantOps, p.Locks)
+			}
+			if res.Throughput <= 0 || res.WallNS <= 0 {
+				t.Fatalf("%s/%s: throughput %f, wall %d", bench, k, res.Throughput, res.WallNS)
+			}
+			if res.Fairness <= 0 || res.Fairness > 1 {
+				t.Fatalf("%s/%s: fairness %f out of (0,1]", bench, k, res.Fairness)
+			}
+			var sum uint64
+			for _, n := range res.PerGoroutineOps {
+				sum += n
+			}
+			if sum != wantOps {
+				t.Fatalf("%s/%s: per-goroutine ops sum %d, want %d", bench, k, sum, wantOps)
+			}
+		}
+	}
+}
+
+func TestRunMatrixOrder(t *testing.T) {
+	results, err := RunMatrix([]string{"nullcs"}, []locks.Kind{locks.KindTTS, locks.KindTicket}, []int{1, 2}, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		procs int
+		lock  string
+	}{{1, "tts"}, {1, "ticket"}, {2, "tts"}, {2, "ticket"}}
+	if len(results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(results), len(want))
+	}
+	for i, w := range want {
+		if results[i].Procs != w.procs || results[i].Lock != w.lock {
+			t.Fatalf("result %d = %s/p%d, want %s/p%d",
+				i, results[i].Lock, results[i].Procs, w.lock, w.procs)
+		}
+	}
+}
+
+func TestJain(t *testing.T) {
+	if f := jain([]uint64{10, 10, 10, 10}); f != 1 {
+		t.Fatalf("even shares: %f", f)
+	}
+	if f := jain([]uint64{40, 0, 0, 0}); f != 0.25 {
+		t.Fatalf("single winner: %f", f)
+	}
+	if f := jain(nil); f != 0 {
+		t.Fatalf("empty: %f", f)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	res, err := Run(Config{Bench: "nullcs", Lock: locks.KindCLH, Procs: 2, Scale: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFile([]Result{res})
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_locks.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.Results[0].Ops != res.Ops || got.Results[0].Wait.Count != res.Wait.Count {
+		t.Fatalf("round trip mismatch: %+v", got.Results[0])
+	}
+
+	// Version checks: both the container and the per-result versions gate.
+	bad := bytes.Replace(buf.Bytes(), []byte(`"schema_version": 1`), []byte(`"schema_version": 99`), 1)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("wrong file schema version accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package lockbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"iqolb/internal/report"
+	"iqolb/internal/stats"
+)
+
+// Schema versions, following the harness artifact conventions: bump on
+// any field addition, removal, or change of meaning.
+const (
+	// ResultSchemaVersion identifies one native measurement's layout.
+	ResultSchemaVersion = 1
+	// FileSchemaVersion identifies the BENCH_locks.json container.
+	FileSchemaVersion = 1
+)
+
+// Result is one native benchmark execution's measurements. All latency
+// histograms are in nanoseconds (the simulator's analogues are in
+// cycles; the crosscheck compares orderings and ratios, never units).
+type Result struct {
+	SchemaVersion int    `json:"schema_version"`
+	Bench         string `json:"bench"`
+	Lock          string `json:"lock"`
+	// Procs is GOMAXPROCS for the run (== worker goroutines).
+	Procs      int    `json:"procs"`
+	Goroutines int    `json:"goroutines"`
+	Ops        uint64 `json:"ops"`
+	WallNS     int64  `json:"wall_ns"`
+	// Throughput is critical sections per second of wall time.
+	Throughput float64 `json:"throughput_ops_per_sec"`
+	// Fairness is Jain's index over per-goroutine completed operations.
+	Fairness        float64  `json:"fairness_jain"`
+	PerGoroutineOps []uint64 `json:"per_goroutine_ops"`
+	// Wait: Lock() entry → lock held. Hold: lock held → Unlock() entry.
+	// Handoff: previous Unlock() → next lock held, from the lock-side
+	// hooks (the native analogue of the simulator's LockHandoff).
+	Wait       stats.Histogram `json:"wait_ns"`
+	Hold       stats.Histogram `json:"hold_ns"`
+	Handoff    stats.Histogram `json:"handoff_ns"`
+	WaitP50    float64         `json:"wait_p50_ns"`
+	WaitP99    float64         `json:"wait_p99_ns"`
+	HandoffP50 float64         `json:"handoff_p50_ns"`
+	HandoffP99 float64         `json:"handoff_p99_ns"`
+}
+
+// File is the on-disk artifact (BENCH_locks.json): every result of one
+// lockbench invocation plus the host context needed to read it honestly.
+type File struct {
+	SchemaVersion int      `json:"schema_version"`
+	GoVersion     string   `json:"go_version"`
+	NumCPU        int      `json:"num_cpu"`
+	Results       []Result `json:"results"`
+}
+
+// NewFile wraps results in a schema-versioned container.
+func NewFile(results []Result) *File {
+	return &File{
+		SchemaVersion: FileSchemaVersion,
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		Results:       results,
+	}
+}
+
+// WriteJSON writes the container as indented JSON.
+func (f *File) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// LoadFile reads and version-checks a results file.
+func LoadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("lockbench: %s: %w", path, err)
+	}
+	if f.SchemaVersion != FileSchemaVersion {
+		return nil, fmt.Errorf("lockbench: %s: schema version %d, want %d", path, f.SchemaVersion, FileSchemaVersion)
+	}
+	for i := range f.Results {
+		if v := f.Results[i].SchemaVersion; v != ResultSchemaVersion {
+			return nil, fmt.Errorf("lockbench: %s: result %d has schema version %d, want %d", path, i, v, ResultSchemaVersion)
+		}
+	}
+	return &f, nil
+}
+
+// Render formats results as the CLI's human-readable table, grouped the
+// way the matrix ran: bench, then procs, then the lock rows.
+func Render(results []Result) string {
+	t := report.NewTable("Native lock benchmarks (wall time; histograms in ns)",
+		"bench", "procs", "lock", "ops", "ops/s", "wait p50", "wait p99", "handoff p50", "handoff p99", "fairness")
+	for _, r := range results {
+		t.Row(r.Bench, r.Procs, r.Lock, r.Ops,
+			fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%.0f", r.WaitP50), fmt.Sprintf("%.0f", r.WaitP99),
+			fmt.Sprintf("%.0f", r.HandoffP50), fmt.Sprintf("%.0f", r.HandoffP99),
+			fmt.Sprintf("%.3f", r.Fairness))
+	}
+	t.Note("wait: Lock() entry to lock held; handoff: previous Unlock() to next lock held")
+	return t.String()
+}
+
+// groupKey identifies one signature×machine-size cell of the matrix.
+type groupKey struct {
+	Bench string
+	Procs int
+}
+
+// groupResults buckets results by signature and proc count, with keys in
+// first-seen order.
+func groupResults(results []Result) ([]groupKey, map[groupKey][]Result) {
+	groups := make(map[groupKey][]Result)
+	var order []groupKey
+	for _, r := range results {
+		k := groupKey{r.Bench, r.Procs}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Bench != order[j].Bench {
+			return order[i].Bench < order[j].Bench
+		}
+		return order[i].Procs < order[j].Procs
+	})
+	return order, groups
+}

@@ -39,6 +39,30 @@ func (h *Histogram) Add(v uint64) {
 	h.buckets[b]++
 }
 
+// Merge folds every sample of o into h (bucket-exact: merging histograms
+// is equivalent to having Added all samples into one). o is unchanged; a
+// nil or empty o is a no-op. Used to combine per-goroutine shard
+// histograms after a native lockbench run.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if h.buckets == nil {
+		h.buckets = make(map[int]uint64, len(o.buckets))
+	}
+	for b, n := range o.buckets {
+		h.buckets[b] += n
+	}
+}
+
 // Mean returns the average sample, or zero with no samples.
 func (h *Histogram) Mean() float64 {
 	if h.Count == 0 {

@@ -150,3 +150,99 @@ func TestSCFailureRateEmpty(t *testing.T) {
 		t.Fatal("empty rate not zero")
 	}
 }
+
+// mergeEquals checks that h is sample-for-sample identical to a histogram
+// built by Adding all of vals directly.
+func mergeEquals(t *testing.T, h *Histogram, vals []uint64) {
+	t.Helper()
+	var want Histogram
+	for _, v := range vals {
+		want.Add(v)
+	}
+	hj, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, err := json.Marshal(&want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(hj) != string(wj) {
+		t.Fatalf("merged histogram %s, want %s", hj, wj)
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var h Histogram
+	h.Merge(nil)
+	h.Merge(&Histogram{})
+	if h.Count != 0 {
+		t.Fatalf("merging empties produced %d samples", h.Count)
+	}
+
+	// Empty receiver adopts the other side wholesale, including Min.
+	var o Histogram
+	for _, v := range []uint64{7, 900} {
+		o.Add(v)
+	}
+	h.Merge(&o)
+	mergeEquals(t, &h, []uint64{7, 900})
+
+	// Merging an empty histogram into a populated one changes nothing
+	// (in particular it must not clobber Min with the zero value).
+	h.Merge(&Histogram{})
+	mergeEquals(t, &h, []uint64{7, 900})
+}
+
+func TestHistogramMergeDisjointBuckets(t *testing.T) {
+	var lo, hi Histogram
+	loVals := []uint64{1, 2, 3}          // buckets 0–1
+	hiVals := []uint64{1 << 10, 1 << 12} // buckets 10, 12
+	for _, v := range loVals {
+		lo.Add(v)
+	}
+	for _, v := range hiVals {
+		hi.Add(v)
+	}
+	lo.Merge(&hi)
+	mergeEquals(t, &lo, append(append([]uint64{}, loVals...), hiVals...))
+	if lo.Min != 1 || lo.Max != 1<<12 {
+		t.Fatalf("min/max = %d/%d", lo.Min, lo.Max)
+	}
+	// The source is unchanged.
+	mergeEquals(t, &hi, hiVals)
+}
+
+func TestHistogramMergeOverlappingBuckets(t *testing.T) {
+	var a, b Histogram
+	aVals := []uint64{4, 5, 64, 100}
+	bVals := []uint64{5, 6, 7, 80, 5000}
+	for _, v := range aVals {
+		a.Add(v)
+	}
+	for _, v := range bVals {
+		b.Add(v)
+	}
+	a.Merge(&b)
+	all := append(append([]uint64{}, aVals...), bVals...)
+	mergeEquals(t, &a, all)
+	// Percentiles of the merge match a directly-built histogram too.
+	var want Histogram
+	for _, v := range all {
+		want.Add(v)
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got, w := a.Percentile(p), want.Percentile(p); got != w {
+			t.Fatalf("p%.0f = %v, want %v", p, got, w)
+		}
+	}
+}
+
+func TestHistogramMergeSelfDoubling(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{3, 3, 700} {
+		h.Add(v)
+	}
+	h.Merge(&h)
+	mergeEquals(t, &h, []uint64{3, 3, 700, 3, 3, 700})
+}

@@ -346,57 +346,10 @@ func Figure4() (string, *Recorder, error) { return experiments.Figure4() }
 // Sweep validates the spec and runs the selected parameter study through
 // the parallel harness, returning the rendered table. Validation
 // failures wrap ErrInvalidSweepSpec and carry field detail in a
-// *SweepSpecError. This is the single sweep entry point; the SweepX
-// functions below are deprecated positional-argument wrappers over it.
+// *SweepSpecError. This is the single sweep entry point.
 func Sweep(opt Options, s SweepSpec) (string, error) {
 	return experiments.Sweep(opt, s)
 }
 
 // SweepKinds lists every sweep study in a stable order.
 func SweepKinds() []SweepKind { return experiments.SweepKinds() }
-
-// SweepScaling runs a benchmark across processor counts under the main
-// systems (contention scaling).
-//
-// Deprecated: Use Sweep with SweepScalingKind.
-func SweepScaling(opt Options, bench string, procCounts []int, scaleFactor int) (string, error) {
-	return experiments.SweepScaling(opt, bench, procCounts, scaleFactor)
-}
-
-// SweepTimeout studies the delay time-out budgets (§3.2/§3.3).
-//
-// Deprecated: Use Sweep with SweepTimeoutKind.
-func SweepTimeout(opt Options, procs, totalCS int, budgets []Time) (string, error) {
-	return experiments.SweepTimeout(opt, procs, totalCS, budgets)
-}
-
-// SweepRetention studies queue retention vs. breakdown on false-shared
-// locks (§3.2/§3.3 alternatives).
-//
-// Deprecated: Use Sweep with SweepRetentionKind.
-func SweepRetention(opt Options, procs, totalCS int) (string, error) {
-	return experiments.SweepRetention(opt, procs, totalCS)
-}
-
-// SweepCollocation studies the §6 collocation extension.
-//
-// Deprecated: Use Sweep with SweepCollocationKind.
-func SweepCollocation(opt Options, procs, totalCS int) (string, error) {
-	return experiments.SweepCollocation(opt, procs, totalCS)
-}
-
-// SweepPredictor compares the §3.4 predictor against the always-lock
-// ablation.
-//
-// Deprecated: Use Sweep with SweepPredictorKind.
-func SweepPredictor(opt Options, procs, totalCS int) (string, error) {
-	return experiments.SweepPredictor(opt, procs, totalCS)
-}
-
-// SweepGeneralized evaluates the §6 Generalized IQOLB extension on a
-// reader/writer kernel.
-//
-// Deprecated: Use Sweep with SweepGeneralizedKind.
-func SweepGeneralized(opt Options, procs, totalCS int) (string, error) {
-	return experiments.SweepGeneralized(opt, procs, totalCS)
-}

@@ -1,0 +1,215 @@
+// Package locks is the native-Go counterpart of the simulated lock study:
+// the paper's delay-insertion and queue-hand-off ideas realized as real
+// goroutine spin locks. Each primitive is the software analogue of one of
+// the simulator's systems:
+//
+//   - TTS — test&test&set with exponential backoff: delay insertion at the
+//     requester, the software form of the paper's delayed-response mode
+//     (every waiter backs off instead of hammering the line).
+//   - Ticket — FIFO ticket lock with proportional backoff: the waiter
+//     inserts a delay sized to its queue distance, the closest software
+//     relative of the paper's "insert exactly the right delay" argument.
+//   - MCS / CLH — queue locks with direct releaser→waiter hand-off, the
+//     software analogue of IQOLB/QOLB's single-transfer lock grant: each
+//     waiter spins on a private flag and the release touches exactly one
+//     of them.
+//   - Adaptive — spin-then-queue (in the spirit of Fissile and
+//     Reciprocating locks): a brief bounded TTS phase for the uncontended
+//     case, falling back to an MCS-style queue in which only the queue
+//     head competes for the lock word.
+//
+// All primitives satisfy the one Lock interface and take optional
+// instrumentation hooks feeding internal/stats histograms. Hook callbacks
+// run only on the lock holder, so they are serialized per lock and an
+// unsynchronized stats.Histogram is safe to feed them.
+package locks
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"iqolb/internal/stats"
+)
+
+// Lock is one mutual-exclusion primitive. Lock blocks (by spinning and
+// yielding) until the calling goroutine holds the lock; Unlock releases
+// it. Unlike sync.Mutex, implementations here may hand the lock off in
+// FIFO order and may spin — they are built for short critical sections
+// under contention, matching the simulated workloads.
+type Lock interface {
+	// Name returns the primitive's registry name (see Kinds).
+	Name() string
+	Lock()
+	Unlock()
+}
+
+// Kind names a lock primitive in the registry.
+type Kind string
+
+// The registered primitives, in the canonical (report) order.
+const (
+	KindTTS      Kind = "tts"
+	KindTicket   Kind = "ticket"
+	KindMCS      Kind = "mcs"
+	KindCLH      Kind = "clh"
+	KindAdaptive Kind = "adaptive"
+)
+
+// Kinds lists every primitive in a stable order (CLI enumeration and
+// report rows).
+func Kinds() []Kind {
+	return []Kind{KindTTS, KindTicket, KindMCS, KindCLH, KindAdaptive}
+}
+
+// New builds a lock of the given kind.
+func New(k Kind, opts ...Option) (Lock, error) {
+	switch k {
+	case KindTTS:
+		return NewTTS(opts...), nil
+	case KindTicket:
+		return NewTicket(opts...), nil
+	case KindMCS:
+		return NewMCS(opts...), nil
+	case KindCLH:
+		return NewCLH(opts...), nil
+	case KindAdaptive:
+		return NewAdaptive(opts...), nil
+	}
+	return nil, fmt.Errorf("locks: unknown kind %q", string(k))
+}
+
+// Hooks are optional per-lock instrumentation sinks. Every histogram is
+// fed in nanoseconds; nil histograms are skipped, and a nil *Hooks turns
+// all timing off (no clock reads on the lock paths).
+//
+// All three are recorded by the goroutine that holds the lock — Wait and
+// Handoff right after acquiring, Hold just before releasing — so the
+// callbacks are serialized by the lock itself and the histograms need no
+// further synchronization.
+type Hooks struct {
+	// Wait records acquire latency: Lock() entry to lock held.
+	Wait *stats.Histogram
+	// Hold records lock held to Unlock().
+	Hold *stats.Histogram
+	// Handoff records the previous Unlock() to the next lock held — the
+	// native analogue of the simulator's release→acquire hand-off
+	// histogram.
+	Handoff *stats.Histogram
+}
+
+// Option configures a lock at construction.
+type Option func(*config)
+
+type config struct {
+	hooks *Hooks
+}
+
+// WithHooks attaches instrumentation hooks.
+func WithHooks(h *Hooks) Option {
+	return func(c *config) { c.hooks = h }
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// instr holds the per-lock instrumentation state. holdStart and
+// lastRelease are written only by the current holder; the releasing
+// atomic store of each lock publishes them to the next holder.
+type instr struct {
+	h           *Hooks
+	holdStart   time.Time
+	lastRelease time.Time
+}
+
+// start stamps the beginning of an acquire attempt (zero when
+// uninstrumented, so the fast path never reads the clock).
+func (i *instr) start() time.Time {
+	if i.h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// acquired records the wait and hand-off samples; called by the new
+// holder immediately after acquiring.
+func (i *instr) acquired(start time.Time) {
+	if i.h == nil {
+		return
+	}
+	now := time.Now()
+	if i.h.Wait != nil {
+		i.h.Wait.Add(uint64(now.Sub(start)))
+	}
+	if i.h.Handoff != nil && !i.lastRelease.IsZero() {
+		i.h.Handoff.Add(uint64(now.Sub(i.lastRelease)))
+	}
+	i.holdStart = now
+}
+
+// releasing records the hold sample and stamps the hand-off origin;
+// called by the holder immediately before the releasing store.
+func (i *instr) releasing() {
+	if i.h == nil {
+		return
+	}
+	now := time.Now()
+	if i.h.Hold != nil {
+		i.h.Hold.Add(uint64(now.Sub(i.holdStart)))
+	}
+	i.lastRelease = now
+}
+
+// Spin tuning. The units are loop iterations, not cycles: precision does
+// not matter, growth does.
+const (
+	spinInitial = 1 << 4
+	spinCap     = 1 << 12
+)
+
+// spinLoop burns roughly n loop iterations without touching memory. The
+// gc compiler does not eliminate counted empty loops.
+func spinLoop(n uint32) {
+	for i := uint32(0); i < n; i++ {
+	}
+}
+
+// backoff is capped exponential backoff: each pause spins twice as long
+// as the last, and once the cap is reached it also yields the processor
+// so oversubscribed runs (goroutines > GOMAXPROCS) keep making progress.
+type backoff struct {
+	n uint32
+}
+
+func (b *backoff) pause() {
+	if b.n == 0 {
+		b.n = spinInitial
+	}
+	spinLoop(b.n)
+	if b.n < spinCap {
+		b.n <<= 1
+	} else {
+		runtime.Gosched()
+	}
+}
+
+// waitSpin is the polite flag-polling loop used by the queue locks: short
+// constant spins with a periodic yield (the waiter is next in line, so
+// long backoff would only stretch the hand-off it is about to receive).
+type waitSpin struct {
+	rounds uint32
+}
+
+func (w *waitSpin) pause() {
+	w.rounds++
+	if w.rounds%64 == 0 {
+		runtime.Gosched()
+		return
+	}
+	spinLoop(spinInitial)
+}
