@@ -1,0 +1,147 @@
+// Command lockload replays workload signatures over N real TCP client
+// connections against a lock-lease server and writes a schema-versioned
+// JSON artifact (BENCH_service.json by convention): throughput, p50/p99/
+// p99.9 client-observed grant latency, Jain fairness, and shed/degrade
+// counters.
+//
+//	lockload                                   # hotlock, 8 clients, handoff vs broadcast
+//	lockload -bench hotlock -clients 4,8,16 -policy both
+//	lockload -addr 127.0.0.1:7007 -clients 8   # against an external lockserve
+//
+// With -policy both (the default) each configuration runs under both
+// grant policies — the direct releaser→waiter hand-off and the
+// broadcast-wakeup baseline — which is the serving-layer rendition of
+// the paper's queue-based-locking vs test&set comparison.
+//
+// Exit codes follow the repo convention (see README): 0 success, 1 run
+// failure, 2 unusable configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"iqolb/internal/loadgen"
+	"iqolb/internal/service"
+	"iqolb/locks"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "hotlock", "workload signature name")
+		clientList = flag.String("clients", "8", "comma-separated client counts to sweep")
+		policyFlag = flag.String("policy", "both", `grant policy: "handoff", "broadcast", or "both" (in-process server only)`)
+		lockKind   = flag.String("lock", "mcs", "shard guard primitive (in-process server only)")
+		shards     = flag.Int("shards", 8, "server shard count (in-process server only)")
+		queue      = flag.Int("queue", 64, "admission queue depth per shard (in-process server only)")
+		scale      = flag.Int("scale", 1, "divide the signature's critical-section total")
+		seed       = flag.Uint64("seed", 1, "per-client PRNG seed (operation sequence, not timing)")
+		ttl        = flag.Duration("ttl", 0, "per-acquire lease TTL (0 = server default)")
+		maxWait    = flag.Duration("max-wait", 10*time.Second, "bound on each queued wait")
+		addr       = flag.String("addr", "", "external lockserve address (empty = in-process server per run)")
+		out        = flag.String("o", "BENCH_service.json", `artifact path ("" disables the file)`)
+		jsonOut    = flag.Bool("json", false, "print the JSON artifact on stdout instead of the table")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: lockload [flags]")
+		os.Exit(2)
+	}
+
+	clients, err := resolveClients(*clientList)
+	usage(err)
+	policies, err := resolvePolicies(*policyFlag, *addr)
+	usage(err)
+	kind := locks.Kind(*lockKind)
+	if _, err := locks.New(kind); err != nil {
+		usage(err)
+	}
+
+	var results []loadgen.Result
+	for _, n := range clients {
+		for _, pol := range policies {
+			res, err := loadgen.Run(loadgen.Config{
+				Bench:      *bench,
+				Clients:    n,
+				Addr:       *addr,
+				Shards:     *shards,
+				Lock:       kind,
+				Policy:     pol,
+				QueueDepth: *queue,
+				Scale:      *scale,
+				Seed:       *seed,
+				TTL:        *ttl,
+				MaxWait:    *maxWait,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lockload:", err)
+				os.Exit(1)
+			}
+			results = append(results, res)
+		}
+	}
+
+	file := loadgen.NewFile(results)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockload:", err)
+			os.Exit(1)
+		}
+		if err := file.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "lockload:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lockload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lockload: wrote %d results to %s\n", len(results), *out)
+	}
+	if *jsonOut {
+		if err := file.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lockload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(loadgen.Render(results))
+}
+
+func usage(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockload:", err)
+		os.Exit(2)
+	}
+}
+
+func resolveClients(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad client count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func resolvePolicies(s, addr string) ([]service.Policy, error) {
+	if s == "both" {
+		if addr != "" {
+			return nil, fmt.Errorf(`-policy both needs an in-process server (the policy is fixed by the external server); pick "handoff" or "broadcast"`)
+		}
+		return []service.Policy{service.PolicyHandoff, service.PolicyBroadcast}, nil
+	}
+	p, err := service.ParsePolicy(s)
+	if err != nil {
+		return nil, err
+	}
+	return []service.Policy{p}, nil
+}

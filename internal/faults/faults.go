@@ -198,7 +198,7 @@ type Injection struct {
 // for concurrent use (the event engine is single-threaded).
 type Injector struct {
 	plan    Plan
-	rng     uint64
+	rng     Stream
 	enabled [numKinds]bool
 	log     []Injection
 }
@@ -212,7 +212,7 @@ func NewInjector(p *Plan) (*Injector, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	in := &Injector{plan: *p, rng: seedMix(p.Seed)}
+	in := &Injector{plan: *p, rng: NewStream(p.Seed)}
 	for _, k := range p.Kinds {
 		in.enabled[k] = true
 	}
@@ -232,14 +232,44 @@ func seedMix(seed uint64) uint64 {
 	return z
 }
 
-// next advances the xorshift64* PRNG.
-func (in *Injector) next() uint64 {
-	x := in.rng
+// Stream is the injection PRNG — seedMix (splitmix64 finalizer) into
+// xorshift64* — exported so other deterministic chaos harnesses (the
+// service fault campaigns) draw from the exact generator the simulator
+// campaigns use. The zero value is invalid; use NewStream.
+type Stream struct {
+	state uint64
+}
+
+// NewStream seeds a stream; equal seeds yield equal draw sequences.
+func NewStream(seed uint64) Stream {
+	return Stream{state: seedMix(seed)}
+}
+
+// Next advances the xorshift64* PRNG.
+func (s *Stream) Next() uint64 {
+	x := s.state
 	x ^= x << 13
 	x ^= x >> 7
 	x ^= x << 17
-	in.rng = x
+	s.state = x
 	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a draw in [0, n); n must be positive.
+func (s *Stream) Intn(n int64) int64 {
+	return int64(s.Next() % uint64(n))
+}
+
+// Chance rolls an event with probability p (clamped to [0, 1]).
+func (s *Stream) Chance(p float64) bool {
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	// Top 53 bits → uniform float in [0, 1).
+	return float64(s.Next()>>11)/(1<<53) < p
 }
 
 // Enabled reports whether the plan arms kind (without consuming PRNG
@@ -262,8 +292,7 @@ func (in *Injector) Fire(k Kind, cycle uint64) bool {
 		return false
 	}
 	if r := in.plan.rate(); r < 1 {
-		// Top 53 bits → uniform float in [0, 1).
-		if float64(in.next()>>11)/(1<<53) >= r {
+		if !in.rng.Chance(r) {
 			return false
 		}
 	}

@@ -191,3 +191,72 @@ func TestCountsString(t *testing.T) {
 		t.Errorf("CountsString = %q", got)
 	}
 }
+
+func TestStreamDeterminism(t *testing.T) {
+	a, b := NewStream(42), NewStream(42)
+	for i := 0; i < 64; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+	c := NewStream(43)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("different seeds produced identical streams")
+	}
+	// Zero seed is valid (seedMix keeps the state nonzero).
+	z := NewStream(0)
+	if z.Next() == 0 && z.Next() == 0 {
+		t.Fatal("zero seed produced a dead stream")
+	}
+}
+
+func TestStreamIntnChance(t *testing.T) {
+	s := NewStream(7)
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) hit %d/10 values", len(seen))
+	}
+	if !s.Chance(1) || s.Chance(0) {
+		t.Fatal("Chance boundaries wrong")
+	}
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if s.Chance(0.3) {
+			hits++
+		}
+	}
+	if hits < 2500 || hits > 3500 {
+		t.Fatalf("Chance(0.3) hit %d/10000", hits)
+	}
+}
+
+// TestInjectorMatchesStream pins that the injector consumes exactly the
+// exported Stream: rate rolls draw from NewStream(plan.Seed) in firing
+// order, so external chaos harnesses can predict (and share) schedules.
+func TestInjectorMatchesStream(t *testing.T) {
+	plan := &Plan{Seed: 11, Kinds: []Kind{StuckDelay}, Rate: 0.5}
+	in, err := NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewStream(11)
+	for cycle := uint64(0); cycle < 256; cycle++ {
+		want := ref.Chance(0.5)
+		if got := in.Fire(StuckDelay, cycle); got != want {
+			t.Fatalf("cycle %d: Fire = %v, reference stream says %v", cycle, got, want)
+		}
+	}
+}

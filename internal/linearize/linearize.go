@@ -1,0 +1,140 @@
+// Package linearize implements a Wing–Gong linearizability checker with
+// Lowe's memoization: given a history of concurrent operations (call and
+// return timestamps plus inputs/outputs) and a sequential model, it
+// searches for a legal sequential order that respects real-time
+// precedence. It is the service-layer counterpart of internal/check's
+// differential lock oracle — that one compares two interleaved
+// executions step by step; this one validates a single concurrent
+// execution against a specification after the fact.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op is one completed operation in a history. Call and Ret are logical
+// timestamps from any monotonic source (the harnesses use a shared
+// atomic counter): op A precedes op B in real time iff A.Ret < B.Call.
+type Op struct {
+	// ClientID identifies the issuing client (for reporting only; the
+	// checker does not assume per-client ordering beyond timestamps).
+	ClientID int
+	Call     int64
+	Ret      int64
+	// Input and Output are interpreted solely by the Model.
+	Input  any
+	Output any
+}
+
+// Model is a sequential specification. Implementations must treat state
+// as immutable: Step returns a fresh state (or the same one unchanged)
+// rather than mutating its argument, because the checker backtracks.
+type Model interface {
+	// Init returns the initial sequential state.
+	Init() any
+	// Step applies one operation to the state. ok reports whether the
+	// (input, output) pair is legal from this state.
+	Step(state any, input, output any) (next any, ok bool)
+	// Key returns a canonical string for the state, used to memoize
+	// explored (linearized-set, state) pairs. States that behave
+	// identically should share a key.
+	Key(state any) string
+}
+
+// maxOps bounds history size: the memoization mask is a uint64 bitmap.
+const maxOps = 64
+
+// Check reports whether the history is linearizable with respect to the
+// model. On failure it returns a human-readable explanation listing the
+// minimal frontier the search could not extend past.
+func Check(m Model, history []Op) (bool, string) {
+	n := len(history)
+	if n == 0 {
+		return true, ""
+	}
+	if n > maxOps {
+		return false, fmt.Sprintf("linearize: history has %d ops, checker bound is %d", n, maxOps)
+	}
+	ops := make([]Op, n)
+	copy(ops, history)
+	// Deterministic exploration order: by call time, then return time.
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].Call != ops[j].Call {
+			return ops[i].Call < ops[j].Call
+		}
+		return ops[i].Ret < ops[j].Ret
+	})
+
+	type frame struct {
+		mask  uint64 // bitmap of linearized ops
+		state any
+	}
+	seen := make(map[string]bool)
+	full := uint64(1)<<uint(n) - 1
+
+	var best uint64 // largest linearized set reached, for diagnostics
+	var bestCount int
+
+	stack := []frame{{0, m.Init()}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.mask == full {
+			return true, ""
+		}
+		if c := popcount(f.mask); c > bestCount {
+			bestCount, best = c, f.mask
+		}
+		// minRet: the earliest return among pending ops. Any pending op
+		// whose call precedes it is a candidate to linearize next; an op
+		// calling after minRet cannot be reordered before that return.
+		minRet := int64(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if f.mask&(1<<uint(i)) == 0 && ops[i].Ret < minRet {
+				minRet = ops[i].Ret
+			}
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if f.mask&bit != 0 || ops[i].Call > minRet {
+				continue
+			}
+			next, ok := m.Step(f.state, ops[i].Input, ops[i].Output)
+			if !ok {
+				continue
+			}
+			nm := f.mask | bit
+			memo := fmt.Sprintf("%x|%s", nm, m.Key(next))
+			if seen[memo] {
+				continue
+			}
+			seen[memo] = true
+			stack = append(stack, frame{nm, next})
+		}
+	}
+	return false, explain(ops, best)
+}
+
+// explain describes the failure frontier: which ops linearized, which
+// could not be placed.
+func explain(ops []Op, mask uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "no linearization found; best prefix linearized %d/%d ops; stuck pending ops:\n", popcount(mask), len(ops))
+	for i, op := range ops {
+		if mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  client %d [%d,%d] %v -> %v\n", op.ClientID, op.Call, op.Ret, op.Input, op.Output)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

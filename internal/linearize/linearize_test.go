@@ -1,0 +1,100 @@
+package linearize
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// regModel is a single int register with write(v) and read()->v, the
+// textbook model for exercising the checker.
+type regModel struct{}
+
+type regIn struct {
+	write bool
+	v     int
+}
+
+func (regModel) Init() any { return 0 }
+
+func (regModel) Step(state any, input, output any) (any, bool) {
+	s := state.(int)
+	in := input.(regIn)
+	if in.write {
+		return in.v, true
+	}
+	return s, output.(int) == s
+}
+
+func (regModel) Key(state any) string { return fmt.Sprint(state.(int)) }
+
+func TestRegisterLinearizable(t *testing.T) {
+	// w(1) concurrent with r()->1 then r()->0 is fine if the second read
+	// overlaps the write (write linearizes between them... no: 1 then 0
+	// needs the write AFTER the second read but BEFORE the first — only
+	// legal if both reads overlap the write).
+	h := []Op{
+		{ClientID: 0, Call: 0, Ret: 10, Input: regIn{write: true, v: 1}},
+		{ClientID: 1, Call: 1, Ret: 3, Input: regIn{}, Output: 1},
+		{ClientID: 1, Call: 4, Ret: 9, Input: regIn{}, Output: 0},
+	}
+	if ok, why := Check(regModel{}, h); ok {
+		t.Fatalf("read 1-then-0 with the second read after the write's effect should not linearize: %s", why)
+	}
+	// r()->0 then r()->1, both overlapping w(1): linearizable.
+	h = []Op{
+		{ClientID: 0, Call: 0, Ret: 10, Input: regIn{write: true, v: 1}},
+		{ClientID: 1, Call: 1, Ret: 3, Input: regIn{}, Output: 0},
+		{ClientID: 1, Call: 4, Ret: 9, Input: regIn{}, Output: 1},
+	}
+	if ok, why := Check(regModel{}, h); !ok {
+		t.Fatalf("valid history rejected: %s", why)
+	}
+}
+
+func TestRegisterRealTimeOrder(t *testing.T) {
+	// The write strictly precedes the read; a stale read is a violation.
+	h := []Op{
+		{ClientID: 0, Call: 0, Ret: 1, Input: regIn{write: true, v: 7}},
+		{ClientID: 1, Call: 2, Ret: 3, Input: regIn{}, Output: 0},
+	}
+	ok, why := Check(regModel{}, h)
+	if ok {
+		t.Fatal("stale read after completed write accepted")
+	}
+	if !strings.Contains(why, "client 1") {
+		t.Fatalf("diagnostic does not name the stuck op: %s", why)
+	}
+	// Fresh read is fine.
+	h[1].Output = 7
+	if ok, why := Check(regModel{}, h); !ok {
+		t.Fatalf("fresh read rejected: %s", why)
+	}
+}
+
+func TestEmptyAndBounds(t *testing.T) {
+	if ok, _ := Check(regModel{}, nil); !ok {
+		t.Fatal("empty history not linearizable")
+	}
+	big := make([]Op, maxOps+1)
+	for i := range big {
+		big[i] = Op{Call: int64(2 * i), Ret: int64(2*i + 1), Input: regIn{write: true, v: i}}
+	}
+	if ok, why := Check(regModel{}, big); ok || !strings.Contains(why, "bound") {
+		t.Fatalf("oversized history: ok=%v why=%s", ok, why)
+	}
+}
+
+// TestMemoization sanity-checks that heavy overlap (all ops concurrent)
+// still terminates quickly: 12 concurrent writes have 12! orders, far
+// beyond a naive search, but the memo collapses them.
+func TestMemoization(t *testing.T) {
+	var h []Op
+	for i := 0; i < 12; i++ {
+		h = append(h, Op{ClientID: i, Call: 0, Ret: 100, Input: regIn{write: true, v: i % 3}})
+	}
+	h = append(h, Op{ClientID: 99, Call: 101, Ret: 102, Input: regIn{}, Output: 1})
+	if ok, why := Check(regModel{}, h); !ok {
+		t.Fatalf("concurrent writes + read rejected: %s", why)
+	}
+}

@@ -1,0 +1,262 @@
+// Package loadgen is the closed-loop load generator for the lock-lease
+// service: it replays internal/workload signatures over N real TCP
+// client connections against a lockserve-protocol server (in-process by
+// default, or any -addr), measuring client-observed grant latency,
+// throughput, and fairness. It is the serving-layer sibling of
+// internal/lockbench — same signatures, same seeded PRNG family, but
+// the contention point is a network lease service instead of an
+// in-process lock.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"iqolb/internal/faults"
+	"iqolb/internal/service"
+	"iqolb/internal/stats"
+	"iqolb/internal/workload"
+	"iqolb/locks"
+)
+
+// Config describes one load run.
+type Config struct {
+	// Bench names a workload signature (workload.ByName).
+	Bench string `json:"bench"`
+	// Clients is the number of concurrent closed-loop TCP clients.
+	Clients int `json:"clients"`
+	// Addr targets an external lockserve instance; empty spins an
+	// in-process server on a loopback ephemeral port (still real TCP).
+	Addr string `json:"addr,omitempty"`
+	// Server shape (ignored when Addr is set).
+	Shards     int            `json:"shards,omitempty"`
+	Lock       locks.Kind     `json:"lock,omitempty"`
+	Policy     service.Policy `json:"policy,omitempty"`
+	QueueDepth int            `json:"queue_depth,omitempty"`
+	// Scale divides the signature's critical-section total (0 or 1 =
+	// unscaled), exactly like lockbench.
+	Scale int `json:"scale,omitempty"`
+	// Seed drives the per-client PRNGs (resource choice and think
+	// jitter); the operation sequence is reproducible, the timing is not.
+	Seed uint64 `json:"seed,omitempty"`
+	// TTL is the per-acquire lease TTL (0 = server default).
+	TTL time.Duration `json:"ttl,omitempty"`
+	// MaxWait bounds each queued wait (0 = 10s).
+	MaxWait time.Duration `json:"max_wait,omitempty"`
+}
+
+// resolveParams maps the config onto the effective signature, mirroring
+// lockbench.resolveParams: scaled, divisible by the client count.
+func (c Config) resolveParams() (workload.Params, error) {
+	spec, err := workload.ByName(c.Bench)
+	if err != nil {
+		return workload.Params{}, err
+	}
+	p := spec.Params
+	if c.Clients < 1 {
+		return workload.Params{}, fmt.Errorf("loadgen: clients = %d", c.Clients)
+	}
+	if p.PollProcs > 0 {
+		return workload.Params{}, fmt.Errorf("loadgen: %q uses poller processors, which have no service analogue", c.Bench)
+	}
+	if s := c.Scale; s > 1 {
+		p.TotalCS /= s
+	}
+	p.TotalCS -= p.TotalCS % c.Clients
+	if p.TotalCS < c.Clients {
+		p.TotalCS = c.Clients
+	}
+	return p, nil
+}
+
+// work burns roughly n units of private compute (one cheap loop
+// iteration per simulated cycle, as in lockbench).
+func work(n int64) {
+	for i := int64(0); i < n; i++ {
+	}
+}
+
+// clientShard is one client's private measurement state.
+type clientShard struct {
+	grantWait stats.Histogram // acquire issue → lease granted, ns
+	grants    uint64
+	sheds     uint64
+	timeouts  uint64
+	errs      uint64
+	lastErr   error
+}
+
+// Run executes one load run and returns its result. With no Addr it
+// boots an in-process service + TCP server for the duration of the run
+// and folds the server's counter snapshot into the result.
+func Run(cfg Config) (Result, error) {
+	p, err := cfg.resolveParams()
+	if err != nil {
+		return Result{}, err
+	}
+	maxWait := cfg.MaxWait
+	if maxWait == 0 {
+		maxWait = 10 * time.Second
+	}
+
+	addr := cfg.Addr
+	var svc *service.Service
+	var srv *service.Server
+	if addr == "" {
+		shards := cfg.Shards
+		if shards == 0 {
+			shards = 8
+		}
+		queue := cfg.QueueDepth
+		if queue == 0 {
+			queue = 64
+		}
+		svc, err = service.New(service.Config{
+			Shards:     shards,
+			Lock:       cfg.Lock,
+			Policy:     cfg.Policy,
+			QueueDepth: queue,
+			DefaultTTL: 30 * time.Second,
+			MaxTTL:     time.Minute,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			svc.Close()
+			return Result{}, err
+		}
+		addr = ln.Addr().String()
+		srv = service.NewServer(svc)
+		go srv.Serve(ln)
+		defer func() {
+			srv.Close()
+			svc.Close()
+		}()
+	}
+
+	// Connect every client before starting the clock.
+	clients := make([]*service.Client, cfg.Clients)
+	for i := range clients {
+		c, err := service.Dial(addr)
+		if err != nil {
+			for _, c := range clients[:i] {
+				c.Close()
+			}
+			return Result{}, fmt.Errorf("loadgen: dial client %d: %w", i, err)
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	shards := make([]clientShard, cfg.Clients)
+	csPerClient := p.TotalCS / cfg.Clients
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < cfg.Clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sh := &shards[g]
+			cl := clients[g]
+			owner := fmt.Sprintf("client-%d", g)
+			// Same PRNG family and per-actor splitting as lockbench.
+			str := faults.NewStream(cfg.Seed + uint64(g)*0x9e3779b97f4a7c15 + 1)
+			for iter := 0; iter < p.Iterations; iter++ {
+				for cs := 0; cs < csPerClient; cs++ {
+					think := p.ThinkWork
+					if p.ThinkJitter > 0 {
+						think += str.Intn(p.ThinkJitter)
+					}
+					work(think)
+					res := fmt.Sprintf("res-%d", p.PickLock(str.Intn))
+					t0 := time.Now()
+					lease, err := cl.Acquire(res, owner, service.AcquireOptions{
+						TTL:     cfg.TTL,
+						Wait:    true,
+						MaxWait: maxWait,
+					})
+					if err != nil {
+						switch {
+						case isShed(err):
+							sh.sheds++
+						case isTimeout(err):
+							sh.timeouts++
+						default:
+							sh.errs++
+							sh.lastErr = err
+						}
+						continue
+					}
+					sh.grantWait.Add(uint64(time.Since(t0)))
+					sh.grants++
+					work(p.CSWork)
+					if err := cl.Release(res, lease.Token); err != nil {
+						sh.errs++
+						sh.lastErr = fmt.Errorf("release: %w", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := Result{
+		SchemaVersion: ResultSchemaVersion,
+		Bench:         cfg.Bench,
+		Lock:          string(cfg.Lock),
+		Policy:        string(cfg.Policy),
+		Clients:       cfg.Clients,
+		Shards:        cfg.Shards,
+		QueueDepth:    cfg.QueueDepth,
+		Seed:          cfg.Seed,
+		WallNS:        wall.Nanoseconds(),
+		PerClientOps:  make([]uint64, cfg.Clients),
+	}
+	var firstErr error
+	for g := range shards {
+		sh := &shards[g]
+		res.GrantWait.Merge(&sh.grantWait)
+		res.Grants += sh.grants
+		res.Sheds += sh.sheds
+		res.Timeouts += sh.timeouts
+		res.Errors += sh.errs
+		res.PerClientOps[g] = sh.grants
+		if firstErr == nil && sh.lastErr != nil {
+			firstErr = sh.lastErr
+		}
+	}
+	if firstErr != nil {
+		return Result{}, fmt.Errorf("loadgen: client error (%d total): %w", res.Errors, firstErr)
+	}
+	res.Throughput = float64(res.Grants) / wall.Seconds()
+	res.GrantP50 = res.GrantWait.Percentile(50)
+	res.GrantP99 = res.GrantWait.Percentile(99)
+	res.GrantP999 = res.GrantWait.Percentile(99.9)
+	res.Fairness = stats.Jain(res.PerClientOps)
+	if svc != nil {
+		snap := svc.Snapshot()
+		res.Server = &ServerTotals{
+			Policy:           string(svc.Policy()),
+			Counters:         snap.Totals,
+			DegradedShards:   snap.Degraded,
+			ServerGrantP99NS: snap.GrantWaitNS.Percentile(99),
+		}
+	}
+	return res, nil
+}
+
+func isShed(err error) bool {
+	return errors.Is(err, service.ErrShed) || errors.Is(err, service.ErrQueueFull) || errors.Is(err, service.ErrDegraded)
+}
+
+func isTimeout(err error) bool { return errors.Is(err, service.ErrWaitTimeout) }

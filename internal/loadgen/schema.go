@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"iqolb/internal/report"
+	"iqolb/internal/service"
+	"iqolb/internal/stats"
+)
+
+// Schema versions, following the harness artifact conventions: bump on
+// any field addition, removal, or change of meaning.
+const (
+	// ResultSchemaVersion identifies one load run's layout.
+	ResultSchemaVersion = 1
+	// FileSchemaVersion identifies the BENCH_service.json container.
+	FileSchemaVersion = 1
+)
+
+// ServerTotals folds the in-process server's counter snapshot into a
+// result (absent when the run targeted an external -addr).
+type ServerTotals struct {
+	Policy   string           `json:"policy"`
+	Counters service.Counters `json:"counters"`
+	// DegradedShards counts shards the starvation watchdog downgraded.
+	DegradedShards int `json:"degraded_shards"`
+	// ServerGrantP99NS is the server-side enqueue→grant p99, for
+	// separating queueing delay from network time.
+	ServerGrantP99NS float64 `json:"server_grant_p99_ns"`
+}
+
+// Result is one load run's measurements. Grant latency is
+// client-observed: acquire issue → lease granted, over real TCP.
+type Result struct {
+	SchemaVersion int    `json:"schema_version"`
+	Bench         string `json:"bench"`
+	Lock          string `json:"lock,omitempty"`
+	Policy        string `json:"policy,omitempty"`
+	Clients       int    `json:"clients"`
+	Shards        int    `json:"shards,omitempty"`
+	QueueDepth    int    `json:"queue_depth,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+	Grants        uint64 `json:"grants"`
+	Sheds         uint64 `json:"sheds"`
+	Timeouts      uint64 `json:"timeouts"`
+	Errors        uint64 `json:"errors"`
+	WallNS        int64  `json:"wall_ns"`
+	// Throughput is granted leases per second of wall time.
+	Throughput float64 `json:"throughput_grants_per_sec"`
+	// Fairness is Jain's index over per-client grant counts.
+	Fairness     float64  `json:"fairness_jain"`
+	PerClientOps []uint64 `json:"per_client_ops"`
+	// GrantWait: client-side acquire → granted, ns.
+	GrantWait stats.Histogram `json:"grant_wait_ns"`
+	GrantP50  float64         `json:"grant_p50_ns"`
+	GrantP99  float64         `json:"grant_p99_ns"`
+	GrantP999 float64         `json:"grant_p999_ns"`
+	Server    *ServerTotals   `json:"server,omitempty"`
+}
+
+// File is the on-disk artifact (BENCH_service.json).
+type File struct {
+	SchemaVersion int      `json:"schema_version"`
+	GoVersion     string   `json:"go_version"`
+	NumCPU        int      `json:"num_cpu"`
+	Results       []Result `json:"results"`
+}
+
+// NewFile wraps results in a schema-versioned container.
+func NewFile(results []Result) *File {
+	return &File{
+		SchemaVersion: FileSchemaVersion,
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		Results:       results,
+	}
+}
+
+// WriteJSON writes the container as indented JSON.
+func (f *File) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// LoadFile reads and version-checks a results file.
+func LoadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	if f.SchemaVersion != FileSchemaVersion {
+		return nil, fmt.Errorf("loadgen: %s: schema version %d, want %d", path, f.SchemaVersion, FileSchemaVersion)
+	}
+	for i := range f.Results {
+		if v := f.Results[i].SchemaVersion; v != ResultSchemaVersion {
+			return nil, fmt.Errorf("loadgen: %s: result %d has schema version %d, want %d", path, i, v, ResultSchemaVersion)
+		}
+	}
+	return &f, nil
+}
+
+// Render formats results as the CLI's human-readable table.
+func Render(results []Result) string {
+	t := report.NewTable("Lock-lease service load (client-observed grant latency, ns)",
+		"bench", "clients", "policy", "lock", "grants", "grants/s", "p50", "p99", "p99.9", "sheds", "fairness")
+	for _, r := range results {
+		t.Row(r.Bench, r.Clients, r.Policy, r.Lock, r.Grants,
+			fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%.0f", r.GrantP50), fmt.Sprintf("%.0f", r.GrantP99),
+			fmt.Sprintf("%.0f", r.GrantP999),
+			r.Sheds,
+			fmt.Sprintf("%.3f", r.Fairness))
+	}
+	t.Note("handoff hands the lease releaser→waiter in one transfer; broadcast wakes every waiter to re-contend")
+	return t.String()
+}

@@ -91,20 +91,11 @@ func (r *rng) intn(n int64) int64 {
 	return int64(r.next() % uint64(n))
 }
 
-// chooseLock mirrors workload.emitLockChoice: HotPct of acquisitions hit
-// lock zero, the rest spread uniformly.
+// chooseLock samples the signature's contention distribution; the draw
+// sequence lives in workload.PickLock, shared with the service load
+// generator so both native harnesses replay identically per seed.
 func chooseLock(r *rng, p workload.Params) int {
-	switch {
-	case p.Locks == 1 || p.HotPct >= 100:
-		return 0
-	case p.HotPct == 0:
-		return int(r.intn(int64(p.Locks)))
-	default:
-		if r.intn(100) < int64(p.HotPct) {
-			return 0
-		}
-		return int(r.intn(int64(p.Locks)))
-	}
+	return p.PickLock(r.intn)
 }
 
 // barrier is a reusable (cyclic) barrier: the native analogue of the
@@ -245,31 +236,10 @@ func Run(cfg Config) (Result, error) {
 	for _, h := range handoffs {
 		res.Handoff.Merge(h)
 	}
-	res.Fairness = jain(res.PerGoroutineOps)
+	res.Fairness = stats.Jain(res.PerGoroutineOps)
 	res.WaitP50, res.WaitP99 = res.Wait.Percentile(50), res.Wait.Percentile(99)
 	res.HandoffP50, res.HandoffP99 = res.Handoff.Percentile(50), res.Handoff.Percentile(99)
 	return res, nil
-}
-
-// jain is Jain's fairness index over per-goroutine operation counts:
-// 1 = perfectly even, 1/n = one goroutine did everything. With a fixed
-// per-goroutine quota this measures barrier-phase skew rather than lock
-// fairness, so the bench also reports hand-off tails; signatures with
-// uneven quotas would show up here.
-func jain(xs []uint64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	var sum, sq float64
-	for _, x := range xs {
-		f := float64(x)
-		sum += f
-		sq += f * f
-	}
-	if sq == 0 {
-		return 0
-	}
-	return sum * sum / (float64(len(xs)) * sq)
 }
 
 // RunMatrix sweeps benches × locks × proc counts in order and returns

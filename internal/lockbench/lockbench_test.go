@@ -128,18 +128,6 @@ func TestRunMatrixOrder(t *testing.T) {
 	}
 }
 
-func TestJain(t *testing.T) {
-	if f := jain([]uint64{10, 10, 10, 10}); f != 1 {
-		t.Fatalf("even shares: %f", f)
-	}
-	if f := jain([]uint64{40, 0, 0, 0}); f != 0.25 {
-		t.Fatalf("single winner: %f", f)
-	}
-	if f := jain(nil); f != 0 {
-		t.Fatalf("empty: %f", f)
-	}
-}
-
 func TestFileRoundTrip(t *testing.T) {
 	res, err := Run(Config{Bench: "nullcs", Lock: locks.KindCLH, Procs: 2, Scale: 16, Seed: 1})
 	if err != nil {

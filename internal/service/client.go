@@ -1,0 +1,113 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a lockserve wire-protocol client. It is safe for concurrent
+// use, but requests serialize on the single connection (one in flight),
+// matching the closed-loop clients of the load generator; open one
+// Client per concurrent actor.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a lockserve address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip writes one request and reads its response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	frame, err := AppendRequest(nil, req)
+	if err != nil {
+		return Response{}, err
+	}
+	if _, err := c.bw.Write(frame); err != nil {
+		return Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, err
+	}
+	return ReadResponse(c.br)
+}
+
+// Acquire requests a lease over the wire; errors are the same typed
+// sentinels the in-process API returns.
+func (c *Client) Acquire(resource, owner string, opt AcquireOptions) (Lease, error) {
+	resp, err := c.roundTrip(Request{
+		Op:       OpAcquire,
+		Resource: resource,
+		Owner:    owner,
+		TTL:      opt.TTL,
+		MaxWait:  opt.MaxWait,
+		Wait:     opt.Wait,
+	})
+	if err != nil {
+		return Lease{}, err
+	}
+	switch resp.Op {
+	case OpGranted:
+		return Lease{
+			Resource: resource,
+			Owner:    owner,
+			Token:    resp.Token,
+			Deadline: time.Unix(0, resp.Deadline),
+		}, nil
+	case OpError:
+		return Lease{}, codeError(resp.Code, resp.Msg)
+	}
+	return Lease{}, fmt.Errorf("service: unexpected response op %d to acquire", resp.Op)
+}
+
+// Release ends a lease over the wire.
+func (c *Client) Release(resource string, token uint64) error {
+	resp, err := c.roundTrip(Request{Op: OpRelease, Resource: resource, Token: token})
+	if err != nil {
+		return err
+	}
+	switch resp.Op {
+	case OpOK:
+		return nil
+	case OpError:
+		return codeError(resp.Code, resp.Msg)
+	}
+	return fmt.Errorf("service: unexpected response op %d to release", resp.Op)
+}
+
+// Ping round-trips a no-op frame.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Op != OpOK {
+		return fmt.Errorf("service: unexpected response op %d to ping", resp.Op)
+	}
+	return nil
+}

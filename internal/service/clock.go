@@ -1,0 +1,142 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the service: lease deadlines, waiter
+// timeouts, and the expiry sweeper all read it, so tests and fault
+// campaigns can substitute a manual clock and make expiry deterministic.
+type Clock interface {
+	Now() time.Time
+	// NewTimer arms a one-shot timer. The returned Timer's channel fires
+	// once at or after d from now.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the one-shot timer a Clock hands out.
+type Timer interface {
+	C() <-chan time.Time
+	// Stop disarms the timer; it reports whether the timer was still
+	// pending (mirrors time.Timer.Stop).
+	Stop() bool
+}
+
+// realClock is the wall clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time { return r.t.C }
+func (r realTimer) Stop() bool          { return r.t.Stop() }
+
+// FakeClock is a manual clock for tests and deterministic fault
+// campaigns: time moves only via Advance, which fires every timer whose
+// deadline has been reached. The zero value starts at a fixed non-zero
+// epoch so lease deadlines are never confused with the zero time.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+// fakeEpoch keeps FakeClock times away from time.Time's zero value.
+var fakeEpoch = time.Unix(1_000_000, 0)
+
+// NewFakeClock returns a manual clock starting at a fixed epoch.
+func NewFakeClock() *FakeClock { return &FakeClock{now: fakeEpoch} }
+
+// Now returns the current manual time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.now.IsZero() {
+		c.now = fakeEpoch
+	}
+	return c.now
+}
+
+// NewTimer arms a manual timer; a non-positive duration fires
+// immediately.
+func (c *FakeClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.now.IsZero() {
+		c.now = fakeEpoch
+	}
+	t := &fakeTimer{clock: c, when: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.fired = true
+		t.ch <- c.now
+		return t
+	}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Advance moves the clock forward and fires every due timer in deadline
+// order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	if c.now.IsZero() {
+		c.now = fakeEpoch
+	}
+	c.now = c.now.Add(d)
+	now := c.now
+	var due []*fakeTimer
+	var keep []*fakeTimer
+	for _, t := range c.timers {
+		if !t.when.After(now) {
+			due = append(due, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	c.timers = keep
+	c.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].when.Before(due[j].when) })
+	for _, t := range due {
+		t.fire(now)
+	}
+}
+
+type fakeTimer struct {
+	clock *FakeClock
+	when  time.Time
+	ch    chan time.Time
+	fired bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) fire(now time.Time) {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.fired {
+		return
+	}
+	t.fired = true
+	t.ch <- now
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.fired {
+		return false
+	}
+	t.fired = true
+	for i, o := range t.clock.timers {
+		if o == t {
+			t.clock.timers = append(t.clock.timers[:i], t.clock.timers[i+1:]...)
+			break
+		}
+	}
+	return true
+}

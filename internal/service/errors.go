@@ -1,0 +1,53 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The typed outcomes of service operations. Every non-grant outcome is
+// one of these sentinels (possibly wrapped with context), so callers —
+// the wire layer, the load generator, the fault campaigns — classify by
+// errors.Is and never by string matching.
+var (
+	// ErrClosed: the service has shut down; waiters are flushed with it.
+	ErrClosed = errors.New("service: closed")
+	// ErrQueueFull: the shard's bounded admission queue is at capacity
+	// and the request was shed. This is the backpressure half of the
+	// paper's delay-insertion argument: instead of letting excess
+	// requesters hammer the resource, the service deflects them at
+	// admission.
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrShed: a degraded shard refuses to queue waiters at all; the
+	// request was shed immediately (shed-load mode).
+	ErrShed = errors.New("service: degraded shard shed the request")
+	// ErrWaitTimeout: the waiter's MaxWait elapsed before a grant.
+	ErrWaitTimeout = errors.New("service: wait timed out")
+	// ErrNoWait: the resource was held and the request did not ask to
+	// wait.
+	ErrNoWait = errors.New("service: resource held")
+	// ErrNotHeld: the release named a token that is not the resource's
+	// current lease (never granted, already released, or revoked).
+	ErrNotHeld = errors.New("service: lease not held")
+	// ErrLeaseExpired: the release named a token whose lease already
+	// expired — the typed signal a slow or crashed-and-recovered client
+	// sees exactly once per lost lease.
+	ErrLeaseExpired = errors.New("service: lease expired")
+	// ErrDegraded: the shard degraded while the waiter was queued; the
+	// waiter is flushed with this typed error and may retry (retries are
+	// then shed or granted immediately, never queued).
+	ErrDegraded = errors.New("service: shard degraded, waiter flushed")
+	// ErrRevoked: the lease was administratively revoked while queued
+	// waiters were flushed (Close during revoke-and-drain paths).
+	ErrRevoked = errors.New("service: lease revoked")
+)
+
+// ConfigError reports an unusable Config (exit-code-2 class in the
+// CLIs).
+type ConfigError struct{ Msg string }
+
+func (e *ConfigError) Error() string { return "service: config: " + e.Msg }
+
+func configErrf(format string, args ...any) error {
+	return &ConfigError{Msg: fmt.Sprintf(format, args...)}
+}

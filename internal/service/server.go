@@ -1,0 +1,156 @@
+package service
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+)
+
+// Server serves the wire protocol over TCP, one goroutine per
+// connection with a strict one-request-in-flight-per-connection
+// discipline (the closed-loop clients the load generator models never
+// pipeline). Waiting acquires block the connection's request, which is
+// exactly the queued-waiter semantics of the in-process API.
+type Server struct {
+	svc *Service
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a service for network serving.
+func NewServer(svc *Service) *Server {
+	return &Server{svc: svc, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close; it returns nil after a
+// clean Close and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// the connection goroutines to drain — no goroutine leaks even
+// mid-request (in-flight waiting acquires are flushed by svc.Close if
+// the caller closes the service too; a bare server Close unblocks reads
+// by closing the sockets).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	s.wg.Done()
+}
+
+// serveConn is the per-connection request loop. A malformed frame is
+// answered with a typed CodeBadFrame error and the connection is closed
+// — a misbehaving client cannot wedge the read loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var scratch []byte
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			var werr *WireError
+			if errors.As(err, &werr) {
+				resp := Response{Op: OpError, Code: CodeBadFrame, Msg: werr.Msg}
+				if out, eerr := AppendResponse(scratch[:0], resp); eerr == nil {
+					bw.Write(out)
+					bw.Flush()
+				}
+			}
+			return // EOF, closed socket, or malformed frame
+		}
+		resp := s.dispatch(req)
+		out, err := AppendResponse(scratch[:0], resp)
+		if err != nil {
+			return
+		}
+		scratch = out
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the service.
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case OpAcquire:
+		lease, err := s.svc.Acquire(req.Resource, req.Owner, AcquireOptions{
+			TTL:     req.TTL,
+			Wait:    req.Wait,
+			MaxWait: req.MaxWait,
+		})
+		if err != nil {
+			return Response{Op: OpError, Code: errorCode(err), Msg: err.Error()}
+		}
+		return Response{Op: OpGranted, Token: lease.Token, Deadline: lease.Deadline.UnixNano()}
+	case OpRelease:
+		if err := s.svc.Release(req.Resource, req.Token); err != nil {
+			return Response{Op: OpError, Code: errorCode(err), Msg: err.Error()}
+		}
+		return Response{Op: OpOK}
+	case OpPing:
+		return Response{Op: OpOK}
+	}
+	return Response{Op: OpError, Code: CodeBadFrame, Msg: "unknown op"}
+}

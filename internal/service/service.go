@@ -1,0 +1,885 @@
+// Package service is the serving layer over the native lock library: a
+// lock/lease service in which named resources are sharded across
+// locks.Lock instances and every grant decision is a software rendering
+// of the paper's delay-insertion argument.
+//
+// The analogy, precisely:
+//
+//   - The paper inserts delays at the requester (delayed requests) or the
+//     holder (delayed responses) so a contended line is transferred once
+//     per hand-off instead of once per poll. The service's bounded
+//     admission queue is the same idea at the serving boundary: excess
+//     requesters are deflected (shed) at admission instead of being
+//     allowed to hammer the resource, and queued waiters are parked on a
+//     private channel instead of polling.
+//   - PolicyHandoff is the software form of QOLB/IQOLB's releaser→waiter
+//     grant: a release (or expiry) builds the next lease while still
+//     holding the shard and delivers it to exactly one queued waiter in
+//     one transfer. Nobody re-contends.
+//   - PolicyBroadcast is the plain-RFO baseline: a release marks the
+//     resource free and wakes every waiter, who all race to re-acquire;
+//     all but one wake-up is wasted (counted as WastedWakeups, the
+//     service's analogue of redundant bus transactions).
+//
+// Leases carry deadlines. Expiry is typed and exactly-once: a crashed
+// client's lease is reclaimed by the sweeper, the next waiter is granted
+// directly, and a late Release of the dead token reports ErrLeaseExpired.
+//
+// Each shard's internal state is guarded by a selectable locks.Lock
+// primitive (tts/ticket/mcs/clh/adaptive), so the serving layer's own
+// hot path rides the PR-5 primitives. A starvation watchdog — the same
+// role the check monitor's watchdog plays for the simulator — degrades a
+// pathological shard to a plain sync.Mutex plus shed-load mode: queued
+// waiters are flushed with a typed error and no new waiters are admitted,
+// mirroring the simulator's graceful degradation to plain RFO.
+package service
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iqolb/internal/stats"
+	"iqolb/locks"
+)
+
+// Policy selects how a release passes the resource to waiters.
+type Policy string
+
+const (
+	// PolicyHandoff grants the resource directly to the queued next
+	// waiter in one transfer (the IQOLB analogue).
+	PolicyHandoff Policy = "handoff"
+	// PolicyBroadcast wakes every waiter and lets them re-contend (the
+	// plain test&set analogue).
+	PolicyBroadcast Policy = "broadcast"
+)
+
+// ParsePolicy resolves a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyHandoff, PolicyBroadcast:
+		return Policy(s), nil
+	}
+	return "", configErrf("unknown policy %q (have handoff, broadcast)", s)
+}
+
+// Lease is one granted exclusive claim on a named resource.
+type Lease struct {
+	Resource string
+	Owner    string
+	// Token uniquely identifies this grant; release and revocation
+	// address the lease by token, so a stale holder can never release a
+	// successor's lease.
+	Token uint64
+	// Deadline is when the lease expires if not released.
+	Deadline time.Time
+}
+
+// AcquireOptions tunes one acquire.
+type AcquireOptions struct {
+	// TTL is the lease lifetime (0 = Config.DefaultTTL; clamped to
+	// Config.MaxTTL).
+	TTL time.Duration
+	// Wait queues the request when the resource is held; otherwise a
+	// held resource reports ErrNoWait immediately.
+	Wait bool
+	// MaxWait bounds the queued wait (0 = wait until granted or
+	// flushed).
+	MaxWait time.Duration
+}
+
+// Config describes a Service.
+type Config struct {
+	// Shards is the number of lease-table shards (default 8). Resources
+	// hash to shards; each shard is one lock domain.
+	Shards int
+	// Lock is the primitive guarding every shard (default mcs). Locks,
+	// when non-empty, overrides it per shard (len must equal Shards) —
+	// "primitive selectable per shard".
+	Lock  locks.Kind
+	Locks []locks.Kind
+	// Policy is the grant policy (default PolicyHandoff).
+	Policy Policy
+	// QueueDepth bounds each shard's admission queue (default 64).
+	// Requests beyond it are shed with ErrQueueFull — backpressure as
+	// delay insertion.
+	QueueDepth int
+	// DefaultTTL and MaxTTL bound lease lifetimes (defaults 5s, 60s).
+	DefaultTTL time.Duration
+	MaxTTL     time.Duration
+	// StarvationBound is the oldest tolerated queued wait before the
+	// watchdog degrades the shard (default 10s; <0 disables).
+	StarvationBound time.Duration
+	// Clock substitutes a manual clock (nil = wall clock).
+	Clock Clock
+	// OnExpire, when non-nil, is called exactly once per expired lease,
+	// outside all shard locks.
+	OnExpire func(Lease)
+	// OnDegrade, when non-nil, is called once per shard degradation,
+	// outside all shard locks.
+	OnDegrade func(shard int, reason string)
+	// NoSweeper disables the background expiry sweeper; tests drive
+	// SweepExpired manually against a FakeClock.
+	NoSweeper bool
+
+	// brokenHandoff is the linearizability harness's seeded bug: the
+	// direct hand-off grants the waiter but "forgets" to record the
+	// transfer, so a racing acquire is granted a second live lease. Only
+	// in-package tests can set it; it exists to prove the harness
+	// catches real hand-off bugs.
+	brokenHandoff bool
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.Shards == 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Shards < 1 {
+		return cfg, configErrf("shards = %d", cfg.Shards)
+	}
+	if cfg.Lock == "" {
+		cfg.Lock = locks.KindMCS
+	}
+	if len(cfg.Locks) != 0 && len(cfg.Locks) != cfg.Shards {
+		return cfg, configErrf("%d per-shard locks for %d shards", len(cfg.Locks), cfg.Shards)
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyHandoff
+	}
+	if cfg.Policy != PolicyHandoff && cfg.Policy != PolicyBroadcast {
+		return cfg, configErrf("unknown policy %q", cfg.Policy)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.QueueDepth < 1 {
+		return cfg, configErrf("queue depth = %d", cfg.QueueDepth)
+	}
+	if cfg.DefaultTTL == 0 {
+		cfg.DefaultTTL = 5 * time.Second
+	}
+	if cfg.MaxTTL == 0 {
+		cfg.MaxTTL = 60 * time.Second
+	}
+	if cfg.DefaultTTL < 0 || cfg.MaxTTL < cfg.DefaultTTL {
+		return cfg, configErrf("ttl bounds default=%v max=%v", cfg.DefaultTTL, cfg.MaxTTL)
+	}
+	if cfg.StarvationBound == 0 {
+		cfg.StarvationBound = 10 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	return cfg, nil
+}
+
+// grantResult is what a parked waiter receives: a lease (handoff), or a
+// broadcast wake-up telling it to re-contend.
+type grantResult struct {
+	lease Lease
+	retry bool
+}
+
+// waiter is one queued acquire. grant is buffered so the releaser's
+// hand-off never blocks; flushed/flushErr are guarded by the shard lock
+// and published by closing grant.
+type waiter struct {
+	owner    string
+	ttl      time.Duration
+	enq      time.Time
+	grant    chan grantResult
+	flushed  bool
+	flushErr error
+}
+
+// leaseState is the shard's record of a live lease.
+type leaseState struct {
+	lease     Lease
+	grantedAt time.Time
+}
+
+// resource is one named resource's state within a shard.
+type resource struct {
+	name   string
+	holder *leaseState
+	q      []*waiter // FIFO admission order
+}
+
+// heapEntry schedules one lease's expiry; entries are lazily invalidated
+// by token comparison, so releases never search the heap.
+type heapEntry struct {
+	deadline int64 // UnixNano
+	token    uint64
+	res      string
+}
+
+type leaseHeap []heapEntry
+
+func (h leaseHeap) Len() int           { return len(h) }
+func (h leaseHeap) Less(i, j int) bool { return h[i].deadline < h[j].deadline }
+func (h leaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *leaseHeap) Push(x any)        { *h = append(*h, x.(heapEntry)) }
+func (h *leaseHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// goneRingSize bounds each shard's memory of ended tokens (expired or
+// revoked), which types late releases.
+const goneRingSize = 1024
+
+// lockToken records which guard a shard operation holds; see
+// shard.lockShard.
+type lockToken struct {
+	fb     bool // entered via the degraded fallback mutex
+	alsoFB bool // degraded mid-operation: holding both guards
+}
+
+// shard is one lock domain: a lease table plus its admission queue,
+// guarded by a selectable primitive with a plain-mutex degradation path.
+type shard struct {
+	svc *Service
+	id  int
+
+	mu       locks.Lock // primitive guard (normal mode)
+	fb       sync.Mutex // fallback guard (degraded mode)
+	degraded atomic.Bool
+
+	// Everything below is guarded by mu (normal) or fb (degraded); the
+	// degradation protocol in degradeLocked makes the switch safe.
+	degradeReason string
+	res           map[string]*resource
+	queued        int
+	heap          leaseHeap
+	gone          map[uint64]error // token → ErrLeaseExpired / ErrRevoked
+	goneRing      [goneRingSize]uint64
+	goneNext      int
+	live          int
+	counters      Counters
+	grantWait     stats.Histogram // enqueue → grant, ns
+	hold          stats.Histogram // grant → release, ns
+}
+
+// lockShard acquires the shard guard. Before degradation that is the
+// configured primitive; after, the plain fallback mutex. The flag is
+// re-checked after acquiring the primitive so a goroutine that raced the
+// degradation never mutates state under the abandoned guard.
+func (sh *shard) lockShard() lockToken {
+	for {
+		if sh.degraded.Load() {
+			sh.fb.Lock()
+			return lockToken{fb: true}
+		}
+		sh.mu.Lock()
+		if !sh.degraded.Load() {
+			return lockToken{}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func (sh *shard) unlockShard(t lockToken) {
+	if t.fb {
+		sh.fb.Unlock()
+		return
+	}
+	if t.alsoFB {
+		sh.fb.Unlock()
+	}
+	sh.mu.Unlock()
+}
+
+// degradeLocked switches the shard to plain-mutex + shed-load mode. The
+// caller holds the primitive guard; the fallback mutex is acquired
+// BEFORE the flag flips and stays held until the caller's unlockShard,
+// so at no instant can a fallback-path goroutine overlap the degrading
+// critical section. Queued waiters are flushed with ErrDegraded — the
+// serving-layer analogue of the simulator flushing held delays when it
+// degrades to plain RFO.
+func (sh *shard) degradeLocked(t lockToken, reason string) lockToken {
+	if t.fb || sh.degraded.Load() {
+		return t
+	}
+	sh.fb.Lock()
+	t.alsoFB = true
+	sh.degraded.Store(true)
+	sh.degradeReason = reason
+	sh.counters.Degrades++
+	sh.flushWaitersLocked(ErrDegraded)
+	if cb := sh.svc.cfg.OnDegrade; cb != nil {
+		id := sh.id
+		sh.svc.pendingCallbacks(func() { cb(id, reason) })
+	}
+	return t
+}
+
+// flushWaitersLocked fails every queued waiter with err and empties the
+// admission queue.
+func (sh *shard) flushWaitersLocked(err error) {
+	for _, r := range sh.res {
+		for _, w := range r.q {
+			w.flushed = true
+			w.flushErr = err
+			sh.counters.Flushed++
+			close(w.grant)
+		}
+		r.q = nil
+	}
+	sh.queued = 0
+}
+
+// rememberGone records why a token's lease ended so a late Release is
+// typed; the ring bounds memory.
+func (sh *shard) rememberGone(token uint64, cause error) {
+	if old := sh.goneRing[sh.goneNext]; old != 0 {
+		delete(sh.gone, old)
+	}
+	sh.goneRing[sh.goneNext] = token
+	sh.goneNext = (sh.goneNext + 1) % goneRingSize
+	sh.gone[token] = cause
+}
+
+// resourceLocked returns (creating if needed) the named resource.
+func (sh *shard) resourceLocked(name string) *resource {
+	r := sh.res[name]
+	if r == nil {
+		r = &resource{name: name}
+		sh.res[name] = r
+	}
+	return r
+}
+
+// gcLocked drops an idle resource entry.
+func (sh *shard) gcLocked(r *resource) {
+	if r.holder == nil && len(r.q) == 0 {
+		delete(sh.res, r.name)
+	}
+}
+
+// oldestWaitLocked returns the enqueue time of the oldest queued waiter
+// and whether one exists.
+func (sh *shard) oldestWaitLocked() (time.Time, bool) {
+	var oldest time.Time
+	found := false
+	for _, r := range sh.res {
+		for _, w := range r.q {
+			if !found || w.enq.Before(oldest) {
+				oldest = w.enq
+				found = true
+			}
+		}
+	}
+	return oldest, found
+}
+
+// watchdogLocked is the starvation watchdog: a queued wait older than
+// StarvationBound degrades the shard.
+func (sh *shard) watchdogLocked(t lockToken, now time.Time) lockToken {
+	if t.fb || sh.svc.cfg.StarvationBound <= 0 {
+		return t
+	}
+	if oldest, ok := sh.oldestWaitLocked(); ok {
+		if age := now.Sub(oldest); age > sh.svc.cfg.StarvationBound {
+			return sh.degradeLocked(t, fmt.Sprintf("starvation: waiter queued %v > bound %v", age, sh.svc.cfg.StarvationBound))
+		}
+	}
+	return t
+}
+
+// Service is a sharded lock-lease service.
+type Service struct {
+	cfg    Config
+	clock  Clock
+	shards []*shard
+	tokens atomic.Uint64
+	closed atomic.Bool
+
+	stop        chan struct{}
+	sweeperDone chan struct{}
+
+	// cbMu serializes deferred callbacks (expiry, degrade) so observers
+	// see them in a consistent order without any shard lock held.
+	cbMu    sync.Mutex
+	cbQueue []func()
+}
+
+// New builds a service and, unless NoSweeper, starts its expiry sweeper.
+func New(cfg Config) (*Service, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:   full,
+		clock: full.Clock,
+		stop:  make(chan struct{}),
+	}
+	s.shards = make([]*shard, full.Shards)
+	for i := range s.shards {
+		kind := full.Lock
+		if len(full.Locks) != 0 {
+			kind = full.Locks[i]
+		}
+		mu, err := locks.New(kind)
+		if err != nil {
+			return nil, configErrf("shard %d: %v", i, err)
+		}
+		s.shards[i] = &shard{
+			svc:  s,
+			id:   i,
+			mu:   mu,
+			res:  make(map[string]*resource),
+			gone: make(map[uint64]error),
+		}
+	}
+	if !full.NoSweeper {
+		s.sweeperDone = make(chan struct{})
+		go s.sweeper()
+	}
+	return s, nil
+}
+
+// Policy returns the service's grant policy.
+func (s *Service) Policy() Policy { return s.cfg.Policy }
+
+// shardFor hashes a resource name to its shard.
+func (s *Service) shardFor(resource string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(resource))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// pendingCallbacks enqueues a deferred callback; runCallbacks drains the
+// queue outside all shard locks.
+func (s *Service) pendingCallbacks(f func()) {
+	s.cbMu.Lock()
+	s.cbQueue = append(s.cbQueue, f)
+	s.cbMu.Unlock()
+}
+
+func (s *Service) runCallbacks() {
+	for {
+		s.cbMu.Lock()
+		if len(s.cbQueue) == 0 {
+			s.cbMu.Unlock()
+			return
+		}
+		f := s.cbQueue[0]
+		s.cbQueue = s.cbQueue[1:]
+		s.cbMu.Unlock()
+		f()
+	}
+}
+
+// newLeaseLocked creates a live lease for r and schedules its expiry.
+func (s *Service) newLeaseLocked(sh *shard, r *resource, owner string, now time.Time, ttl time.Duration) Lease {
+	lease := Lease{
+		Resource: r.name,
+		Owner:    owner,
+		Token:    s.tokens.Add(1),
+		Deadline: now.Add(ttl),
+	}
+	r.holder = &leaseState{lease: lease, grantedAt: now}
+	heap.Push(&sh.heap, heapEntry{deadline: lease.Deadline.UnixNano(), token: lease.Token, res: r.name})
+	sh.live++
+	sh.counters.Grants++
+	return lease
+}
+
+// clampTTL resolves an acquire's TTL against the config bounds.
+func (s *Service) clampTTL(ttl time.Duration) time.Duration {
+	if ttl <= 0 {
+		ttl = s.cfg.DefaultTTL
+	}
+	if ttl > s.cfg.MaxTTL {
+		ttl = s.cfg.MaxTTL
+	}
+	return ttl
+}
+
+// grantNextLocked passes a freed resource onward per the grant policy.
+func (s *Service) grantNextLocked(sh *shard, r *resource, now time.Time) {
+	if s.cfg.Policy == PolicyBroadcast {
+		// Broadcast: wake the whole pack; they re-contend under the
+		// shard guard and all but one wake-up is wasted.
+		if n := len(r.q); n > 0 {
+			sh.counters.BroadcastWakeups += uint64(n)
+			for _, w := range r.q {
+				select {
+				case w.grant <- grantResult{retry: true}:
+				default: // a wake-up is already pending
+				}
+			}
+		}
+		sh.gcLocked(r)
+		return
+	}
+	// Direct hand-off: build the successor's lease while still holding
+	// the shard and deliver it in one transfer.
+	if len(r.q) > 0 {
+		w := r.q[0]
+		r.q = r.q[1:]
+		sh.queued--
+		lease := s.newLeaseLocked(sh, r, w.owner, now, w.ttl)
+		sh.counters.Handoffs++
+		sh.grantWait.Add(uint64(now.Sub(w.enq)))
+		if s.cfg.brokenHandoff {
+			r.holder = nil // seeded bug: the transfer is "forgotten"
+		}
+		w.grant <- grantResult{lease: lease}
+		return
+	}
+	sh.gcLocked(r)
+}
+
+// expireDueLocked reclaims every lease past its deadline in this shard
+// and grants successors; it returns the expired leases for the
+// exactly-once OnExpire callbacks (run by the caller outside the lock).
+func (s *Service) expireDueLocked(sh *shard, now time.Time) []Lease {
+	var out []Lease
+	nowNS := now.UnixNano()
+	for len(sh.heap) > 0 && sh.heap[0].deadline <= nowNS {
+		e := heap.Pop(&sh.heap).(heapEntry)
+		r := sh.res[e.res]
+		if r == nil || r.holder == nil || r.holder.lease.Token != e.token {
+			continue // stale entry: the lease was released or revoked
+		}
+		lease := r.holder.lease
+		r.holder = nil
+		sh.live--
+		sh.rememberGone(e.token, ErrLeaseExpired)
+		sh.counters.Expiries++
+		out = append(out, lease)
+		s.grantNextLocked(sh, r, now)
+	}
+	return out
+}
+
+// queueExpiryCallbacks defers OnExpire for each expired lease.
+func (s *Service) queueExpiryCallbacks(expired []Lease) {
+	if cb := s.cfg.OnExpire; cb != nil {
+		for _, l := range expired {
+			lease := l
+			s.pendingCallbacks(func() { cb(lease) })
+		}
+	}
+}
+
+// Acquire requests an exclusive lease on a named resource. A free
+// resource is granted immediately. A held one is queued (opt.Wait)
+// subject to the shard's bounded admission queue, shed when the queue is
+// full or the shard is degraded, or refused with ErrNoWait. All errors
+// are typed; see errors.go.
+func (s *Service) Acquire(resourceName, owner string, opt AcquireOptions) (Lease, error) {
+	if resourceName == "" {
+		return Lease{}, configErrf("empty resource name")
+	}
+	if s.closed.Load() {
+		return Lease{}, ErrClosed
+	}
+	ttl := s.clampTTL(opt.TTL)
+	sh := s.shardFor(resourceName)
+	now := s.clock.Now()
+
+	t := sh.lockShard()
+	if s.closed.Load() {
+		sh.unlockShard(t)
+		return Lease{}, ErrClosed
+	}
+	sh.counters.Acquires++
+	expired := s.expireDueLocked(sh, now)
+	t = sh.watchdogLocked(t, now)
+	r := sh.resourceLocked(resourceName)
+
+	if r.holder == nil && (t.fb || s.cfg.Policy == PolicyBroadcast || len(r.q) == 0) {
+		lease := s.newLeaseLocked(sh, r, owner, now, ttl)
+		sh.counters.ImmediateGrants++
+		sh.grantWait.Add(0)
+		sh.unlockShard(t)
+		s.queueExpiryCallbacks(expired)
+		s.runCallbacks()
+		return lease, nil
+	}
+	// Held (or hand-off pending). Decide admission.
+	var refusal error
+	switch {
+	case t.fb:
+		// Degraded: shed-load mode, no queueing at all.
+		sh.counters.DegradedSheds++
+		refusal = ErrShed
+	case !opt.Wait:
+		sh.counters.NoWaitBusy++
+		refusal = ErrNoWait
+	case sh.queued >= s.cfg.QueueDepth:
+		// Backpressure: the bounded admission queue deflects the
+		// request instead of letting it pile on the resource.
+		sh.counters.QueueFullSheds++
+		refusal = ErrQueueFull
+	}
+	if refusal != nil {
+		sh.gcLocked(r)
+		sh.unlockShard(t)
+		s.queueExpiryCallbacks(expired)
+		s.runCallbacks()
+		return Lease{}, refusal
+	}
+
+	w := &waiter{owner: owner, ttl: ttl, enq: now, grant: make(chan grantResult, 1)}
+	r.q = append(r.q, w)
+	sh.queued++
+	sh.unlockShard(t)
+	s.queueExpiryCallbacks(expired)
+	s.runCallbacks()
+	return s.await(sh, resourceName, w, opt)
+}
+
+// await parks a queued waiter until grant, flush, or timeout.
+func (s *Service) await(sh *shard, resourceName string, w *waiter, opt AcquireOptions) (Lease, error) {
+	var timeout <-chan time.Time
+	var timer Timer
+	if opt.MaxWait > 0 {
+		timer = s.clock.NewTimer(opt.MaxWait)
+		timeout = timer.C()
+		defer timer.Stop()
+	}
+	for {
+		select {
+		case g, ok := <-w.grant:
+			if !ok {
+				// Flushed: degraded shard or service shutdown; the
+				// cause was published before the close.
+				return Lease{}, w.flushErr
+			}
+			if !g.retry {
+				return g.lease, nil
+			}
+			// Broadcast wake-up: re-contend.
+			if lease, done, err := s.tryClaim(sh, resourceName, w); done {
+				return lease, err
+			}
+		case <-timeout:
+			if lease, granted, err := s.abandonWait(sh, resourceName, w); granted {
+				return lease, err
+			}
+			return Lease{}, ErrWaitTimeout
+		}
+	}
+}
+
+// tryClaim is the broadcast waiter's re-contention step: claim the
+// resource if it is free, otherwise record a wasted wake-up and keep
+// waiting.
+func (s *Service) tryClaim(sh *shard, resourceName string, w *waiter) (Lease, bool, error) {
+	now := s.clock.Now()
+	t := sh.lockShard()
+	if w.flushed {
+		err := w.flushErr
+		sh.unlockShard(t)
+		return Lease{}, true, err
+	}
+	r := sh.res[resourceName]
+	if r == nil {
+		// The resource entry was collected, so it is free; recreate.
+		r = sh.resourceLocked(resourceName)
+	}
+	if r.holder == nil {
+		removeWaiter(sh, r, w)
+		lease := s.newLeaseLocked(sh, r, w.owner, now, w.ttl)
+		sh.counters.BroadcastClaims++
+		sh.grantWait.Add(uint64(now.Sub(w.enq)))
+		sh.unlockShard(t)
+		return lease, true, nil
+	}
+	sh.counters.WastedWakeups++
+	sh.unlockShard(t)
+	return Lease{}, false, nil
+}
+
+// abandonWait removes a timed-out waiter. If the waiter was already
+// granted or flushed (the message raced the timeout), the pending
+// outcome is consumed and returned instead.
+func (s *Service) abandonWait(sh *shard, resourceName string, w *waiter) (Lease, bool, error) {
+	t := sh.lockShard()
+	removed := false
+	if !w.flushed {
+		if r := sh.res[resourceName]; r != nil {
+			removed = removeWaiter(sh, r, w)
+			sh.gcLocked(r)
+		}
+	}
+	if removed {
+		sh.counters.Timeouts++
+	}
+	sh.unlockShard(t)
+	if removed {
+		return Lease{}, false, nil
+	}
+	// Not queued anymore: a grant or flush is pending (the sender
+	// completed while holding the shard guard).
+	g, ok := <-w.grant
+	if !ok {
+		return Lease{}, true, w.flushErr
+	}
+	if g.retry {
+		// Broadcast retry raced the timeout while a flush cleared the
+		// queue — the close follows; wait for the definitive outcome.
+		if g2, ok2 := <-w.grant; ok2 && !g2.retry {
+			return g2.lease, true, nil
+		}
+		return Lease{}, true, w.flushErr
+	}
+	return g.lease, true, nil
+}
+
+// removeWaiter unlinks w from r's queue; reports whether it was queued.
+func removeWaiter(sh *shard, r *resource, w *waiter) bool {
+	for i, o := range r.q {
+		if o == w {
+			r.q = append(r.q[:i], r.q[i+1:]...)
+			sh.queued--
+			return true
+		}
+	}
+	return false
+}
+
+// Release ends a lease by token. Late releases are typed: an expired
+// lease reports ErrLeaseExpired, a revoked one ErrRevoked, anything else
+// ErrNotHeld.
+func (s *Service) Release(resourceName string, token uint64) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	sh := s.shardFor(resourceName)
+	now := s.clock.Now()
+
+	t := sh.lockShard()
+	// Expire first: a release racing its own deadline resolves to the
+	// typed expiry, never to a silent double-release.
+	expired := s.expireDueLocked(sh, now)
+	t = sh.watchdogLocked(t, now)
+	var err error
+	r := sh.res[resourceName]
+	if r == nil || r.holder == nil || r.holder.lease.Token != token {
+		if cause, ok := sh.gone[token]; ok {
+			err = cause
+		} else {
+			err = ErrNotHeld
+		}
+		sh.counters.BadReleases++
+	} else {
+		sh.counters.Releases++
+		sh.hold.Add(uint64(now.Sub(r.holder.grantedAt)))
+		r.holder = nil
+		sh.live--
+		s.grantNextLocked(sh, r, now)
+	}
+	sh.unlockShard(t)
+	s.queueExpiryCallbacks(expired)
+	s.runCallbacks()
+	return err
+}
+
+// Revoke force-releases a resource's current lease (administrative
+// preemption); the revoked lease (if any) is returned and the resource
+// is granted onward. A late Release of the revoked token reports
+// ErrRevoked.
+func (s *Service) Revoke(resourceName string) (Lease, bool, error) {
+	if s.closed.Load() {
+		return Lease{}, false, ErrClosed
+	}
+	sh := s.shardFor(resourceName)
+	now := s.clock.Now()
+
+	t := sh.lockShard()
+	expired := s.expireDueLocked(sh, now)
+	r := sh.res[resourceName]
+	if r == nil || r.holder == nil {
+		sh.unlockShard(t)
+		s.queueExpiryCallbacks(expired)
+		s.runCallbacks()
+		return Lease{}, false, nil
+	}
+	lease := r.holder.lease
+	r.holder = nil
+	sh.live--
+	sh.rememberGone(lease.Token, ErrRevoked)
+	sh.counters.Revocations++
+	s.grantNextLocked(sh, r, now)
+	sh.unlockShard(t)
+	s.queueExpiryCallbacks(expired)
+	s.runCallbacks()
+	return lease, true, nil
+}
+
+// SweepExpired reclaims every due lease across all shards and runs the
+// starvation watchdog; it returns how many leases expired. The
+// background sweeper calls it; tests with NoSweeper call it manually.
+func (s *Service) SweepExpired() int {
+	now := s.clock.Now()
+	total := 0
+	for _, sh := range s.shards {
+		t := sh.lockShard()
+		expired := s.expireDueLocked(sh, now)
+		t = sh.watchdogLocked(t, now)
+		sh.unlockShard(t)
+		total += len(expired)
+		s.queueExpiryCallbacks(expired)
+	}
+	s.runCallbacks()
+	return total
+}
+
+// sweeper is the background expiry loop: it wakes at the earliest lease
+// deadline (bounded so the starvation watchdog runs regularly) and
+// sweeps.
+func (s *Service) sweeper() {
+	defer close(s.sweeperDone)
+	const maxNap = 50 * time.Millisecond
+	const minNap = 100 * time.Microsecond
+	for {
+		nap := maxNap
+		now := s.clock.Now()
+		for _, sh := range s.shards {
+			t := sh.lockShard()
+			if len(sh.heap) > 0 {
+				if d := time.Duration(sh.heap[0].deadline - now.UnixNano()); d < nap {
+					nap = d
+				}
+			}
+			sh.unlockShard(t)
+		}
+		if nap < minNap {
+			nap = minNap
+		}
+		timer := s.clock.NewTimer(nap)
+		select {
+		case <-timer.C():
+			s.SweepExpired()
+		case <-s.stop:
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// Close shuts the service down: the sweeper stops and every queued
+// waiter is flushed with ErrClosed. Close is idempotent.
+func (s *Service) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stop)
+	if s.sweeperDone != nil {
+		<-s.sweeperDone
+	}
+	for _, sh := range s.shards {
+		t := sh.lockShard()
+		sh.flushWaitersLocked(ErrClosed)
+		sh.unlockShard(t)
+	}
+	s.runCallbacks()
+	return nil
+}

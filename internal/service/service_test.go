@@ -1,0 +1,539 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"iqolb/locks"
+)
+
+// newTestService builds a NoSweeper service on a FakeClock with small
+// bounds; tests drive expiry and starvation by hand.
+func newTestService(t *testing.T, mut func(*Config)) (*Service, *FakeClock) {
+	t.Helper()
+	clk := NewFakeClock()
+	cfg := Config{
+		Shards:          2,
+		QueueDepth:      4,
+		DefaultTTL:      time.Second,
+		MaxTTL:          time.Minute,
+		StarvationBound: 10 * time.Second,
+		Clock:           clk,
+		NoSweeper:       true,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, clk
+}
+
+func TestAcquireReleaseBasic(t *testing.T) {
+	s, _ := newTestService(t, nil)
+	l, err := s.Acquire("db", "alice", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Resource != "db" || l.Owner != "alice" || l.Token == 0 {
+		t.Fatalf("lease = %+v", l)
+	}
+	// Second acquire without wait: typed busy.
+	if _, err := s.Acquire("db", "bob", AcquireOptions{}); !errors.Is(err, ErrNoWait) {
+		t.Fatalf("busy acquire: %v, want ErrNoWait", err)
+	}
+	if err := s.Release("db", l.Token); err != nil {
+		t.Fatal(err)
+	}
+	// Double release: typed.
+	if err := s.Release("db", l.Token); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("double release: %v, want ErrNotHeld", err)
+	}
+	// Reacquire works.
+	if _, err := s.Acquire("db", "bob", AcquireOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandoffFIFO pins the direct hand-off order: queued waiters are
+// granted in admission order, one transfer each.
+func TestHandoffFIFO(t *testing.T) {
+	s, _ := newTestService(t, func(c *Config) { c.QueueDepth = 16 })
+	l, err := s.Acquire("r", "holder", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 5
+	order := make(chan int, waiters)
+	started := make(chan struct{}, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			wl, err := s.Acquire("r", fmt.Sprintf("w%d", i), AcquireOptions{Wait: true})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			if err := s.Release("r", wl.Token); err != nil {
+				t.Errorf("waiter %d release: %v", i, err)
+			}
+		}(i)
+		<-started
+		// Wait until the waiter is actually queued so admission order is
+		// deterministic.
+		waitQueued(t, s, "r", i+1)
+	}
+	if err := s.Release("r", l.Token); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(order)
+	i := 0
+	for got := range order {
+		if got != i {
+			t.Fatalf("grant %d went to waiter %d (hand-off order violated)", i, got)
+		}
+		i++
+	}
+	snap := s.Snapshot()
+	if snap.Totals.Handoffs != waiters {
+		t.Fatalf("handoffs = %d, want %d", snap.Totals.Handoffs, waiters)
+	}
+	if snap.Totals.BroadcastWakeups != 0 {
+		t.Fatalf("broadcast wakeups = %d under handoff policy", snap.Totals.BroadcastWakeups)
+	}
+}
+
+// waitQueued spins until the resource has n queued waiters.
+func waitQueued(t *testing.T, s *Service, res string, n int) {
+	t.Helper()
+	sh := s.shardFor(res)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tok := sh.lockShard()
+		q := 0
+		if r := sh.res[res]; r != nil {
+			q = len(r.q)
+		}
+		sh.unlockShard(tok)
+		if q >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiter %d never queued", n)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestBroadcastGrants exercises the baseline policy end to end: all
+// waiters eventually granted, wasted wake-ups counted.
+func TestBroadcastGrants(t *testing.T) {
+	s, _ := newTestService(t, func(c *Config) {
+		c.Policy = PolicyBroadcast
+		c.QueueDepth = 16
+	})
+	l, err := s.Acquire("r", "holder", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 4
+	var wg sync.WaitGroup
+	granted := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wl, err := s.Acquire("r", fmt.Sprintf("w%d", i), AcquireOptions{Wait: true})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			granted <- struct{}{}
+			if err := s.Release("r", wl.Token); err != nil {
+				t.Errorf("waiter %d release: %v", i, err)
+			}
+		}(i)
+	}
+	waitQueued(t, s, "r", waiters)
+	if err := s.Release("r", l.Token); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(granted) != waiters {
+		t.Fatalf("granted %d of %d waiters", len(granted), waiters)
+	}
+	snap := s.Snapshot()
+	if snap.Totals.BroadcastWakeups == 0 {
+		t.Fatal("no broadcast wakeups recorded under broadcast policy")
+	}
+	if snap.Totals.Handoffs != 0 {
+		t.Fatalf("handoffs = %d under broadcast policy", snap.Totals.Handoffs)
+	}
+}
+
+// TestQueueFullShed pins the bounded admission queue: waiters beyond
+// QueueDepth are shed with the typed backpressure error.
+func TestQueueFullShed(t *testing.T) {
+	s, _ := newTestService(t, func(c *Config) { c.Shards = 1; c.QueueDepth = 2 })
+	l, err := s.Acquire("r", "holder", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wl, err := s.Acquire("r", "w", AcquireOptions{Wait: true})
+			if err != nil {
+				t.Errorf("queued waiter: %v", err)
+				return
+			}
+			s.Release("r", wl.Token)
+		}()
+	}
+	waitQueued(t, s, "r", 2)
+	if _, err := s.Acquire("r", "late", AcquireOptions{Wait: true}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow acquire: %v, want ErrQueueFull", err)
+	}
+	if err := s.Release("r", l.Token); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := s.Snapshot().Totals.QueueFullSheds; got != 1 {
+		t.Fatalf("queue-full sheds = %d, want 1", got)
+	}
+}
+
+// TestWaitTimeout pins MaxWait: the waiter dequeues itself and reports
+// the typed timeout.
+func TestWaitTimeout(t *testing.T) {
+	s, clk := newTestService(t, nil)
+	l, err := s.Acquire("r", "holder", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire("r", "w", AcquireOptions{Wait: true, MaxWait: 100 * time.Millisecond})
+		done <- err
+	}()
+	waitQueued(t, s, "r", 1)
+	clk.Advance(200 * time.Millisecond)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrWaitTimeout) {
+			t.Fatalf("timed-out acquire: %v, want ErrWaitTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never timed out")
+	}
+	if got := s.Snapshot().Totals.Timeouts; got != 1 {
+		t.Fatalf("timeouts = %d, want 1", got)
+	}
+	// The holder still holds; release cleanly.
+	if err := s.Release("r", l.Token); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpiryGrantsNextWaiter pins the expiry path: a crashed holder's
+// lease expires exactly once, is typed on late release, and the queued
+// waiter is granted directly.
+func TestExpiryGrantsNextWaiter(t *testing.T) {
+	var expiries []Lease
+	var mu sync.Mutex
+	s, clk := newTestService(t, func(c *Config) {
+		c.OnExpire = func(l Lease) { mu.Lock(); expiries = append(expiries, l); mu.Unlock() }
+	})
+	l, err := s.Acquire("r", "crasher", AcquireOptions{TTL: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Lease, 1)
+	go func() {
+		wl, err := s.Acquire("r", "patient", AcquireOptions{Wait: true})
+		if err != nil {
+			t.Errorf("waiter: %v", err)
+			return
+		}
+		got <- wl
+	}()
+	waitQueued(t, s, "r", 1)
+	clk.Advance(1100 * time.Millisecond)
+	if n := s.SweepExpired(); n != 1 {
+		t.Fatalf("sweep expired %d leases, want 1", n)
+	}
+	var wl Lease
+	select {
+	case wl = <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not granted after expiry")
+	}
+	if wl.Owner != "patient" {
+		t.Fatalf("granted to %q", wl.Owner)
+	}
+	// The crasher's late release is typed.
+	if err := s.Release("r", l.Token); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("late release: %v, want ErrLeaseExpired", err)
+	}
+	// Exactly once: further sweeps expire nothing more of this lease.
+	if n := s.SweepExpired(); n != 0 {
+		t.Fatalf("second sweep expired %d", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(expiries) != 1 || expiries[0].Token != l.Token {
+		t.Fatalf("expiry callbacks = %+v, want exactly one for token %d", expiries, l.Token)
+	}
+	if err := s.Release("r", wl.Token); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRevoke pins administrative revocation: the holder's late release
+// is typed ErrRevoked and the next waiter is granted.
+func TestRevoke(t *testing.T) {
+	s, _ := newTestService(t, nil)
+	l, err := s.Acquire("r", "victim", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	revoked, ok, err := s.Revoke("r")
+	if err != nil || !ok || revoked.Token != l.Token {
+		t.Fatalf("revoke = %+v %v %v", revoked, ok, err)
+	}
+	if err := s.Release("r", l.Token); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("release after revoke: %v, want ErrRevoked", err)
+	}
+	if _, ok, _ := s.Revoke("r"); ok {
+		t.Fatal("revoke of free resource reported a lease")
+	}
+}
+
+// TestStarvationDegrade pins the watchdog → degrade path: an over-aged
+// waiter degrades the shard, queued waiters are flushed typed, new
+// requests are shed, and the shard keeps serving immediate grants under
+// the fallback mutex.
+func TestStarvationDegrade(t *testing.T) {
+	var degraded []string
+	var mu sync.Mutex
+	s, clk := newTestService(t, func(c *Config) {
+		c.Shards = 1
+		c.StarvationBound = time.Second
+		c.OnDegrade = func(sh int, reason string) {
+			mu.Lock()
+			degraded = append(degraded, fmt.Sprintf("shard%d:%s", sh, reason))
+			mu.Unlock()
+		}
+	})
+	l, err := s.Acquire("r", "hog", AcquireOptions{TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire("r", "starved", AcquireOptions{Wait: true})
+		flushed <- err
+	}()
+	waitQueued(t, s, "r", 1)
+	clk.Advance(2 * time.Second)
+	s.SweepExpired() // runs the watchdog
+	select {
+	case err := <-flushed:
+		if !errors.Is(err, ErrDegraded) {
+			t.Fatalf("flushed waiter: %v, want ErrDegraded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("starved waiter never flushed")
+	}
+	// Degraded shard sheds instead of queueing.
+	if _, err := s.Acquire("r", "late", AcquireOptions{Wait: true}); !errors.Is(err, ErrShed) {
+		t.Fatalf("degraded acquire of held resource: %v, want ErrShed", err)
+	}
+	// But still serves free resources (plain-mutex path).
+	l2, err := s.Acquire("other", "ok", AcquireOptions{})
+	if err != nil {
+		t.Fatalf("degraded immediate grant: %v", err)
+	}
+	if err := s.Release("other", l2.Token); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release("r", l.Token); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Degraded != 1 || snap.Totals.Degrades != 1 || snap.Totals.Flushed != 1 {
+		t.Fatalf("degrade accounting: %+v", snap.Totals)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(degraded) != 1 {
+		t.Fatalf("degrade callbacks = %v", degraded)
+	}
+}
+
+// TestDegradedExclusion hammers a degraded shard and a clean shard
+// concurrently with a plain counter per resource; the race detector and
+// the counts are the oracle that the primitive→fallback guard swap
+// never breaks mutual exclusion.
+func TestDegradedExclusion(t *testing.T) {
+	for _, kind := range locks.Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			s, clk := newTestService(t, func(c *Config) {
+				c.Shards = 1
+				c.Lock = kind
+				c.StarvationBound = time.Second
+				c.QueueDepth = 64
+			})
+			// Degrade the shard mid-traffic: a hog plus a starved waiter.
+			hog, err := s.Acquire("hog", "hog", AcquireOptions{TTL: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			go s.Acquire("hog", "starved", AcquireOptions{Wait: true})
+			waitQueued(t, s, "hog", 1)
+
+			const goroutines, ops = 8, 300
+			counters := make([]uint64, goroutines) // per-goroutine, summed later
+			var grants uint64
+			var gmu sync.Mutex
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					res := fmt.Sprintf("res%d", g%2)
+					for i := 0; i < ops; i++ {
+						l, err := s.Acquire(res, "w", AcquireOptions{TTL: time.Minute})
+						if err != nil {
+							continue // busy: fine, we only count held work
+						}
+						counters[g]++
+						gmu.Lock()
+						grants++
+						gmu.Unlock()
+						if err := s.Release(res, l.Token); err != nil {
+							t.Errorf("release: %v", err)
+							return
+						}
+						if i == ops/2 && g == 0 {
+							// Trip the watchdog mid-hammer.
+							clk.Advance(2 * time.Second)
+							s.SweepExpired()
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if !s.shards[0].degraded.Load() {
+				t.Fatal("shard never degraded")
+			}
+			var sum uint64
+			for _, c := range counters {
+				sum += c
+			}
+			if sum != grants {
+				t.Fatalf("counted %d grants, recorded %d", sum, grants)
+			}
+			s.Release("hog", hog.Token)
+		})
+	}
+}
+
+// TestCloseFlushesWaiters pins shutdown: queued waiters get ErrClosed,
+// later ops get ErrClosed, Close is idempotent.
+func TestCloseFlushesWaiters(t *testing.T) {
+	s, _ := newTestService(t, nil)
+	l, err := s.Acquire("r", "holder", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire("r", "w", AcquireOptions{Wait: true})
+		done <- err
+	}()
+	waitQueued(t, s, "r", 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("flushed waiter: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not flushed on close")
+	}
+	if _, err := s.Acquire("x", "y", AcquireOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("acquire after close: %v", err)
+	}
+	if err := s.Release("r", l.Token); !errors.Is(err, ErrClosed) {
+		t.Fatalf("release after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second close not idempotent:", err)
+	}
+}
+
+// TestPerShardPrimitives pins the per-shard lock selection.
+func TestPerShardPrimitives(t *testing.T) {
+	s, _ := newTestService(t, func(c *Config) {
+		c.Shards = 5
+		c.Locks = locks.Kinds()
+	})
+	snap := s.Snapshot()
+	for i, k := range locks.Kinds() {
+		if snap.Shards[i].Lock != string(k) {
+			t.Fatalf("shard %d lock = %q, want %q", i, snap.Shards[i].Lock, k)
+		}
+	}
+	if _, err := New(Config{Shards: 2, Locks: []locks.Kind{locks.KindTTS}}); err == nil {
+		t.Fatal("mismatched per-shard lock list accepted")
+	}
+	var ce *ConfigError
+	_, err := New(Config{Shards: -1})
+	if !errors.As(err, &ce) {
+		t.Fatalf("bad config error not typed: %v", err)
+	}
+}
+
+// TestSweeperBackground exercises the real-clock sweeper: a lease with a
+// short TTL expires without any client action.
+func TestSweeperBackground(t *testing.T) {
+	expired := make(chan Lease, 1)
+	s, err := New(Config{
+		Shards:     1,
+		DefaultTTL: 20 * time.Millisecond,
+		OnExpire:   func(l Lease) { expired <- l },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	l, err := s.Acquire("r", "crash", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-expired:
+		if e.Token != l.Token {
+			t.Fatalf("expired %d, want %d", e.Token, l.Token)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("background sweeper never expired the lease")
+	}
+}

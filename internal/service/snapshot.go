@@ -1,0 +1,130 @@
+package service
+
+import (
+	"iqolb/internal/stats"
+)
+
+// SnapshotSchemaVersion identifies the Snapshot layout, following the
+// repo's artifact conventions (internal/obs, internal/harness): bump on
+// any field addition, removal, or change of meaning.
+const SnapshotSchemaVersion = 1
+
+// Counters are one shard's monotonic event counts. The broadcast-policy
+// fields quantify the thundering herd the hand-off policy avoids:
+// WastedWakeups is the service's analogue of the redundant bus
+// transactions the paper's delays eliminate.
+type Counters struct {
+	Acquires        uint64 `json:"acquires"`
+	Grants          uint64 `json:"grants"`
+	ImmediateGrants uint64 `json:"immediate_grants"`
+	// Handoffs: grants delivered releaser→waiter in one transfer
+	// (PolicyHandoff).
+	Handoffs uint64 `json:"handoffs"`
+	// BroadcastWakeups / BroadcastClaims / WastedWakeups: wake-ups sent,
+	// wake-ups that claimed the resource, and wake-ups that found it
+	// already taken (PolicyBroadcast).
+	BroadcastWakeups uint64 `json:"broadcast_wakeups"`
+	BroadcastClaims  uint64 `json:"broadcast_claims"`
+	WastedWakeups    uint64 `json:"wasted_wakeups"`
+	// QueueFullSheds: requests shed by the bounded admission queue.
+	// DegradedSheds: requests shed by a degraded shard's shed-load mode.
+	QueueFullSheds uint64 `json:"queue_full_sheds"`
+	DegradedSheds  uint64 `json:"degraded_sheds"`
+	NoWaitBusy     uint64 `json:"no_wait_busy"`
+	Timeouts       uint64 `json:"timeouts"`
+	Releases       uint64 `json:"releases"`
+	BadReleases    uint64 `json:"bad_releases"`
+	Expiries       uint64 `json:"expiries"`
+	Revocations    uint64 `json:"revocations"`
+	// Flushed: waiters failed with a typed error on degrade or close.
+	Flushed  uint64 `json:"flushed"`
+	Degrades uint64 `json:"degrades"`
+}
+
+// add accumulates o into c (for the snapshot totals row).
+func (c *Counters) add(o Counters) {
+	c.Acquires += o.Acquires
+	c.Grants += o.Grants
+	c.ImmediateGrants += o.ImmediateGrants
+	c.Handoffs += o.Handoffs
+	c.BroadcastWakeups += o.BroadcastWakeups
+	c.BroadcastClaims += o.BroadcastClaims
+	c.WastedWakeups += o.WastedWakeups
+	c.QueueFullSheds += o.QueueFullSheds
+	c.DegradedSheds += o.DegradedSheds
+	c.NoWaitBusy += o.NoWaitBusy
+	c.Timeouts += o.Timeouts
+	c.Releases += o.Releases
+	c.BadReleases += o.BadReleases
+	c.Expiries += o.Expiries
+	c.Revocations += o.Revocations
+	c.Flushed += o.Flushed
+	c.Degrades += o.Degrades
+}
+
+// Sheds is the total of both shed classes.
+func (c Counters) Sheds() uint64 { return c.QueueFullSheds + c.DegradedSheds }
+
+// ShardSnapshot is one shard's state at capture time.
+type ShardSnapshot struct {
+	Shard         int      `json:"shard"`
+	Lock          string   `json:"lock"`
+	Degraded      bool     `json:"degraded,omitempty"`
+	DegradeReason string   `json:"degrade_reason,omitempty"`
+	Queued        int      `json:"queued"`
+	LiveLeases    int      `json:"live_leases"`
+	Counters      Counters `json:"counters"`
+	// GrantWaitNS: enqueue → grant (zero samples for immediate grants).
+	// HoldNS: grant → release.
+	GrantWaitNS stats.Histogram `json:"grant_wait_ns"`
+	HoldNS      stats.Histogram `json:"hold_ns"`
+}
+
+// Snapshot is a consistent-per-shard capture of the whole service
+// (shards are captured one at a time, so cross-shard totals are
+// approximate under load — same contract as obs.Snapshot's counters).
+type Snapshot struct {
+	SchemaVersion int             `json:"schema_version"`
+	Policy        string          `json:"policy"`
+	QueueDepth    int             `json:"queue_depth"`
+	Shards        []ShardSnapshot `json:"shards"`
+	Totals        Counters        `json:"totals"`
+	GrantWaitNS   stats.Histogram `json:"grant_wait_ns"`
+	HoldNS        stats.Histogram `json:"hold_ns"`
+	LiveLeases    int             `json:"live_leases"`
+	Degraded      int             `json:"degraded_shards"`
+}
+
+// Snapshot captures the current service state.
+func (s *Service) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		Policy:        string(s.cfg.Policy),
+		QueueDepth:    s.cfg.QueueDepth,
+		Shards:        make([]ShardSnapshot, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		t := sh.lockShard()
+		ss := ShardSnapshot{
+			Shard:         i,
+			Lock:          sh.mu.Name(),
+			Degraded:      sh.degraded.Load(),
+			DegradeReason: sh.degradeReason,
+			Queued:        sh.queued,
+			LiveLeases:    sh.live,
+			Counters:      sh.counters,
+		}
+		ss.GrantWaitNS.Merge(&sh.grantWait)
+		ss.HoldNS.Merge(&sh.hold)
+		sh.unlockShard(t)
+		snap.Shards[i] = ss
+		snap.Totals.add(ss.Counters)
+		snap.GrantWaitNS.Merge(&ss.GrantWaitNS)
+		snap.HoldNS.Merge(&ss.HoldNS)
+		snap.LiveLeases += ss.LiveLeases
+		if ss.Degraded {
+			snap.Degraded++
+		}
+	}
+	return snap
+}

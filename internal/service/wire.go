@@ -1,0 +1,353 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// The lockserve wire protocol, version 1. Every frame is:
+//
+//	byte 0      protocol version (WireVersion)
+//	byte 1      op code
+//	bytes 2..3  big-endian payload length (≤ MaxPayload)
+//	bytes 4..   payload
+//
+// Strings are u16-length-prefixed UTF-8 (not validated as UTF-8; the
+// service treats names as opaque bytes). Durations travel as u32
+// milliseconds. The codec is strict: unknown versions, unknown ops,
+// oversized fields, and payloads whose length does not exactly match
+// their fields are all typed *WireError rejections — the fuzz target
+// (FuzzServiceWire) holds the codec to "parse exactly or reject, never
+// panic, and re-encode parsed frames byte-identically".
+const (
+	WireVersion = 1
+	// MaxPayload bounds one frame's payload; MaxResourceLen/MaxOwnerLen
+	// bound the name fields.
+	MaxPayload     = 1024
+	MaxResourceLen = 256
+	MaxOwnerLen    = 128
+	wireHeaderLen  = 4
+)
+
+// Request op codes.
+const (
+	OpAcquire uint8 = 1
+	OpRelease uint8 = 2
+	OpPing    uint8 = 3
+)
+
+// Response op codes.
+const (
+	OpGranted uint8 = 129
+	OpOK      uint8 = 130
+	OpError   uint8 = 131
+)
+
+// Wire error codes carried by OpError responses; each maps to one typed
+// service error so clients classify without string matching.
+const (
+	CodeNotHeld   uint8 = 1
+	CodeExpired   uint8 = 2
+	CodeClosed    uint8 = 3
+	CodeQueueFull uint8 = 4
+	CodeShed      uint8 = 5
+	CodeDegraded  uint8 = 6
+	CodeTimeout   uint8 = 7
+	CodeNoWait    uint8 = 8
+	CodeRevoked   uint8 = 9
+	CodeBadFrame  uint8 = 10
+	CodeInternal  uint8 = 11
+)
+
+// WireError is a malformed-frame rejection.
+type WireError struct{ Msg string }
+
+func (e *WireError) Error() string { return "service: wire: " + e.Msg }
+
+func wireErrf(format string, args ...any) error {
+	return &WireError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Request is one decoded client frame.
+type Request struct {
+	Op       uint8
+	Resource string
+	Owner    string        // OpAcquire
+	TTL      time.Duration // OpAcquire; millisecond granularity
+	MaxWait  time.Duration // OpAcquire; millisecond granularity
+	Wait     bool          // OpAcquire
+	Token    uint64        // OpRelease
+}
+
+// Response is one decoded server frame.
+type Response struct {
+	Op       uint8
+	Token    uint64 // OpGranted
+	Deadline int64  // OpGranted; UnixNano
+	Code     uint8  // OpError
+	Msg      string // OpError
+}
+
+// appendString encodes a u16-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// takeString decodes a u16-length-prefixed string bounded by max.
+func takeString(b []byte, max int, what string) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, wireErrf("truncated %s length", what)
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if n > max {
+		return "", nil, wireErrf("%s length %d exceeds %d", what, n, max)
+	}
+	if len(b) < n {
+		return "", nil, wireErrf("truncated %s", what)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// durMS bounds a duration to the u32-millisecond wire range.
+func durMS(d time.Duration) uint32 {
+	ms := d.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > int64(^uint32(0)) {
+		ms = int64(^uint32(0))
+	}
+	return uint32(ms)
+}
+
+// AppendRequest encodes a request frame onto b.
+func AppendRequest(b []byte, req Request) ([]byte, error) {
+	if len(req.Resource) > MaxResourceLen {
+		return nil, wireErrf("resource length %d exceeds %d", len(req.Resource), MaxResourceLen)
+	}
+	if len(req.Owner) > MaxOwnerLen {
+		return nil, wireErrf("owner length %d exceeds %d", len(req.Owner), MaxOwnerLen)
+	}
+	var payload []byte
+	switch req.Op {
+	case OpAcquire:
+		payload = appendString(payload, req.Resource)
+		payload = appendString(payload, req.Owner)
+		payload = binary.BigEndian.AppendUint32(payload, durMS(req.TTL))
+		payload = binary.BigEndian.AppendUint32(payload, durMS(req.MaxWait))
+		var flags uint8
+		if req.Wait {
+			flags |= 1
+		}
+		payload = append(payload, flags)
+	case OpRelease:
+		payload = appendString(payload, req.Resource)
+		payload = binary.BigEndian.AppendUint64(payload, req.Token)
+	case OpPing:
+	default:
+		return nil, wireErrf("unknown request op %d", req.Op)
+	}
+	return appendFrame(b, req.Op, payload), nil
+}
+
+// AppendResponse encodes a response frame onto b.
+func AppendResponse(b []byte, resp Response) ([]byte, error) {
+	var payload []byte
+	switch resp.Op {
+	case OpGranted:
+		payload = binary.BigEndian.AppendUint64(payload, resp.Token)
+		payload = binary.BigEndian.AppendUint64(payload, uint64(resp.Deadline))
+	case OpOK:
+	case OpError:
+		msg := resp.Msg
+		if len(msg) > MaxResourceLen {
+			msg = msg[:MaxResourceLen]
+		}
+		payload = append(payload, resp.Code)
+		payload = appendString(payload, msg)
+	default:
+		return nil, wireErrf("unknown response op %d", resp.Op)
+	}
+	return appendFrame(b, resp.Op, payload), nil
+}
+
+func appendFrame(b []byte, op uint8, payload []byte) []byte {
+	b = append(b, WireVersion, op)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(payload)))
+	return append(b, payload...)
+}
+
+// readFrame reads one frame header + payload from r.
+func readFrame(r io.Reader) (op uint8, payload []byte, err error) {
+	var hdr [wireHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err // io.EOF between frames is a clean close
+	}
+	if hdr[0] != WireVersion {
+		return 0, nil, wireErrf("unknown protocol version %d", hdr[0])
+	}
+	n := int(binary.BigEndian.Uint16(hdr[2:]))
+	if n > MaxPayload {
+		return 0, nil, wireErrf("payload length %d exceeds %d", n, MaxPayload)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, wireErrf("truncated payload: %v", err)
+	}
+	return hdr[1], payload, nil
+}
+
+// ReadRequest decodes one request frame from r. io.EOF (and only a
+// clean EOF at a frame boundary) passes through unchanged so servers
+// can distinguish a closed connection from a malformed frame.
+func ReadRequest(r io.Reader) (Request, error) {
+	op, payload, err := readFrame(r)
+	if err != nil {
+		return Request{}, err
+	}
+	req := Request{Op: op}
+	switch op {
+	case OpAcquire:
+		var res, owner string
+		res, payload, err = takeString(payload, MaxResourceLen, "resource")
+		if err != nil {
+			return Request{}, err
+		}
+		owner, payload, err = takeString(payload, MaxOwnerLen, "owner")
+		if err != nil {
+			return Request{}, err
+		}
+		if len(payload) != 9 {
+			return Request{}, wireErrf("acquire payload has %d trailing bytes, want 9", len(payload))
+		}
+		req.Resource = res
+		req.Owner = owner
+		req.TTL = time.Duration(binary.BigEndian.Uint32(payload)) * time.Millisecond
+		req.MaxWait = time.Duration(binary.BigEndian.Uint32(payload[4:])) * time.Millisecond
+		flags := payload[8]
+		if flags > 1 {
+			return Request{}, wireErrf("unknown acquire flags %#x", flags)
+		}
+		req.Wait = flags&1 != 0
+		if req.Resource == "" {
+			return Request{}, wireErrf("empty resource")
+		}
+	case OpRelease:
+		var res string
+		res, payload, err = takeString(payload, MaxResourceLen, "resource")
+		if err != nil {
+			return Request{}, err
+		}
+		if len(payload) != 8 {
+			return Request{}, wireErrf("release payload has %d trailing bytes, want 8", len(payload))
+		}
+		req.Resource = res
+		req.Token = binary.BigEndian.Uint64(payload)
+		if req.Resource == "" {
+			return Request{}, wireErrf("empty resource")
+		}
+	case OpPing:
+		if len(payload) != 0 {
+			return Request{}, wireErrf("ping payload has %d bytes, want 0", len(payload))
+		}
+	default:
+		return Request{}, wireErrf("unknown request op %d", op)
+	}
+	return req, nil
+}
+
+// ReadResponse decodes one response frame from r.
+func ReadResponse(r io.Reader) (Response, error) {
+	op, payload, err := readFrame(r)
+	if err != nil {
+		return Response{}, err
+	}
+	resp := Response{Op: op}
+	switch op {
+	case OpGranted:
+		if len(payload) != 16 {
+			return Response{}, wireErrf("granted payload has %d bytes, want 16", len(payload))
+		}
+		resp.Token = binary.BigEndian.Uint64(payload)
+		resp.Deadline = int64(binary.BigEndian.Uint64(payload[8:]))
+	case OpOK:
+		if len(payload) != 0 {
+			return Response{}, wireErrf("ok payload has %d bytes, want 0", len(payload))
+		}
+	case OpError:
+		if len(payload) < 1 {
+			return Response{}, wireErrf("error payload empty")
+		}
+		resp.Code = payload[0]
+		var msg string
+		msg, rest, err := takeString(payload[1:], MaxResourceLen, "message")
+		if err != nil {
+			return Response{}, err
+		}
+		if len(rest) != 0 {
+			return Response{}, wireErrf("error payload has %d trailing bytes", len(rest))
+		}
+		resp.Msg = msg
+	default:
+		return Response{}, wireErrf("unknown response op %d", op)
+	}
+	return resp, nil
+}
+
+// errorCode maps a typed service error to its wire code.
+func errorCode(err error) uint8 {
+	switch {
+	case errors.Is(err, ErrNotHeld):
+		return CodeNotHeld
+	case errors.Is(err, ErrLeaseExpired):
+		return CodeExpired
+	case errors.Is(err, ErrClosed):
+		return CodeClosed
+	case errors.Is(err, ErrQueueFull):
+		return CodeQueueFull
+	case errors.Is(err, ErrShed):
+		return CodeShed
+	case errors.Is(err, ErrDegraded):
+		return CodeDegraded
+	case errors.Is(err, ErrWaitTimeout):
+		return CodeTimeout
+	case errors.Is(err, ErrNoWait):
+		return CodeNoWait
+	case errors.Is(err, ErrRevoked):
+		return CodeRevoked
+	}
+	return CodeInternal
+}
+
+// codeError maps a wire code back to the typed service error; the
+// client side of errorCode.
+func codeError(code uint8, msg string) error {
+	switch code {
+	case CodeNotHeld:
+		return ErrNotHeld
+	case CodeExpired:
+		return ErrLeaseExpired
+	case CodeClosed:
+		return ErrClosed
+	case CodeQueueFull:
+		return ErrQueueFull
+	case CodeShed:
+		return ErrShed
+	case CodeDegraded:
+		return ErrDegraded
+	case CodeTimeout:
+		return ErrWaitTimeout
+	case CodeNoWait:
+		return ErrNoWait
+	case CodeRevoked:
+		return ErrRevoked
+	case CodeBadFrame:
+		return &WireError{Msg: msg}
+	}
+	return fmt.Errorf("service: server error: %s", msg)
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpAcquire, Resource: "db", Owner: "alice", TTL: 5 * time.Second, MaxWait: 250 * time.Millisecond, Wait: true},
+		{Op: OpAcquire, Resource: "r", Owner: "", TTL: 0, MaxWait: 0, Wait: false},
+		{Op: OpRelease, Resource: "db", Token: 0xdeadbeefcafe},
+		{Op: OpPing},
+	}
+	for _, req := range reqs {
+		b, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		got, err := ReadRequest(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		if got != req {
+			t.Fatalf("round trip: got %+v, want %+v", got, req)
+		}
+		// Canonical: re-encoding the parsed frame is byte-identical.
+		b2, err := AppendRequest(nil, got)
+		if err != nil || !bytes.Equal(b, b2) {
+			t.Fatalf("re-encode not canonical: %x vs %x (%v)", b, b2, err)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{Op: OpGranted, Token: 42, Deadline: 123456789},
+		{Op: OpOK},
+		{Op: OpError, Code: CodeQueueFull, Msg: "queue full"},
+	}
+	for _, resp := range resps {
+		b, err := AppendResponse(nil, resp)
+		if err != nil {
+			t.Fatalf("%+v: %v", resp, err)
+		}
+		got, err := ReadResponse(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("%+v: %v", resp, err)
+		}
+		if got != resp {
+			t.Fatalf("round trip: got %+v, want %+v", got, resp)
+		}
+	}
+}
+
+func TestRequestEncodeBounds(t *testing.T) {
+	long := string(make([]byte, MaxResourceLen+1))
+	if _, err := AppendRequest(nil, Request{Op: OpPing, Resource: long}); err == nil {
+		t.Fatal("oversized resource accepted")
+	}
+	if _, err := AppendRequest(nil, Request{Op: 99}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestMalformedFrames(t *testing.T) {
+	cases := map[string][]byte{
+		"bad version":       {2, OpPing, 0, 0},
+		"oversized payload": {1, OpAcquire, 0xff, 0xff},
+		"unknown op":        {1, 77, 0, 0},
+		"ping with payload": {1, OpPing, 0, 1, 0},
+		"empty resource": func() []byte {
+			// Hand-built release frame naming a zero-length resource.
+			return []byte{1, OpRelease, 0, 10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+		}(),
+		"acquire bad flags": func() []byte {
+			b, _ := AppendRequest(nil, Request{Op: OpAcquire, Resource: "r", Wait: true})
+			b[len(b)-1] = 0xff
+			return b
+		}(),
+		"truncated string": {1, OpRelease, 0, 3, 0, 9, 'r'},
+	}
+	for name, frame := range cases {
+		_, err := ReadRequest(bytes.NewReader(frame))
+		var we *WireError
+		if !errors.As(err, &we) {
+			t.Errorf("%s: err = %v, want *WireError", name, err)
+		}
+	}
+	// Clean EOF at a frame boundary passes through untyped.
+	if _, err := ReadRequest(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestErrorCodeBijection(t *testing.T) {
+	for _, err := range []error{
+		ErrNotHeld, ErrLeaseExpired, ErrClosed, ErrQueueFull, ErrShed,
+		ErrDegraded, ErrWaitTimeout, ErrNoWait, ErrRevoked,
+	} {
+		code := errorCode(err)
+		back := codeError(code, err.Error())
+		if !errors.Is(back, err) {
+			t.Errorf("code %d: %v does not round-trip (got %v)", code, err, back)
+		}
+	}
+	if errorCode(errors.New("surprise")) != CodeInternal {
+		t.Error("untyped error not mapped to CodeInternal")
+	}
+}
+
+// FuzzServiceWire fuzzes both directions of the codec. For any byte
+// stream the decoder must (a) never panic, (b) either parse a frame and
+// re-encode it byte-identically from the consumed prefix, or (c) reject
+// with a typed *WireError (EOF variants mean truncation, which is a
+// clean close at a boundary and a WireError mid-frame by construction
+// of readFrame).
+func FuzzServiceWire(f *testing.F) {
+	seed := func(b []byte, err error) []byte {
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add(seed(AppendRequest(nil, Request{Op: OpAcquire, Resource: "db", Owner: "alice", TTL: time.Second, MaxWait: 50 * time.Millisecond, Wait: true})))
+	f.Add(seed(AppendRequest(nil, Request{Op: OpRelease, Resource: "db", Token: 7})))
+	f.Add(seed(AppendRequest(nil, Request{Op: OpPing})))
+	f.Add(seed(AppendResponse(nil, Response{Op: OpGranted, Token: 1, Deadline: 99})))
+	f.Add(seed(AppendResponse(nil, Response{Op: OpOK})))
+	f.Add(seed(AppendResponse(nil, Response{Op: OpError, Code: CodeShed, Msg: "shed"})))
+	f.Add([]byte{2, 1, 0, 0})          // bad version
+	f.Add([]byte{1, 1, 0xff, 0xff})    // oversized
+	f.Add([]byte{1, 3, 0, 0, 1, 3, 0}) // ping then truncated frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		req, err := ReadRequest(r)
+		if err == nil {
+			consumed := data[:len(data)-r.Len()]
+			enc, err := AppendRequest(nil, req)
+			if err != nil {
+				t.Fatalf("parsed request %+v does not re-encode: %v", req, err)
+			}
+			if !bytes.Equal(enc, consumed) {
+				t.Fatalf("request re-encode differs:\n  consumed %x\n  encoded  %x", consumed, enc)
+			}
+		} else if !isCleanWireReject(err) {
+			t.Fatalf("request decode error not typed: %v", err)
+		}
+
+		r = bytes.NewReader(data)
+		resp, err := ReadResponse(r)
+		if err == nil {
+			consumed := data[:len(data)-r.Len()]
+			enc, err := AppendResponse(nil, resp)
+			if err != nil {
+				t.Fatalf("parsed response %+v does not re-encode: %v", resp, err)
+			}
+			if !bytes.Equal(enc, consumed) {
+				t.Fatalf("response re-encode differs:\n  consumed %x\n  encoded  %x", consumed, enc)
+			}
+		} else if !isCleanWireReject(err) {
+			t.Fatalf("response decode error not typed: %v", err)
+		}
+	})
+}
+
+// isCleanWireReject reports whether a decode error is one of the
+// contract's allowed rejections.
+func isCleanWireReject(err error) bool {
+	var we *WireError
+	return errors.As(err, &we) || err == io.EOF || err == io.ErrUnexpectedEOF
+}

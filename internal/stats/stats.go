@@ -167,6 +167,26 @@ func (h *Histogram) String() string {
 	return sb.String()
 }
 
+// Jain is Jain's fairness index over per-actor completed-work counts:
+// 1 = perfectly even, 1/n = one actor did everything, 0 = no work (or
+// no actors). Shared by the native harnesses (lockbench per-goroutine
+// ops, the service load generator's per-client grants).
+func Jain(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		f := float64(x)
+		sum += f
+		sq += f * f
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
 // Node aggregates per-node (per-controller) counters.
 type Node struct {
 	// Address-bus transactions issued by this node, by kind index

@@ -246,3 +246,20 @@ func TestHistogramMergeSelfDoubling(t *testing.T) {
 	h.Merge(&h)
 	mergeEquals(t, &h, []uint64{3, 3, 700, 3, 3, 700})
 }
+
+// TestJain pins the fairness index (moved here from lockbench when the
+// service load generator began sharing it).
+func TestJain(t *testing.T) {
+	if f := Jain([]uint64{10, 10, 10, 10}); f != 1 {
+		t.Fatalf("even shares: %f", f)
+	}
+	if f := Jain([]uint64{40, 0, 0, 0}); f != 0.25 {
+		t.Fatalf("single winner: %f", f)
+	}
+	if f := Jain(nil); f != 0 {
+		t.Fatalf("empty: %f", f)
+	}
+	if f := Jain([]uint64{0, 0}); f != 0 {
+		t.Fatalf("all-zero: %f", f)
+	}
+}

@@ -340,6 +340,27 @@ func Generate(p Params, prim synclib.Primitive, procs int) (*Build, error) {
 	}, nil
 }
 
+// PickLock chooses a lock (or resource) index from the signature's
+// contention distribution: HotPct of choices hit index zero, the rest
+// spread uniformly. rand must return a uniform value in [0, n). The
+// draw sequence (at most two draws) is fixed, so seeded callers replay
+// identically; it deliberately mirrors emitLockChoice, and the native
+// harnesses (lockbench, the service load generator) share it so every
+// layer of the study samples the same distribution.
+func (p Params) PickLock(rand func(n int64) int64) int {
+	switch {
+	case p.Locks == 1 || p.HotPct >= 100:
+		return 0
+	case p.HotPct == 0:
+		return int(rand(int64(p.Locks)))
+	default:
+		if rand(100) < int64(p.HotPct) {
+			return 0
+		}
+		return int(rand(int64(p.Locks)))
+	}
+}
+
 // emitLockChoice leaves the chosen lock index in S5.
 func emitLockChoice(b *isa.Builder, p Params) {
 	switch {

@@ -112,39 +112,77 @@ func TestMutualExclusion(t *testing.T) {
 // TestNoLostWakeup forces long blocking chains: every goroutine yields
 // inside its critical section, so at any moment most of the pack is
 // parked in a lock queue and every release must wake its successor.
+// GOMAXPROCS=1 is the harshest cell: nothing runs concurrently, so any
+// waiting path that spins without yielding starves the holder outright.
 func TestNoLostWakeup(t *testing.T) {
 	const opsPerG = 300
 	for _, k := range Kinds() {
-		t.Run(string(k), func(t *testing.T) {
-			withProcs(2, func() {
-				l, err := New(k)
-				if err != nil {
-					t.Fatal(err)
-				}
-				const goroutines = 12 // heavily oversubscribed on 2 procs
-				var counter uint64
-				runWithTimeout(t, 2*time.Minute, func() {
-					var wg sync.WaitGroup
-					for g := 0; g < goroutines; g++ {
-						wg.Add(1)
-						go func() {
-							defer wg.Done()
-							for i := 0; i < opsPerG; i++ {
-								l.Lock()
-								counter++
-								runtime.Gosched() // hold across a reschedule
-								l.Unlock()
-							}
-						}()
+		for _, procs := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%s/p%d", k, procs), func(t *testing.T) {
+				withProcs(procs, func() {
+					l, err := New(k)
+					if err != nil {
+						t.Fatal(err)
 					}
-					wg.Wait()
+					const goroutines = 12 // heavily oversubscribed
+					var counter uint64
+					runWithTimeout(t, 2*time.Minute, func() {
+						var wg sync.WaitGroup
+						for g := 0; g < goroutines; g++ {
+							wg.Add(1)
+							go func() {
+								defer wg.Done()
+								for i := 0; i < opsPerG; i++ {
+									l.Lock()
+									counter++
+									runtime.Gosched() // hold across a reschedule
+									l.Unlock()
+								}
+							}()
+						}
+						wg.Wait()
+					})
+					if want := uint64(goroutines * opsPerG); counter != want {
+						t.Fatalf("counter = %d, want %d", counter, want)
+					}
 				})
-				if want := uint64(goroutines * opsPerG); counter != want {
-					t.Fatalf("counter = %d, want %d", counter, want)
-				}
 			})
-		})
+		}
 	}
+}
+
+// TestTicketOversubscribedNoLivelock is the regression test for the
+// ticket lock's single-processor livelock: with GOMAXPROCS=1 a spinner
+// whose ticket is far from now-serving must yield, or the holder never
+// runs and the whole pack convoys forever. The fix (Ticket.Lock yields
+// when the gap is >1 and periodically even when close) is pinned by
+// running far more goroutines than processors with no Gosched inside
+// the critical section — the lock's own yields are the only way this
+// test can finish.
+func TestTicketOversubscribedNoLivelock(t *testing.T) {
+	withProcs(1, func() {
+		l := NewTicket()
+		const goroutines, opsPerG = 16, 200
+		var counter uint64
+		runWithTimeout(t, 2*time.Minute, func() {
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < opsPerG; i++ {
+						l.Lock()
+						counter++ // no yield here: the waiters' yields must suffice
+						l.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+		})
+		if want := uint64(goroutines * opsPerG); counter != want {
+			t.Fatalf("counter = %d, want %d", counter, want)
+		}
+	})
 }
 
 // TestTicketFIFOExact verifies the ticket lock's FIFO order exactly: the
