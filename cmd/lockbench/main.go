@@ -17,12 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"iqolb/internal/cliconfig"
 	"iqolb/internal/lockbench"
-	"iqolb/internal/workload"
-	"iqolb/locks"
 )
 
 func main() {
@@ -32,6 +29,7 @@ func main() {
 		procList = flag.String("procs", "4", "comma-separated GOMAXPROCS values to sweep")
 		scale    = flag.Int("scale", 1, "divide each signature's critical-section total")
 		seed     = flag.Uint64("seed", 1, "per-goroutine PRNG seed (operation sequence, not timing)")
+		tuned    = flag.Bool("tuned", false, "run with the adaptive tuner in the loop (live delay/spin retuning from measured waits)")
 		out      = flag.String("o", "BENCH_locks.json", `artifact path ("" disables the file)`)
 		jsonOut  = flag.Bool("json", false, "print the JSON artifact on stdout instead of the table")
 	)
@@ -41,40 +39,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	benchNames, err := resolveBenches(*benches)
+	benchNames, err := cliconfig.Benches(*benches)
 	usage(err)
-	kinds, err := resolveLocks(*lockList)
+	kinds, err := cliconfig.LockKinds(*lockList)
 	usage(err)
-	procs, err := resolveProcs(*procList)
+	procs, err := cliconfig.PositiveInts(*procList, "proc count")
 	usage(err)
 
-	results, err := lockbench.RunMatrix(benchNames, kinds, procs, *scale, *seed)
+	results, err := lockbench.RunMatrix(benchNames, kinds, procs, *scale, *seed, *tuned)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lockbench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	file := lockbench.NewFile(results)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lockbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := file.WriteJSON(f); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "lockbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "lockbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "lockbench: wrote %d results to %s\n", len(results), *out)
 	}
 	if *jsonOut {
 		if err := file.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "lockbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
@@ -89,49 +82,7 @@ func usage(err error) {
 	}
 }
 
-func resolveBenches(s string) ([]string, error) {
-	if s == "all" {
-		var names []string
-		for _, sp := range append(workload.Specs(), workload.MicroSpecs()...) {
-			if sp.Params.PollProcs > 0 {
-				continue // no native analogue for dedicated pollers
-			}
-			names = append(names, sp.Name)
-		}
-		return names, nil
-	}
-	names := strings.Split(s, ",")
-	for _, n := range names {
-		if _, err := workload.ByName(n); err != nil {
-			return nil, err
-		}
-	}
-	return names, nil
-}
-
-func resolveLocks(s string) ([]locks.Kind, error) {
-	if s == "all" {
-		return locks.Kinds(), nil
-	}
-	var kinds []locks.Kind
-	for _, n := range strings.Split(s, ",") {
-		k := locks.Kind(n)
-		if _, err := locks.New(k); err != nil {
-			return nil, err
-		}
-		kinds = append(kinds, k)
-	}
-	return kinds, nil
-}
-
-func resolveProcs(s string) ([]int, error) {
-	var procs []int
-	for _, f := range strings.Split(s, ",") {
-		p, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || p < 1 {
-			return nil, fmt.Errorf("bad proc count %q", f)
-		}
-		procs = append(procs, p)
-	}
-	return procs, nil
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lockbench:", err)
+	os.Exit(cliconfig.ExitCode(err))
 }

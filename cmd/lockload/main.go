@@ -7,11 +7,19 @@
 //	lockload                                   # hotlock, 8 clients, handoff vs broadcast
 //	lockload -bench hotlock -clients 4,8,16 -policy both
 //	lockload -addr 127.0.0.1:7007 -clients 8   # against an external lockserve
+//	lockload -phases                           # low→high→low shift: static policies vs adaptive
 //
 // With -policy both (the default) each configuration runs under both
 // grant policies — the direct releaser→waiter hand-off and the
 // broadcast-wakeup baseline — which is the serving-layer rendition of
 // the paper's queue-based-locking vs test&set comparison.
+//
+// With -phases the run is the phase-shifting workload instead: offered
+// contention moves low → high → low in one run, and each mode in
+// -policy ("all" = handoff, broadcast, adaptive) serves the same
+// schedule. The adaptive mode runs the contention controller, which
+// must match the best static policy in every phase by live-migrating
+// the hot shards. The artifact defaults to BENCH_adaptive.json.
 //
 // Exit codes follow the repo convention (see README): 0 success, 1 run
 // failure, 2 unusable configuration.
@@ -20,30 +28,30 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
+	"iqolb/internal/cliconfig"
 	"iqolb/internal/loadgen"
-	"iqolb/internal/service"
-	"iqolb/locks"
 )
 
 func main() {
 	var (
-		bench      = flag.String("bench", "hotlock", "workload signature name")
+		bench      = flag.String("bench", "hotlock", "workload signature name (flat runs)")
 		clientList = flag.String("clients", "8", "comma-separated client counts to sweep")
-		policyFlag = flag.String("policy", "both", `grant policy: "handoff", "broadcast", or "both" (in-process server only)`)
+		policyFlag = flag.String("policy", "both", `grant policy: "handoff", "broadcast", or "both"; with -phases also "adaptive" or "all"`)
 		lockKind   = flag.String("lock", "mcs", "shard guard primitive (in-process server only)")
 		shards     = flag.Int("shards", 8, "server shard count (in-process server only)")
 		queue      = flag.Int("queue", 64, "admission queue depth per shard (in-process server only)")
-		scale      = flag.Int("scale", 1, "divide the signature's critical-section total")
+		scale      = flag.Int("scale", 1, "divide the signature's critical-section total (flat) or each phase's op count (-phases)")
 		seed       = flag.Uint64("seed", 1, "per-client PRNG seed (operation sequence, not timing)")
 		ttl        = flag.Duration("ttl", 0, "per-acquire lease TTL (0 = server default)")
 		maxWait    = flag.Duration("max-wait", 10*time.Second, "bound on each queued wait")
 		addr       = flag.String("addr", "", "external lockserve address (empty = in-process server per run)")
-		out        = flag.String("o", "BENCH_service.json", `artifact path ("" disables the file)`)
+		phases     = flag.Bool("phases", false, "run the phase-shifting workload (low→high→low) instead of flat signature replay")
+		ctrlEvery  = flag.Duration("adaptive-interval", 5*time.Millisecond, "controller sampling period for the adaptive mode (-phases)")
+		out        = flag.String("o", "", `artifact path (default BENCH_service.json, or BENCH_adaptive.json with -phases; "none" disables)`)
 		jsonOut    = flag.Bool("json", false, "print the JSON artifact on stdout instead of the table")
 	)
 	flag.Parse()
@@ -51,15 +59,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: lockload [flags]")
 		os.Exit(2)
 	}
-
-	clients, err := resolveClients(*clientList)
-	usage(err)
-	policies, err := resolvePolicies(*policyFlag, *addr)
-	usage(err)
-	kind := locks.Kind(*lockKind)
-	if _, err := locks.New(kind); err != nil {
-		usage(err)
+	outPath := *out
+	if outPath == "" {
+		if *phases {
+			outPath = "BENCH_adaptive.json"
+		} else {
+			outPath = "BENCH_service.json"
+		}
+	} else if outPath == "none" {
+		outPath = ""
 	}
+
+	if *phases {
+		runPhased(*policyFlag, *clientList, *lockKind, *shards, *queue, *scale, *seed, *ttl, *maxWait, *ctrlEvery, outPath, *jsonOut)
+		return
+	}
+
+	clients, err := cliconfig.PositiveInts(*clientList, "client count")
+	usage(err)
+	policies, err := cliconfig.Policies(*policyFlag, *addr)
+	usage(err)
+	kind, err := cliconfig.LockKind(*lockKind)
+	usage(err)
 
 	var results []loadgen.Result
 	for _, n := range clients {
@@ -78,39 +99,102 @@ func main() {
 				MaxWait:    *maxWait,
 			})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "lockload:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			results = append(results, res)
 		}
 	}
 
 	file := loadgen.NewFile(results)
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lockload:", err)
-			os.Exit(1)
+	if outPath != "" {
+		if err := writeJSONFile(outPath, file.WriteJSON); err != nil {
+			fail(err)
 		}
-		if err := file.WriteJSON(f); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, "lockload:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "lockload:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "lockload: wrote %d results to %s\n", len(results), *out)
+		fmt.Fprintf(os.Stderr, "lockload: wrote %d results to %s\n", len(results), outPath)
 	}
 	if *jsonOut {
 		if err := file.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "lockload:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
 	fmt.Print(loadgen.Render(results))
+}
+
+// runPhased executes the phase-shifting comparison: every requested
+// mode serves the identical low→high→low schedule.
+func runPhased(policyFlag, clientList, lockKind string, shards, queue, scale int, seed uint64, ttl, maxWait, ctrlEvery time.Duration, outPath string, jsonOut bool) {
+	var modes []string
+	switch policyFlag {
+	case "all", "both":
+		modes = loadgen.PhasedModes
+	case loadgen.ModeHandoff, loadgen.ModeBroadcast, loadgen.ModeAdaptive:
+		modes = []string{policyFlag}
+	default:
+		usage(fmt.Errorf("unknown -policy %q for -phases (have handoff, broadcast, adaptive, all)", policyFlag))
+	}
+	clients, err := cliconfig.PositiveInts(clientList, "client count")
+	usage(err)
+	if len(clients) != 1 {
+		usage(fmt.Errorf("-phases needs exactly one client count, got %v", clients))
+	}
+	kind, err := cliconfig.LockKind(lockKind)
+	usage(err)
+	schedule := loadgen.DefaultPhases()
+	if scale > 1 {
+		for i := range schedule {
+			if schedule[i].OpsPerClient /= scale; schedule[i].OpsPerClient < 1 {
+				schedule[i].OpsPerClient = 1
+			}
+		}
+	}
+
+	var runs []loadgen.PhasedResult
+	for _, mode := range modes {
+		r, err := loadgen.RunPhases(loadgen.PhasedConfig{
+			Mode:             mode,
+			Clients:          clients[0],
+			Phases:           schedule,
+			Shards:           shards,
+			Lock:             kind,
+			QueueDepth:       queue,
+			Seed:             seed,
+			TTL:              ttl,
+			MaxWait:          maxWait,
+			AdaptiveInterval: ctrlEvery,
+		})
+		if err != nil {
+			fail(err)
+		}
+		runs = append(runs, r)
+	}
+
+	file := loadgen.NewPhasedFile(runs)
+	if outPath != "" {
+		if err := writeJSONFile(outPath, file.WriteJSON); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "lockload: wrote %d phased runs to %s\n", len(runs), outPath)
+	}
+	if jsonOut {
+		if err := file.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Print(loadgen.RenderPhased(runs))
+}
+
+func writeJSONFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func usage(err error) {
@@ -120,28 +204,7 @@ func usage(err error) {
 	}
 }
 
-func resolveClients(s string) ([]int, error) {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad client count %q", f)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-func resolvePolicies(s, addr string) ([]service.Policy, error) {
-	if s == "both" {
-		if addr != "" {
-			return nil, fmt.Errorf(`-policy both needs an in-process server (the policy is fixed by the external server); pick "handoff" or "broadcast"`)
-		}
-		return []service.Policy{service.PolicyHandoff, service.PolicyBroadcast}, nil
-	}
-	p, err := service.ParsePolicy(s)
-	if err != nil {
-		return nil, err
-	}
-	return []service.Policy{p}, nil
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lockload:", err)
+	os.Exit(cliconfig.ExitCode(err))
 }

@@ -8,6 +8,14 @@
 //	lockserve -addr 127.0.0.1:7007
 //	lockserve -addr 127.0.0.1:0 -shards 16 -lock mcs -policy handoff
 //	lockserve -policy broadcast -queue 32 -ttl 2s
+//	lockserve -adaptive                      # contention controller live-migrates shard policies
+//
+// With -adaptive the service runs the per-shard contention controller
+// (internal/adaptive): windowed estimators over queue depth, shed rate,
+// and acquire rate migrate each shard between handoff and broadcast
+// grant policies — and tune the native locks' inserted delays — as the
+// offered load shifts. The -policy flag then picks the starting policy,
+// and the shutdown snapshot includes a "controller" block.
 //
 // The bound address is printed on stdout ("listening on <addr>") so
 // harnesses can use :0 and scrape the port. SIGINT/SIGTERM shut down
@@ -21,7 +29,6 @@ package main
 
 import (
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -30,8 +37,8 @@ import (
 	"syscall"
 	"time"
 
+	"iqolb/internal/cliconfig"
 	"iqolb/internal/service"
-	"iqolb/locks"
 )
 
 func main() {
@@ -44,6 +51,8 @@ func main() {
 		ttl       = flag.Duration("ttl", 5*time.Second, "default lease TTL")
 		maxTTL    = flag.Duration("max-ttl", 60*time.Second, "maximum client-requested TTL")
 		starve    = flag.Duration("starvation-bound", 10*time.Second, "oldest-waiter age that degrades a shard (<0 disables)")
+		adapt     = flag.Bool("adaptive", false, "run the contention controller (live per-shard policy migration + lock tuning)")
+		ctrlEvery = flag.Duration("adaptive-interval", 25*time.Millisecond, "controller sampling period (with -adaptive)")
 		statsDump = flag.Bool("stats", true, "print a JSON counter snapshot to stderr on shutdown")
 	)
 	flag.Parse()
@@ -53,40 +62,30 @@ func main() {
 	}
 
 	pol, err := service.ParsePolicy(*policy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lockserve:", err)
-		os.Exit(2)
-	}
-	kind := locks.Kind(*lockKind)
-	if _, err := locks.New(kind); err != nil {
-		fmt.Fprintln(os.Stderr, "lockserve:", err)
-		os.Exit(2)
-	}
+	usage(err)
+	kind, err := cliconfig.LockKind(*lockKind)
+	usage(err)
 	svc, err := service.New(service.Config{
-		Shards:          *shards,
-		Lock:            kind,
-		Policy:          pol,
-		QueueDepth:      *queue,
-		DefaultTTL:      *ttl,
-		MaxTTL:          *maxTTL,
-		StarvationBound: *starve,
+		Shards:           *shards,
+		Lock:             kind,
+		Policy:           pol,
+		QueueDepth:       *queue,
+		DefaultTTL:       *ttl,
+		MaxTTL:           *maxTTL,
+		StarvationBound:  *starve,
+		Adaptive:         *adapt,
+		AdaptiveInterval: *ctrlEvery,
 		OnDegrade: func(shard int, reason string) {
 			fmt.Fprintf(os.Stderr, "lockserve: shard %d degraded: %s\n", shard, reason)
 		},
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lockserve:", err)
-		var ce *service.ConfigError
-		if errors.As(err, &ce) {
-			os.Exit(2)
-		}
-		os.Exit(1)
+		fail(err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lockserve:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("listening on %s\n", ln.Addr())
 	os.Stdout.Sync()
@@ -102,8 +101,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lockserve: %v: shutting down\n", s)
 	case err := <-serveErr:
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lockserve:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 
@@ -111,15 +109,25 @@ func main() {
 	// drain connection goroutines.
 	svc.Close()
 	if err := srv.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "lockserve:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *statsDump {
 		enc := json.NewEncoder(os.Stderr)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(svc.Snapshot()); err != nil {
-			fmt.Fprintln(os.Stderr, "lockserve:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
+}
+
+func usage(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockserve:", err)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lockserve:", err)
+	os.Exit(cliconfig.ExitCode(err))
 }

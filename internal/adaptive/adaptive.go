@@ -1,0 +1,341 @@
+// Package adaptive closes the feedback loop the paper leaves open: it
+// watches the cheap telemetry the serving layer already maintains
+// (acquire rate, admission-queue depth, shed rate) and picks, per shard,
+// the wakeup discipline that telemetry says the offered load deserves —
+// broadcast wakeups while contention is low, IQOLB-style single hand-off
+// while a queue exists, and the shed-everything degraded mutex when even
+// the queue is drowning. The same estimates drive the inserted-delay
+// parameters of the native locks/ primitives through locks.Tuning.
+//
+// The controller is deliberately a plain sampled-data loop: windowed
+// EWMA estimators over counter deltas, watermark hysteresis, and a dwell
+// time between actuations so policy flips cannot thrash. It knows
+// nothing about the serving layer beyond the Plant interface, which
+// keeps the import direction service → adaptive → locks.
+package adaptive
+
+import (
+	"sync"
+	"time"
+
+	"iqolb/locks"
+)
+
+// Policy names a wakeup discipline a shard can run. The values mirror
+// the serving layer's policies; the controller only ever hands them
+// back through Plant.SetPolicy.
+type Policy string
+
+const (
+	// PolicyBroadcast wakes every waiter on release (test&set herd).
+	PolicyBroadcast Policy = "broadcast"
+	// PolicyHandoff grants to exactly one queued waiter on release.
+	PolicyHandoff Policy = "handoff"
+	// PolicyDegraded sheds all queueing: plain mutual exclusion with
+	// ErrDegraded for everyone who would have waited.
+	PolicyDegraded Policy = "degraded"
+)
+
+// Sample is one shard's cumulative telemetry at a sampling instant.
+// All counter fields are monotonic totals; the controller differences
+// consecutive samples itself. Queued is an instantaneous gauge.
+type Sample struct {
+	// Acquires counts admission attempts (grants + queued + shed).
+	Acquires uint64
+	// Grants counts leases actually granted.
+	Grants uint64
+	// QueueFullSheds counts ErrQueueFull rejections.
+	QueueFullSheds uint64
+	// DegradedSheds counts ErrDegraded rejections.
+	DegradedSheds uint64
+	// Queued is the number of waiters parked right now (gauge).
+	Queued int
+	// Policy is the discipline the shard is actually running — the
+	// plant's truth, not the controller's last request. A watchdog may
+	// degrade a shard behind the controller's back.
+	Policy Policy
+}
+
+// Plant is the process under control: something with numbered shards
+// that can be sampled and re-disciplined. The serving layer implements
+// it; tests use a fake.
+type Plant interface {
+	// NumShards reports how many shards the plant has. Must be stable.
+	NumShards() int
+	// SampleShard reads one shard's telemetry without disturbing it.
+	SampleShard(shard int) Sample
+	// SetPolicy migrates one shard to a new discipline. The plant must
+	// make the flip atomic with respect to its own grant decisions; the
+	// controller only promises dwell spacing between calls.
+	SetPolicy(shard int, p Policy) error
+}
+
+// Config tunes the controller. The zero value is usable: every field
+// defaults to the values below in New.
+type Config struct {
+	// Interval is the sampling period for Run. Default 25ms.
+	Interval time.Duration
+	// HighQueue and LowQueue are the queue-depth watermarks (EWMA of
+	// the Queued gauge) for the broadcast↔handoff migration, with
+	// HighQueue > LowQueue enforcing hysteresis. Defaults 1.5 and 0.25:
+	// a shard whose smoothed queue holds above ~1.5 waiters earns a
+	// hand-off queue; it must drain below ~0.25 to go back.
+	HighQueue float64
+	LowQueue  float64
+	// DegradeShed is the windowed QueueFullShed fraction (sheds per
+	// admission attempt) above which a shard is declared drowning and
+	// degraded. Default 0.5. RestoreRate is the fraction of the
+	// acquire rate observed at degrade time below which the shard is
+	// restored. Default 0.5.
+	DegradeShed float64
+	RestoreRate float64
+	// NoDegrade forbids the controller from choosing PolicyDegraded
+	// itself. The serving layer's starvation watchdog degrades on its
+	// own either way. Default false (degrade allowed).
+	NoDegrade bool
+	// DwellTicks is the minimum number of ticks between actuations on
+	// one shard — the anti-thrash clamp. Default 4.
+	DwellTicks int
+	// Alpha is the EWMA smoothing factor in (0, 1]. Default 0.5.
+	Alpha float64
+	// Tuning, when non-nil, is the locks-layer actuator: the controller
+	// maps its aggregate contention estimate onto inserted-delay
+	// parameters and writes them here.
+	Tuning *locks.Tuning
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 25 * time.Millisecond
+	}
+	if c.HighQueue <= 0 {
+		c.HighQueue = 1.5
+	}
+	if c.LowQueue <= 0 {
+		c.LowQueue = 0.25
+	}
+	if c.LowQueue >= c.HighQueue {
+		c.LowQueue = c.HighQueue / 2
+	}
+	if c.DegradeShed <= 0 {
+		c.DegradeShed = 0.5
+	}
+	if c.RestoreRate <= 0 {
+		c.RestoreRate = 0.5
+	}
+	if c.DwellTicks <= 0 {
+		c.DwellTicks = 4
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.5
+	}
+	return c
+}
+
+// shardLoop is the controller's per-shard estimator and actuator state.
+type shardLoop struct {
+	prev     Sample
+	havePrev bool
+
+	queueEWMA float64 // smoothed Queued gauge
+	shedEWMA  float64 // smoothed QueueFullShed fraction per window
+	rateEWMA  float64 // smoothed acquires per second
+
+	dwell       int     // ticks since the last actuation on this shard
+	degradeRate float64 // rateEWMA captured when we degraded
+
+	migrations uint64
+	lastTarget Policy
+}
+
+// ShardState is one shard's controller view, exported for snapshots.
+type ShardState struct {
+	Shard      int     `json:"shard"`
+	Policy     Policy  `json:"policy"`
+	QueueEWMA  float64 `json:"queue_ewma"`
+	ShedEWMA   float64 `json:"shed_ewma"`
+	RateEWMA   float64 `json:"acquire_rate_ewma"`
+	Migrations uint64  `json:"migrations"`
+}
+
+// State is a point-in-time snapshot of the whole controller, embedded
+// in the serving layer's snapshots when the controller is enabled.
+type State struct {
+	Ticks      uint64              `json:"ticks"`
+	Migrations uint64              `json:"migrations"`
+	TuningBand string              `json:"tuning_band,omitempty"`
+	Tuning     *locks.TuningValues `json:"tuning,omitempty"`
+	Shards     []ShardState        `json:"shards"`
+}
+
+// Controller runs the loop. Tick may be called from a timer goroutine
+// while State is read from snapshot paths; a mutex covers both.
+type Controller struct {
+	cfg   Config
+	plant Plant
+
+	mu     sync.Mutex
+	loops  []shardLoop
+	ticks  uint64
+	moves  uint64
+	tuner  *bandTuner
+	closed chan struct{}
+	once   sync.Once
+}
+
+// New builds a controller over plant. Zero Config fields take the
+// documented defaults; set NoDegrade to keep the controller away from
+// the degraded-mutex target.
+func New(plant Plant, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:    cfg,
+		plant:  plant,
+		loops:  make([]shardLoop, plant.NumShards()),
+		closed: make(chan struct{}),
+	}
+	if cfg.Tuning != nil {
+		c.tuner = newBandTuner(cfg.Tuning, cfg.DwellTicks)
+	}
+	return c
+}
+
+// Run ticks the controller every cfg.Interval until Close. Blocks;
+// callers run it in a goroutine.
+func (c *Controller) Run() {
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case now := <-t.C:
+			c.Tick(now.Sub(last))
+			last = now
+		}
+	}
+}
+
+// Close stops Run. Safe to call more than once.
+func (c *Controller) Close() { c.once.Do(func() { close(c.closed) }) }
+
+// Tick samples every shard, updates the estimators, and actuates where
+// the hysteresis and dwell rules allow. dt is the elapsed time since
+// the previous tick; tests drive Tick directly with a fixed dt.
+func (c *Controller) Tick(dt time.Duration) {
+	if dt <= 0 {
+		dt = c.cfg.Interval
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ticks++
+	var contention float64
+	for i := range c.loops {
+		s := c.plant.SampleShard(i)
+		c.step(i, s, dt)
+		contention += c.loops[i].queueEWMA
+	}
+	if c.tuner != nil {
+		c.tuner.tick(contention / float64(len(c.loops)))
+	}
+}
+
+// step advances one shard's loop with a fresh sample.
+func (c *Controller) step(i int, s Sample, dt time.Duration) {
+	l := &c.loops[i]
+	a := c.cfg.Alpha
+	if !l.havePrev {
+		l.prev, l.havePrev = s, true
+		l.queueEWMA = float64(s.Queued)
+		l.lastTarget = s.Policy
+		return
+	}
+	dAcq := float64(s.Acquires - l.prev.Acquires)
+	dShed := float64(s.QueueFullSheds - l.prev.QueueFullSheds)
+	shedFrac := 0.0
+	if dAcq > 0 {
+		shedFrac = dShed / dAcq
+	}
+	rate := dAcq / dt.Seconds()
+	l.queueEWMA = a*float64(s.Queued) + (1-a)*l.queueEWMA
+	l.shedEWMA = a*shedFrac + (1-a)*l.shedEWMA
+	l.rateEWMA = a*rate + (1-a)*l.rateEWMA
+	l.prev = s
+	l.dwell++
+
+	if l.dwell < c.cfg.DwellTicks {
+		return
+	}
+	target := c.decide(l, s.Policy)
+	if target == s.Policy || target == "" {
+		return
+	}
+	if err := c.plant.SetPolicy(i, target); err != nil {
+		return // plant refused (e.g. closing); retry next dwell window
+	}
+	if target == PolicyDegraded {
+		l.degradeRate = l.rateEWMA
+	}
+	l.lastTarget = target
+	l.migrations++
+	c.moves++
+	l.dwell = 0
+}
+
+// decide maps one shard's estimators onto a target policy, given the
+// discipline the shard is running right now. Watermark pairs give each
+// transition hysteresis; returning cur means "stay".
+func (c *Controller) decide(l *shardLoop, cur Policy) Policy {
+	if cur == PolicyDegraded {
+		// Restore only once offered load has genuinely backed off from
+		// what drowned us; the flushed queue makes broadcast the safe
+		// landing (nobody is parked, so there is no herd to create).
+		if l.rateEWMA < c.cfg.RestoreRate*l.degradeRate {
+			return PolicyBroadcast
+		}
+		return cur
+	}
+	if !c.cfg.NoDegrade && l.shedEWMA > c.cfg.DegradeShed {
+		return PolicyDegraded
+	}
+	switch cur {
+	case PolicyBroadcast:
+		if l.queueEWMA >= c.cfg.HighQueue {
+			return PolicyHandoff
+		}
+	case PolicyHandoff:
+		if l.queueEWMA <= c.cfg.LowQueue {
+			return PolicyBroadcast
+		}
+	}
+	return cur
+}
+
+// State snapshots the controller.
+func (c *Controller) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := State{
+		Ticks:      c.ticks,
+		Migrations: c.moves,
+		Shards:     make([]ShardState, len(c.loops)),
+	}
+	for i := range c.loops {
+		l := &c.loops[i]
+		st.Shards[i] = ShardState{
+			Shard:      i,
+			Policy:     l.prev.Policy,
+			QueueEWMA:  l.queueEWMA,
+			ShedEWMA:   l.shedEWMA,
+			RateEWMA:   l.rateEWMA,
+			Migrations: l.migrations,
+		}
+	}
+	if c.tuner != nil {
+		v := c.tuner.tun.Values()
+		st.Tuning = &v
+		st.TuningBand = c.tuner.band.String()
+	}
+	return st
+}

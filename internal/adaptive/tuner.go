@@ -1,0 +1,187 @@
+package adaptive
+
+import (
+	"sync/atomic"
+	"time"
+
+	"iqolb/locks"
+)
+
+// Band is a quantized contention level. The tuners map estimators onto
+// bands rather than continuous values so the locks.Tuning actuator is
+// written only on band transitions — retuning is cheap for the readers
+// (one atomic load per acquire) but pointless churn still costs the
+// writer a cache-line invalidation per field.
+type Band int
+
+const (
+	// BandLow: uncontended or nearly so. Short initial delays, small
+	// cap, generous optimistic spin — favor the fast path.
+	BandLow Band = iota
+	// BandMid: a steady queue exists. Default-ish delays, less
+	// optimism.
+	BandMid
+	// BandHigh: heavy contention. Long capped delays sized to many
+	// critical sections and near-zero optimistic spinning — the
+	// paper's "insert a delay and get out of the way".
+	BandHigh
+)
+
+func (b Band) String() string {
+	switch b {
+	case BandLow:
+		return "low"
+	case BandMid:
+		return "mid"
+	case BandHigh:
+		return "high"
+	}
+	return "unknown"
+}
+
+// valuesFor is the band→parameters map shared by both tuners. The
+// numbers move the two delay knobs the paper cares about (initial and
+// cap of the inserted delay) together with the spin-then-queue lock's
+// optimism budget.
+func valuesFor(b Band) locks.TuningValues {
+	v := locks.DefaultTuningValues()
+	switch b {
+	case BandLow:
+		v.BackoffCap = 1 << 9
+		v.SpinAttempts = 16
+	case BandMid:
+		// defaults
+	case BandHigh:
+		v.BackoffInitial = 1 << 6
+		v.BackoffCap = 1 << 15
+		v.SpinAttempts = 1
+		v.TicketUnit = 1 << 8
+	}
+	return v
+}
+
+// bandTuner drives locks.Tuning from the controller's mean queue-depth
+// estimate. Band edges get hysteresis margins and a dwell so the
+// actuator cannot flap.
+type bandTuner struct {
+	tun   *locks.Tuning
+	band  Band
+	dwell int
+	min   int
+}
+
+func newBandTuner(tun *locks.Tuning, dwellTicks int) *bandTuner {
+	t := &bandTuner{tun: tun, band: BandMid, min: dwellTicks}
+	tun.Set(valuesFor(BandMid))
+	return t
+}
+
+// tick classifies the mean queue depth into a band. Enter thresholds
+// are deliberately offset from exit thresholds (0.5/2.0 up, 0.25/1.0
+// down) — a value oscillating on an edge stays put.
+func (t *bandTuner) tick(meanQueue float64) {
+	t.dwell++
+	next := t.band
+	switch t.band {
+	case BandLow:
+		if meanQueue >= 2.0 {
+			next = BandHigh
+		} else if meanQueue >= 0.5 {
+			next = BandMid
+		}
+	case BandMid:
+		if meanQueue >= 2.0 {
+			next = BandHigh
+		} else if meanQueue <= 0.25 {
+			next = BandLow
+		}
+	case BandHigh:
+		if meanQueue <= 0.25 {
+			next = BandLow
+		} else if meanQueue <= 1.0 {
+			next = BandMid
+		}
+	}
+	if next == t.band || t.dwell < t.min {
+		return
+	}
+	t.band = next
+	t.dwell = 0
+	t.tun.Set(valuesFor(next))
+}
+
+// LockTelemetry is an atomic sink for the locks.Hooks.OnAcquired
+// callback, shared safely across holders. Wire it with Hook().
+type LockTelemetry struct {
+	acquires  atomic.Uint64
+	waitSumNS atomic.Uint64
+}
+
+// Record accumulates one acquisition's wait. Matches the OnAcquired
+// signature so it can be installed directly.
+func (t *LockTelemetry) Record(waitNS, handoffNS uint64) {
+	t.acquires.Add(1)
+	t.waitSumNS.Add(waitNS)
+}
+
+// Hook returns a locks.Hooks that feeds this sink.
+func (t *LockTelemetry) Hook() *locks.Hooks {
+	return &locks.Hooks{OnAcquired: t.Record}
+}
+
+// Tuner is the standalone lock tuner used where there is no serving
+// layer to sample — lockbench's tuned mode. It estimates contention
+// from the mean acquisition wait over each window and drives the same
+// band map as the controller.
+type Tuner struct {
+	tel  *LockTelemetry
+	tun  *locks.Tuning
+	band *bandTuner
+
+	prevAcq  uint64
+	prevWait uint64
+
+	// LowWaitNS and HighWaitNS are the mean-wait band edges. The
+	// defaults (2µs, 20µs) separate "CAS retried a few times" from
+	// "queued behind several critical sections" on current hardware.
+	LowWaitNS  float64
+	HighWaitNS float64
+}
+
+// NewTuner builds a tuner over a telemetry sink and a tuning cell.
+func NewTuner(tel *LockTelemetry, tun *locks.Tuning) *Tuner {
+	return &Tuner{
+		tel:        tel,
+		tun:        tun,
+		band:       newBandTuner(tun, 2),
+		LowWaitNS:  2_000,
+		HighWaitNS: 20_000,
+	}
+}
+
+// Tick closes one window: difference the sink, estimate mean wait, and
+// feed the band tuner. The queue-depth scale expected by bandTuner is
+// synthesized from the wait bands (0, 1, 4 ≈ low/mid/high centers).
+func (t *Tuner) Tick(time.Duration) {
+	acq := t.tel.acquires.Load()
+	wait := t.tel.waitSumNS.Load()
+	dAcq, dWait := acq-t.prevAcq, wait-t.prevWait
+	t.prevAcq, t.prevWait = acq, wait
+	if dAcq == 0 {
+		return
+	}
+	mean := float64(dWait) / float64(dAcq)
+	var proxy float64
+	switch {
+	case mean < t.LowWaitNS:
+		proxy = 0
+	case mean < t.HighWaitNS:
+		proxy = 1
+	default:
+		proxy = 4
+	}
+	t.band.tick(proxy)
+}
+
+// Band reports the tuner's current band.
+func (t *Tuner) Band() Band { return t.band.band }

@@ -12,24 +12,33 @@ import (
 )
 
 // CrosscheckSchemaVersion identifies the serialized Report layout.
-const CrosscheckSchemaVersion = 1
+// v2: the adaptive lock is scored as an exact analogue of simulated
+// IQOLB — its inserted-delay parameters are controller-driven (package
+// adaptive), matching IQOLB's hardware-adaptive hand-off, so it enters
+// the agreement verdict instead of riding along as a note.
+const CrosscheckSchemaVersion = 2
 
 // analogue maps a native lock kind to the simulated system realizing the
-// same hand-off policy. Exact marks a one-to-one correspondence; the two
-// inexact mappings (CLH has no simulated twin, the adaptive lock's
-// hardware relative is the IQOLB hand-off) are reported but excluded
-// from the agreement verdict.
+// same hand-off policy. Exact marks a one-to-one correspondence; the one
+// inexact mapping (CLH has no simulated twin) is reported but excluded
+// from the agreement verdict. Note, when set, is a standing divergence
+// explanation emitted with the row.
 type analogue struct {
 	System string
 	Exact  bool
+	Note   string
 }
 
 var analogues = map[string]analogue{
-	string(locks.KindTTS):      {"tts", true},
-	string(locks.KindTicket):   {"ticket", true},
-	string(locks.KindMCS):      {"mcs", true},
-	string(locks.KindCLH):      {"mcs", false},
-	string(locks.KindAdaptive): {"iqolb", false},
+	string(locks.KindTTS):    {"tts", true, ""},
+	string(locks.KindTicket): {"ticket", true, ""},
+	string(locks.KindMCS):    {"mcs", true, ""},
+	string(locks.KindCLH):    {"mcs", false, ""},
+	string(locks.KindAdaptive): {"iqolb", true,
+		"exact analogue of sim iqolb: inserted delays are controller-driven, as IQOLB adapts its hand-off in hardware; " +
+			"residual divergence — the native tuner moves backoff bands over millisecond telemetry windows through the Go " +
+			"scheduler, while sim IQOLB adapts per acquire at cycle granularity, so orderings within ~10% can still flip " +
+			"mid-window"},
 }
 
 // SimKey identifies one simulator run the crosscheck needs.
@@ -158,6 +167,9 @@ func BuildReport(native []Result, sim map[SimKey]float64, simScale int) *Report 
 			}
 			if simT > bestSim {
 				bestSim = simT
+			}
+			if a.Note != "" {
+				sc.Notes = append(sc.Notes, fmt.Sprintf("%s: %s", r.Lock, a.Note))
 			}
 			if !a.Exact {
 				sc.Notes = append(sc.Notes, fmt.Sprintf(

@@ -18,7 +18,8 @@ func synthetic(bench string, procs int, lock locks.Kind, tput float64) Result {
 }
 
 func TestBuildReportAgreement(t *testing.T) {
-	// Native and sim both order mcs > ticket > tts.
+	// Native and sim both order adaptive > mcs > ticket > tts; the
+	// adaptive lock scores against sim iqolb as an exact analogue (v2).
 	native := []Result{
 		synthetic("hotlock", 4, locks.KindTTS, 100),
 		synthetic("hotlock", 4, locks.KindTicket, 200),
@@ -44,19 +45,20 @@ func TestBuildReportAgreement(t *testing.T) {
 	if !sc.Agree || !sc.WinnerAgree || sc.PairAgreement != 1 {
 		t.Fatalf("check = %+v", sc)
 	}
-	wantRank := []string{"mcs", "ticket", "tts"}
+	wantRank := []string{"adaptive", "mcs", "ticket", "tts"}
 	for i, w := range wantRank {
 		if sc.NativeRanking[i] != w || sc.SimRanking[i] != w {
 			t.Fatalf("rankings: native %v, sim %v", sc.NativeRanking, sc.SimRanking)
 		}
 	}
-	// Inexact analogues ride along as rows and notes, never in the verdict.
+	// The inexact analogue rides along as a row and note, never in the
+	// verdict; the adaptive row carries its standing divergence note.
 	if len(sc.Rows) != 5 {
 		t.Fatalf("rows %d, want 5", len(sc.Rows))
 	}
 	notes := strings.Join(sc.Notes, "\n")
-	if !strings.Contains(notes, "clh") || !strings.Contains(notes, "adaptive") {
-		t.Fatalf("notes missing inexact analogues: %q", notes)
+	if !strings.Contains(notes, "clh") || !strings.Contains(notes, "adaptive: exact analogue") {
+		t.Fatalf("notes missing: %q", notes)
 	}
 	if sc.Explanation != "" {
 		t.Fatalf("explanation on agreement: %q", sc.Explanation)

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"iqolb/internal/adaptive"
 	"iqolb/internal/stats"
 	"iqolb/internal/workload"
 	"iqolb/locks"
@@ -33,6 +34,11 @@ type Config struct {
 	// Seed drives the per-goroutine lock-choice and jitter PRNGs, so the
 	// operation sequence (not the timing) is reproducible.
 	Seed uint64 `json:"seed,omitempty"`
+	// Tuned runs the benchmark with the adaptive tuner in the loop: all
+	// locks share a live locks.Tuning cell and an adaptive.Tuner moves
+	// its delay/spin parameters from measured acquisition waits while
+	// the workload runs.
+	Tuned bool `json:"tuned,omitempty"`
 }
 
 // resolveParams maps the config to the effective signature: scaled, and
@@ -156,15 +162,50 @@ func Run(cfg Config) (Result, error) {
 
 	// Hook callbacks run on the lock holder, so each lock's histogram is
 	// serialized by that lock; the per-lock shards merge after the run.
+	// In tuned mode every lock additionally feeds one telemetry sink and
+	// reads one shared tuning cell — the workload is uniform across
+	// locks, so one band fits all.
+	var (
+		tel   *adaptive.LockTelemetry
+		tuner *adaptive.Tuner
+		tun   *locks.Tuning
+	)
+	if cfg.Tuned {
+		tel = &adaptive.LockTelemetry{}
+		tun = locks.NewTuning()
+		tuner = adaptive.NewTuner(tel, tun)
+	}
 	lks := make([]locks.Lock, p.Locks)
 	handoffs := make([]*stats.Histogram, p.Locks)
 	for i := range lks {
 		handoffs[i] = &stats.Histogram{}
-		l, err := locks.New(cfg.Lock, locks.WithHooks(&locks.Hooks{Handoff: handoffs[i]}))
+		hooks := &locks.Hooks{Handoff: handoffs[i]}
+		opts := []locks.Option{locks.WithHooks(hooks)}
+		if cfg.Tuned {
+			hooks.OnAcquired = tel.Record
+			opts = append(opts, locks.WithTuning(tun))
+		}
+		l, err := locks.New(cfg.Lock, opts...)
 		if err != nil {
 			return Result{}, err
 		}
 		lks[i] = l
+	}
+	tunerDone := make(chan struct{})
+	if cfg.Tuned {
+		const interval = 2 * time.Millisecond
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tunerDone:
+					return
+				case <-tick.C:
+					tuner.Tick(interval)
+				}
+			}
+		}()
 	}
 	counters := make([]paddedCount, p.Locks)
 	shards := make([]shard, cfg.Procs)
@@ -206,6 +247,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	close(tunerDone)
 
 	expected := uint64(p.Iterations) * uint64(p.TotalCS)
 	var sum uint64
@@ -239,18 +281,21 @@ func Run(cfg Config) (Result, error) {
 	res.Fairness = stats.Jain(res.PerGoroutineOps)
 	res.WaitP50, res.WaitP99 = res.Wait.Percentile(50), res.Wait.Percentile(99)
 	res.HandoffP50, res.HandoffP99 = res.Handoff.Percentile(50), res.Handoff.Percentile(99)
+	if cfg.Tuned {
+		res.TunedBand = tuner.Band().String()
+	}
 	return res, nil
 }
 
 // RunMatrix sweeps benches × locks × proc counts in order and returns
 // every result. Each configuration runs exactly once; errors abort the
 // sweep (a mutual-exclusion violation must not be summarized away).
-func RunMatrix(benches []string, kinds []locks.Kind, procs []int, scale int, seed uint64) ([]Result, error) {
+func RunMatrix(benches []string, kinds []locks.Kind, procs []int, scale int, seed uint64, tuned bool) ([]Result, error) {
 	var out []Result
 	for _, b := range benches {
 		for _, pr := range procs {
 			for _, k := range kinds {
-				res, err := Run(Config{Bench: b, Lock: k, Procs: pr, Scale: scale, Seed: seed})
+				res, err := Run(Config{Bench: b, Lock: k, Procs: pr, Scale: scale, Seed: seed, Tuned: tuned})
 				if err != nil {
 					return nil, err
 				}

@@ -108,8 +108,28 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+func TestRunTuned(t *testing.T) {
+	// Tuned mode keeps mutual exclusion, reports the tuner's band, and
+	// leaves untuned runs unmarked.
+	cfg := Config{Bench: "hotlock", Lock: locks.KindAdaptive, Procs: 2, Scale: 8, Seed: 1, Tuned: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TunedBand == "" || res.TunedBand == "unknown" {
+		t.Fatalf("tuned band = %q", res.TunedBand)
+	}
+	plain, err := Run(Config{Bench: "hotlock", Lock: locks.KindAdaptive, Procs: 2, Scale: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TunedBand != "" {
+		t.Fatalf("untuned run has band %q", plain.TunedBand)
+	}
+}
+
 func TestRunMatrixOrder(t *testing.T) {
-	results, err := RunMatrix([]string{"nullcs"}, []locks.Kind{locks.KindTTS, locks.KindTicket}, []int{1, 2}, 32, 1)
+	results, err := RunMatrix([]string{"nullcs"}, []locks.Kind{locks.KindTTS, locks.KindTicket}, []int{1, 2}, 32, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,6 +48,10 @@ type Result struct {
 	WaitP99    float64         `json:"wait_p99_ns"`
 	HandoffP50 float64         `json:"handoff_p50_ns"`
 	HandoffP99 float64         `json:"handoff_p99_ns"`
+	// TunedBand is the adaptive tuner's final contention band when the
+	// run used Config.Tuned; empty otherwise. Additive and omitempty, so
+	// v1 artifacts load unchanged.
+	TunedBand string `json:"tuned_band,omitempty"`
 }
 
 // File is the on-disk artifact (BENCH_locks.json): every result of one

@@ -42,12 +42,26 @@ var (
 	ErrRevoked = errors.New("service: lease revoked")
 )
 
-// ConfigError reports an unusable Config (exit-code-2 class in the
-// CLIs).
-type ConfigError struct{ Msg string }
+// ConfigError reports an unusable Config or argument (exit-code-2 class
+// in the CLIs). Field names the offending Config field or call argument
+// so callers can report precisely which knob was wrong; it is empty for
+// errors not attributable to a single field.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
 
-func (e *ConfigError) Error() string { return "service: config: " + e.Msg }
+func (e *ConfigError) Error() string {
+	if e.Field == "" {
+		return "service: config: " + e.Reason
+	}
+	return "service: config: " + e.Field + ": " + e.Reason
+}
+
+func configErr(field, format string, args ...any) error {
+	return &ConfigError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
 
 func configErrf(format string, args ...any) error {
-	return &ConfigError{Msg: fmt.Sprintf(format, args...)}
+	return configErr("", format, args...)
 }

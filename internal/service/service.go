@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iqolb/internal/adaptive"
 	"iqolb/internal/stats"
 	"iqolb/locks"
 )
@@ -64,7 +65,7 @@ func ParsePolicy(s string) (Policy, error) {
 	case PolicyHandoff, PolicyBroadcast:
 		return Policy(s), nil
 	}
-	return "", configErrf("unknown policy %q (have handoff, broadcast)", s)
+	return "", configErr("policy", "unknown policy %q (have handoff, broadcast)", s)
 }
 
 // Lease is one granted exclusive claim on a named resource.
@@ -125,6 +126,15 @@ type Config struct {
 	// NoSweeper disables the background expiry sweeper; tests drive
 	// SweepExpired manually against a FakeClock.
 	NoSweeper bool
+	// Adaptive enables the contention controller: every shard's
+	// telemetry feeds an adaptive.Controller that live-migrates shards
+	// between policies and retunes the shard locks' inserted-delay
+	// parameters online. Policy then only sets each shard's starting
+	// discipline.
+	Adaptive bool
+	// AdaptiveInterval overrides the controller's sampling period
+	// (0 = the controller default, 25ms).
+	AdaptiveInterval time.Duration
 
 	// brokenHandoff is the linearizability harness's seeded bug: the
 	// direct hand-off grants the waiter but "forgets" to record the
@@ -140,25 +150,25 @@ func (c *Config) withDefaults() (Config, error) {
 		cfg.Shards = 8
 	}
 	if cfg.Shards < 1 {
-		return cfg, configErrf("shards = %d", cfg.Shards)
+		return cfg, configErr("shards", "must be >= 1, got %d", cfg.Shards)
 	}
 	if cfg.Lock == "" {
 		cfg.Lock = locks.KindMCS
 	}
 	if len(cfg.Locks) != 0 && len(cfg.Locks) != cfg.Shards {
-		return cfg, configErrf("%d per-shard locks for %d shards", len(cfg.Locks), cfg.Shards)
+		return cfg, configErr("locks", "%d per-shard locks for %d shards", len(cfg.Locks), cfg.Shards)
 	}
 	if cfg.Policy == "" {
 		cfg.Policy = PolicyHandoff
 	}
 	if cfg.Policy != PolicyHandoff && cfg.Policy != PolicyBroadcast {
-		return cfg, configErrf("unknown policy %q", cfg.Policy)
+		return cfg, configErr("policy", "unknown policy %q", cfg.Policy)
 	}
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 64
 	}
 	if cfg.QueueDepth < 1 {
-		return cfg, configErrf("queue depth = %d", cfg.QueueDepth)
+		return cfg, configErr("queue_depth", "must be >= 1, got %d", cfg.QueueDepth)
 	}
 	if cfg.DefaultTTL == 0 {
 		cfg.DefaultTTL = 5 * time.Second
@@ -167,15 +177,27 @@ func (c *Config) withDefaults() (Config, error) {
 		cfg.MaxTTL = 60 * time.Second
 	}
 	if cfg.DefaultTTL < 0 || cfg.MaxTTL < cfg.DefaultTTL {
-		return cfg, configErrf("ttl bounds default=%v max=%v", cfg.DefaultTTL, cfg.MaxTTL)
+		return cfg, configErr("ttl", "bounds default=%v max=%v", cfg.DefaultTTL, cfg.MaxTTL)
 	}
 	if cfg.StarvationBound == 0 {
 		cfg.StarvationBound = 10 * time.Second
+	}
+	if cfg.AdaptiveInterval < 0 {
+		return cfg, configErr("adaptive_interval", "must be >= 0, got %v", cfg.AdaptiveInterval)
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = realClock{}
 	}
 	return cfg, nil
+}
+
+// Validate reports whether the Config would construct, without
+// constructing. Every failure is a *ConfigError naming the offending
+// field, so CLIs can report exactly which knob was wrong before
+// starting anything.
+func (c Config) Validate() error {
+	_, err := (&c).withDefaults()
+	return err
 }
 
 // grantResult is what a parked waiter receives: a lease (handoff), or a
@@ -248,29 +270,47 @@ type shard struct {
 	degraded atomic.Bool
 
 	// Everything below is guarded by mu (normal) or fb (degraded); the
-	// degradation protocol in degradeLocked makes the switch safe.
+	// degradation protocol in degradeLocked / restore makes the switch
+	// safe.
 	degradeReason string
-	res           map[string]*resource
-	queued        int
-	heap          leaseHeap
-	gone          map[uint64]error // token → ErrLeaseExpired / ErrRevoked
-	goneRing      [goneRingSize]uint64
-	goneNext      int
-	live          int
-	counters      Counters
-	grantWait     stats.Histogram // enqueue → grant, ns
-	hold          stats.Histogram // grant → release, ns
+	// policy is this shard's live wakeup discipline. It starts at
+	// Config.Policy and moves under MigrateShard; every grant decision
+	// reads it under the shard guard, so a flip is atomic with respect
+	// to grants — the epoch fence.
+	policy Policy
+	// epoch counts discipline changes (migrations, degrades, restores).
+	epoch uint64
+	// armedAt re-arms the starvation watchdog: waits are measured from
+	// max(enqueue, armedAt), so a discipline change gives the new
+	// policy a full StarvationBound to prove itself before the
+	// watchdog may degrade the shard.
+	armedAt   time.Time
+	res       map[string]*resource
+	queued    int
+	heap      leaseHeap
+	gone      map[uint64]error // token → ErrLeaseExpired / ErrRevoked
+	goneRing  [goneRingSize]uint64
+	goneNext  int
+	live      int
+	counters  Counters
+	grantWait stats.Histogram // enqueue → grant, ns
+	hold      stats.Histogram // grant → release, ns
 }
 
 // lockShard acquires the shard guard. Before degradation that is the
 // configured primitive; after, the plain fallback mutex. The flag is
-// re-checked after acquiring the primitive so a goroutine that raced the
-// degradation never mutates state under the abandoned guard.
+// re-checked after acquiring either guard so a goroutine that raced a
+// degradation — or, since RestoreShard, a restoration — never mutates
+// state under the abandoned guard.
 func (sh *shard) lockShard() lockToken {
 	for {
 		if sh.degraded.Load() {
 			sh.fb.Lock()
-			return lockToken{fb: true}
+			if sh.degraded.Load() {
+				return lockToken{fb: true}
+			}
+			sh.fb.Unlock()
+			continue
 		}
 		sh.mu.Lock()
 		if !sh.degraded.Load() {
@@ -306,6 +346,7 @@ func (sh *shard) degradeLocked(t lockToken, reason string) lockToken {
 	t.alsoFB = true
 	sh.degraded.Store(true)
 	sh.degradeReason = reason
+	sh.epoch++
 	sh.counters.Degrades++
 	sh.flushWaitersLocked(ErrDegraded)
 	if cb := sh.svc.cfg.OnDegrade; cb != nil {
@@ -381,6 +422,9 @@ func (sh *shard) watchdogLocked(t lockToken, now time.Time) lockToken {
 		return t
 	}
 	if oldest, ok := sh.oldestWaitLocked(); ok {
+		if sh.armedAt.After(oldest) {
+			oldest = sh.armedAt // re-armed since the oldest enqueue
+		}
 		if age := now.Sub(oldest); age > sh.svc.cfg.StarvationBound {
 			return sh.degradeLocked(t, fmt.Sprintf("starvation: waiter queued %v > bound %v", age, sh.svc.cfg.StarvationBound))
 		}
@@ -395,6 +439,13 @@ type Service struct {
 	shards []*shard
 	tokens atomic.Uint64
 	closed atomic.Bool
+
+	// tun and ctrl exist only in adaptive mode: tun is the shared
+	// inserted-delay parameter cell every shard lock reads, ctrl the
+	// controller retuning it and migrating shard policies.
+	tun      *locks.Tuning
+	ctrl     *adaptive.Controller
+	ctrlDone chan struct{}
 
 	stop        chan struct{}
 	sweeperDone chan struct{}
@@ -416,33 +467,61 @@ func New(cfg Config) (*Service, error) {
 		clock: full.Clock,
 		stop:  make(chan struct{}),
 	}
+	var lockOpts []locks.Option
+	if full.Adaptive {
+		s.tun = locks.NewTuning()
+		lockOpts = append(lockOpts, locks.WithTuning(s.tun))
+	}
 	s.shards = make([]*shard, full.Shards)
 	for i := range s.shards {
 		kind := full.Lock
 		if len(full.Locks) != 0 {
 			kind = full.Locks[i]
 		}
-		mu, err := locks.New(kind)
+		mu, err := locks.New(kind, lockOpts...)
 		if err != nil {
-			return nil, configErrf("shard %d: %v", i, err)
+			return nil, configErr("lock", "shard %d: %v", i, err)
 		}
 		s.shards[i] = &shard{
-			svc:  s,
-			id:   i,
-			mu:   mu,
-			res:  make(map[string]*resource),
-			gone: make(map[uint64]error),
+			svc:    s,
+			id:     i,
+			mu:     mu,
+			policy: full.Policy,
+			res:    make(map[string]*resource),
+			gone:   make(map[uint64]error),
 		}
 	}
 	if !full.NoSweeper {
 		s.sweeperDone = make(chan struct{})
 		go s.sweeper()
 	}
+	if full.Adaptive {
+		s.ctrl = adaptive.New(plantAdapter{s}, adaptive.Config{
+			Interval: full.AdaptiveInterval,
+			Tuning:   s.tun,
+		})
+		s.ctrlDone = make(chan struct{})
+		go func() { defer close(s.ctrlDone); s.ctrl.Run() }()
+	}
 	return s, nil
 }
 
-// Policy returns the service's grant policy.
+// Policy returns the service's configured (starting) grant policy.
+// Individual shards may have migrated since; see ShardPolicy.
 func (s *Service) Policy() Policy { return s.cfg.Policy }
+
+// ShardPolicy reports the live discipline of one shard: its current
+// policy, or degraded state if the shard has been degraded.
+func (s *Service) ShardPolicy(shard int) (p Policy, degraded bool, err error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return "", false, configErr("shard", "index %d out of range [0,%d)", shard, len(s.shards))
+	}
+	sh := s.shards[shard]
+	t := sh.lockShard()
+	p, degraded = sh.policy, t.fb
+	sh.unlockShard(t)
+	return p, degraded, nil
+}
 
 // shardFor hashes a resource name to its shard.
 func (s *Service) shardFor(resource string) *shard {
@@ -499,9 +578,10 @@ func (s *Service) clampTTL(ttl time.Duration) time.Duration {
 	return ttl
 }
 
-// grantNextLocked passes a freed resource onward per the grant policy.
+// grantNextLocked passes a freed resource onward per the shard's live
+// grant policy.
 func (s *Service) grantNextLocked(sh *shard, r *resource, now time.Time) {
-	if s.cfg.Policy == PolicyBroadcast {
+	if sh.policy == PolicyBroadcast {
 		// Broadcast: wake the whole pack; they re-contend under the
 		// shard guard and all but one wake-up is wasted.
 		if n := len(r.q); n > 0 {
@@ -593,7 +673,7 @@ func (s *Service) Acquire(resourceName, owner string, opt AcquireOptions) (Lease
 	t = sh.watchdogLocked(t, now)
 	r := sh.resourceLocked(resourceName)
 
-	if r.holder == nil && (t.fb || s.cfg.Policy == PolicyBroadcast || len(r.q) == 0) {
+	if r.holder == nil && (t.fb || sh.policy == PolicyBroadcast || len(r.q) == 0) {
 		lease := s.newLeaseLocked(sh, r, owner, now, ttl)
 		sh.counters.ImmediateGrants++
 		sh.grantWait.Add(0)
@@ -872,6 +952,10 @@ func (s *Service) Close() error {
 		return nil
 	}
 	close(s.stop)
+	if s.ctrl != nil {
+		s.ctrl.Close()
+		<-s.ctrlDone
+	}
 	if s.sweeperDone != nil {
 		<-s.sweeperDone
 	}

@@ -1,13 +1,17 @@
 package service
 
 import (
+	"iqolb/internal/adaptive"
 	"iqolb/internal/stats"
 )
 
 // SnapshotSchemaVersion identifies the Snapshot layout, following the
 // repo's artifact conventions (internal/obs, internal/harness): bump on
 // any field addition, removal, or change of meaning.
-const SnapshotSchemaVersion = 1
+//
+// v2: per-shard live policy and epoch, migration/restore counters, and
+// the optional adaptive-controller state block.
+const SnapshotSchemaVersion = 2
 
 // Counters are one shard's monotonic event counts. The broadcast-policy
 // fields quantify the thundering herd the hand-off policy avoids:
@@ -39,6 +43,10 @@ type Counters struct {
 	// Flushed: waiters failed with a typed error on degrade or close.
 	Flushed  uint64 `json:"flushed"`
 	Degrades uint64 `json:"degrades"`
+	// Migrations: live policy flips (MigrateShard). Restores: degraded
+	// shards returned to primitive-guarded service (RestoreShard).
+	Migrations uint64 `json:"migrations"`
+	Restores   uint64 `json:"restores"`
 }
 
 // add accumulates o into c (for the snapshot totals row).
@@ -60,6 +68,8 @@ func (c *Counters) add(o Counters) {
 	c.Revocations += o.Revocations
 	c.Flushed += o.Flushed
 	c.Degrades += o.Degrades
+	c.Migrations += o.Migrations
+	c.Restores += o.Restores
 }
 
 // Sheds is the total of both shed classes.
@@ -67,8 +77,12 @@ func (c Counters) Sheds() uint64 { return c.QueueFullSheds + c.DegradedSheds }
 
 // ShardSnapshot is one shard's state at capture time.
 type ShardSnapshot struct {
-	Shard         int      `json:"shard"`
-	Lock          string   `json:"lock"`
+	Shard int    `json:"shard"`
+	Lock  string `json:"lock"`
+	// Policy is the shard's live wakeup discipline; Epoch counts the
+	// discipline changes (migrations, degrades, restores) it has seen.
+	Policy        string   `json:"policy"`
+	Epoch         uint64   `json:"epoch"`
 	Degraded      bool     `json:"degraded,omitempty"`
 	DegradeReason string   `json:"degrade_reason,omitempty"`
 	Queued        int      `json:"queued"`
@@ -88,11 +102,14 @@ type Snapshot struct {
 	Policy        string          `json:"policy"`
 	QueueDepth    int             `json:"queue_depth"`
 	Shards        []ShardSnapshot `json:"shards"`
-	Totals        Counters        `json:"totals"`
-	GrantWaitNS   stats.Histogram `json:"grant_wait_ns"`
-	HoldNS        stats.Histogram `json:"hold_ns"`
-	LiveLeases    int             `json:"live_leases"`
-	Degraded      int             `json:"degraded_shards"`
+	// Controller is the adaptive controller's state; nil for static
+	// (non-adaptive) services.
+	Controller  *adaptive.State `json:"controller,omitempty"`
+	Totals      Counters        `json:"totals"`
+	GrantWaitNS stats.Histogram `json:"grant_wait_ns"`
+	HoldNS      stats.Histogram `json:"hold_ns"`
+	LiveLeases  int             `json:"live_leases"`
+	Degraded    int             `json:"degraded_shards"`
 }
 
 // Snapshot captures the current service state.
@@ -108,7 +125,9 @@ func (s *Service) Snapshot() *Snapshot {
 		ss := ShardSnapshot{
 			Shard:         i,
 			Lock:          sh.mu.Name(),
-			Degraded:      sh.degraded.Load(),
+			Policy:        string(sh.policy),
+			Epoch:         sh.epoch,
+			Degraded:      t.fb,
 			DegradeReason: sh.degradeReason,
 			Queued:        sh.queued,
 			LiveLeases:    sh.live,
@@ -126,5 +145,6 @@ func (s *Service) Snapshot() *Snapshot {
 			snap.Degraded++
 		}
 	}
+	snap.Controller = s.ControllerState()
 	return snap
 }

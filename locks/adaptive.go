@@ -2,10 +2,6 @@ package locks
 
 import "sync/atomic"
 
-// adaptiveSpinAttempts bounds the optimistic spin phase before a waiter
-// gives up and joins the queue.
-const adaptiveSpinAttempts = 8
-
 // Adaptive is a spin-then-queue lock in the spirit of Fissile and
 // Reciprocating locks: mutual exclusion lives in one test&set word, but
 // waiters that fail a short bounded backoff phase park in an MCS-style
@@ -21,14 +17,18 @@ const adaptiveSpinAttempts = 8
 type Adaptive struct {
 	state atomic.Uint32
 	tail  atomic.Pointer[mcsNode]
+	tun   *Tuning
 	instr instr
 }
 
-// NewAdaptive builds an adaptive spin-then-queue lock.
-func NewAdaptive(opts ...Option) *Adaptive {
-	c := buildConfig(opts)
-	return &Adaptive{instr: instr{h: c.hooks}}
+func newAdaptive(c config) *Adaptive {
+	return &Adaptive{tun: c.tun, instr: instr{h: c.hooks}}
 }
+
+// NewAdaptive builds an adaptive spin-then-queue lock.
+//
+// Deprecated: use New(KindAdaptive, opts...) — the registry constructor.
+func NewAdaptive(opts ...Option) *Adaptive { return newAdaptive(buildConfig(opts)) }
 
 // Name implements Lock.
 func (l *Adaptive) Name() string { return string(KindAdaptive) }
@@ -40,9 +40,13 @@ func (l *Adaptive) Lock() {
 		l.instr.acquired(start)
 		return
 	}
-	// Optimistic phase: bounded exponential backoff on the word.
-	var b backoff
-	for a := 0; a < adaptiveSpinAttempts; a++ {
+	// Optimistic phase: bounded exponential backoff on the word. The
+	// attempt budget is the controller's main knob on this lock — high
+	// contention shrinks it toward zero (queue immediately, IQOLB-style
+	// single transfer), low contention grows it (stay on the fast path).
+	attempts := l.tun.spinAttempts.Load()
+	b := l.tun.backoff()
+	for a := uint32(0); a < attempts; a++ {
 		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
 			l.instr.acquired(start)
 			return

@@ -31,13 +31,16 @@ type CLH struct {
 	instr      instr
 }
 
-// NewCLH builds a CLH lock.
-func NewCLH(opts ...Option) *CLH {
-	c := buildConfig(opts)
+func newCLH(c config) *CLH {
 	l := &CLH{instr: instr{h: c.hooks}}
 	l.tail.Store(new(clhNode)) // initial node: unlocked sentinel
 	return l
 }
+
+// NewCLH builds a CLH lock.
+//
+// Deprecated: use New(KindCLH, opts...) — the registry constructor.
+func NewCLH(opts ...Option) *CLH { return newCLH(buildConfig(opts)) }
 
 // Name implements Lock.
 func (l *CLH) Name() string { return string(KindCLH) }

@@ -18,14 +18,22 @@
 //     case, falling back to an MCS-style queue in which only the queue
 //     head competes for the lock word.
 //
-// All primitives satisfy the one Lock interface and take optional
-// instrumentation hooks feeding internal/stats histograms. Hook callbacks
-// run only on the lock holder, so they are serialized per lock and an
-// unsynchronized stats.Histogram is safe to feed them.
+// Primitives are built through a named registry: locks.New(kind, opts...)
+// constructs any registered kind, locks.Kinds() enumerates them in
+// registration order, and locks.Register adds new ones (see registry.go).
+// The per-kind constructors (NewTTS, NewMCS, ...) remain as deprecated
+// shims over the registry.
+//
+// Every lock takes optional instrumentation hooks feeding internal/stats
+// histograms, and optional *Tuning — the inserted-delay parameters
+// (backoff seed and cap, optimistic spin budget, ticket spin unit) held
+// in atomics so a controller (internal/adaptive) can retune them online
+// while the lock is under traffic. Hook callbacks run only on the lock
+// holder, so they are serialized per lock and an unsynchronized
+// stats.Histogram is safe to feed them.
 package locks
 
 import (
-	"fmt"
 	"runtime"
 	"time"
 
@@ -47,7 +55,7 @@ type Lock interface {
 // Kind names a lock primitive in the registry.
 type Kind string
 
-// The registered primitives, in the canonical (report) order.
+// The built-in primitives, in the canonical (report) order.
 const (
 	KindTTS      Kind = "tts"
 	KindTicket   Kind = "ticket"
@@ -56,37 +64,14 @@ const (
 	KindAdaptive Kind = "adaptive"
 )
 
-// Kinds lists every primitive in a stable order (CLI enumeration and
-// report rows).
-func Kinds() []Kind {
-	return []Kind{KindTTS, KindTicket, KindMCS, KindCLH, KindAdaptive}
-}
-
-// New builds a lock of the given kind.
-func New(k Kind, opts ...Option) (Lock, error) {
-	switch k {
-	case KindTTS:
-		return NewTTS(opts...), nil
-	case KindTicket:
-		return NewTicket(opts...), nil
-	case KindMCS:
-		return NewMCS(opts...), nil
-	case KindCLH:
-		return NewCLH(opts...), nil
-	case KindAdaptive:
-		return NewAdaptive(opts...), nil
-	}
-	return nil, fmt.Errorf("locks: unknown kind %q", string(k))
-}
-
 // Hooks are optional per-lock instrumentation sinks. Every histogram is
 // fed in nanoseconds; nil histograms are skipped, and a nil *Hooks turns
 // all timing off (no clock reads on the lock paths).
 //
-// All three are recorded by the goroutine that holds the lock — Wait and
-// Handoff right after acquiring, Hold just before releasing — so the
-// callbacks are serialized by the lock itself and the histograms need no
-// further synchronization.
+// All callbacks fire on the goroutine that holds the lock — Wait,
+// Handoff and OnAcquired right after acquiring, Hold just before
+// releasing — so they are serialized by the lock itself and the
+// histograms need no further synchronization.
 type Hooks struct {
 	// Wait records acquire latency: Lock() entry to lock held.
 	Wait *stats.Histogram
@@ -96,6 +81,12 @@ type Hooks struct {
 	// native analogue of the simulator's release→acquire hand-off
 	// histogram.
 	Handoff *stats.Histogram
+	// OnAcquired, when non-nil, receives every acquisition's wait and
+	// hand-off samples (handoffNS is 0 for a lock's first acquisition).
+	// Like the histograms it is invoked by the new holder, so calls are
+	// serialized per lock; a sink shared across locks must synchronize
+	// itself (the adaptive tuner's telemetry uses atomics).
+	OnAcquired func(waitNS, handoffNS uint64)
 }
 
 // Option configures a lock at construction.
@@ -103,6 +94,7 @@ type Option func(*config)
 
 type config struct {
 	hooks *Hooks
+	tun   *Tuning
 }
 
 // WithHooks attaches instrumentation hooks.
@@ -110,10 +102,20 @@ func WithHooks(h *Hooks) Option {
 	return func(c *config) { c.hooks = h }
 }
 
+// WithTuning attaches a shared delay-parameter block. Several locks may
+// share one *Tuning; a controller retunes them all with one store. Locks
+// built without this option read an immutable default.
+func WithTuning(t *Tuning) Option {
+	return func(c *config) { c.tun = t }
+}
+
 func buildConfig(opts []Option) config {
 	var c config
 	for _, o := range opts {
 		o(&c)
+	}
+	if c.tun == nil {
+		c.tun = defaultTuning
 	}
 	return c
 }
@@ -143,11 +145,19 @@ func (i *instr) acquired(start time.Time) {
 		return
 	}
 	now := time.Now()
+	wait := uint64(now.Sub(start))
+	var handoff uint64
+	if !i.lastRelease.IsZero() {
+		handoff = uint64(now.Sub(i.lastRelease))
+	}
 	if i.h.Wait != nil {
-		i.h.Wait.Add(uint64(now.Sub(start)))
+		i.h.Wait.Add(wait)
 	}
 	if i.h.Handoff != nil && !i.lastRelease.IsZero() {
-		i.h.Handoff.Add(uint64(now.Sub(i.lastRelease)))
+		i.h.Handoff.Add(handoff)
+	}
+	if i.h.OnAcquired != nil {
+		i.h.OnAcquired(wait, handoff)
 	}
 	i.holdStart = now
 }
@@ -165,13 +175,6 @@ func (i *instr) releasing() {
 	i.lastRelease = now
 }
 
-// Spin tuning. The units are loop iterations, not cycles: precision does
-// not matter, growth does.
-const (
-	spinInitial = 1 << 4
-	spinCap     = 1 << 12
-)
-
 // spinLoop burns roughly n loop iterations without touching memory. The
 // gc compiler does not eliminate counted empty loops.
 func spinLoop(n uint32) {
@@ -182,16 +185,21 @@ func spinLoop(n uint32) {
 // backoff is capped exponential backoff: each pause spins twice as long
 // as the last, and once the cap is reached it also yields the processor
 // so oversubscribed runs (goroutines > GOMAXPROCS) keep making progress.
+// The seed and cap come from the lock's Tuning, loaded once per acquire
+// (see Tuning.backoff) so an online retune is picked up by the next
+// acquisition without an atomic load per pause.
 type backoff struct {
-	n uint32
+	n    uint32
+	seed uint32
+	cap  uint32
 }
 
 func (b *backoff) pause() {
 	if b.n == 0 {
-		b.n = spinInitial
+		b.n = b.seed
 	}
 	spinLoop(b.n)
-	if b.n < spinCap {
+	if b.n < b.cap {
 		b.n <<= 1
 	} else {
 		runtime.Gosched()
@@ -211,5 +219,5 @@ func (w *waitSpin) pause() {
 		runtime.Gosched()
 		return
 	}
-	spinLoop(spinInitial)
+	spinLoop(defaultBackoffInitial)
 }

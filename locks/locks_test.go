@@ -8,6 +8,7 @@
 package locks
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -64,9 +65,140 @@ func TestRegistry(t *testing.T) {
 		if l.Name() != string(k) {
 			t.Fatalf("Name() = %q, want %q", l.Name(), k)
 		}
+		if pk, err := ParseKind(string(k)); err != nil || pk != k {
+			t.Fatalf("ParseKind(%q) = %q, %v", k, pk, err)
+		}
 	}
+	var uke *UnknownKindError
 	if _, err := New(Kind("bogus")); err == nil {
 		t.Fatal("unknown kind accepted")
+	} else if !errors.As(err, &uke) {
+		t.Fatalf("unknown kind error is %T, want *UnknownKindError", err)
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind accepted an unknown kind")
+	}
+}
+
+// TestRegisterCustomKind exercises the open half of the registry: a
+// registered kind constructs through New, enumerates through Kinds, and
+// duplicate registration panics.
+func TestRegisterCustomKind(t *testing.T) {
+	const kind = Kind("test-custom")
+	Register(kind, func(opts ...Option) Lock { return NewTTS(opts...) })
+	l, err := New(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lock()
+	l.Unlock()
+	found := false
+	for _, k := range Kinds() {
+		if k == kind {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Kinds() does not list registered kind %q", kind)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(kind, func(opts ...Option) Lock { return NewTTS(opts...) })
+}
+
+// TestTuningOnline verifies that a Tuning store is observed by later
+// acquisitions (the values feed the very next backoff construction) and
+// that Set clamps controller mistakes to the operating range.
+func TestTuningOnline(t *testing.T) {
+	tun := NewTuning()
+	if got, want := tun.Values(), DefaultTuningValues(); got != want {
+		t.Fatalf("fresh tuning = %+v, want defaults %+v", got, want)
+	}
+	tun.Set(TuningValues{BackoffInitial: 2, BackoffCap: 8, SpinAttempts: 1, TicketUnit: 4})
+	if v := tun.Values(); v.BackoffCap != 8 || v.SpinAttempts != 1 {
+		t.Fatalf("tuning after Set = %+v", v)
+	}
+	// Clamps: zero seed, inverted cap, absurd attempts.
+	tun.Set(TuningValues{BackoffInitial: 0, BackoffCap: 0, SpinAttempts: 1 << 20, TicketUnit: 1 << 30})
+	v := tun.Values()
+	if v.BackoffInitial < 1 || v.BackoffCap < v.BackoffInitial || v.SpinAttempts > 64 {
+		t.Fatalf("clamp failed: %+v", v)
+	}
+
+	// Every primitive built against the shared tuning still excludes
+	// correctly while the parameters are retuned mid-run.
+	for _, k := range Kinds() {
+		l, err := New(k, WithTuning(tun))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var counter uint64
+		const goroutines, opsPerG = 4, 300
+		runWithTimeout(t, 2*time.Minute, func() {
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			go func() {
+				flip := false
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if flip {
+						tun.Set(TuningValues{BackoffInitial: 1, BackoffCap: 2, SpinAttempts: 0, TicketUnit: 1})
+					} else {
+						tun.Set(DefaultTuningValues())
+					}
+					flip = !flip
+					runtime.Gosched()
+				}
+			}()
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < opsPerG; i++ {
+						l.Lock()
+						counter++
+						l.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			close(stop)
+		})
+		if want := uint64(goroutines * opsPerG); counter != want {
+			t.Fatalf("%s: counter = %d, want %d (mutual exclusion violated under retuning)", k, counter, want)
+		}
+	}
+}
+
+// TestOnAcquiredHook checks the telemetry callback contract: one call
+// per acquisition, on the holder, with a zero hand-off only first.
+func TestOnAcquiredHook(t *testing.T) {
+	var calls, zeroHandoffs int
+	l, err := New(KindMCS, WithHooks(&Hooks{OnAcquired: func(waitNS, handoffNS uint64) {
+		calls++
+		if handoffNS == 0 {
+			zeroHandoffs++
+		}
+	}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+	if calls != 10 {
+		t.Fatalf("OnAcquired fired %d times, want 10", calls)
+	}
+	if zeroHandoffs != 1 {
+		t.Fatalf("zero hand-off samples = %d, want exactly the first", zeroHandoffs)
 	}
 }
 

@@ -14,18 +14,18 @@ import (
 type Ticket struct {
 	next    atomic.Uint64
 	serving atomic.Uint64
+	tun     *Tuning
 	instr   instr
 }
 
-// ticketSpinUnit approximates one critical section's worth of spinning
-// per queue position ahead of us.
-const ticketSpinUnit = 1 << 6
+func newTicket(c config) *Ticket {
+	return &Ticket{tun: c.tun, instr: instr{h: c.hooks}}
+}
 
 // NewTicket builds a ticket lock.
-func NewTicket(opts ...Option) *Ticket {
-	c := buildConfig(opts)
-	return &Ticket{instr: instr{h: c.hooks}}
-}
+//
+// Deprecated: use New(KindTicket, opts...) — the registry constructor.
+func NewTicket(opts ...Option) *Ticket { return newTicket(buildConfig(opts)) }
 
 // Name implements Lock.
 func (l *Ticket) Name() string { return string(KindTicket) }
@@ -34,6 +34,7 @@ func (l *Ticket) Name() string { return string(KindTicket) }
 func (l *Ticket) Lock() {
 	start := l.instr.start()
 	t := l.next.Add(1) - 1
+	unit := l.tun.ticketUnit.Load() // the proportional-delay slope, retunable online
 	var rounds uint32
 	for {
 		s := l.serving.Load()
@@ -44,7 +45,7 @@ func (l *Ticket) Lock() {
 		if delta > 64 {
 			delta = 64 // cap the pause so a serving burst is noticed
 		}
-		spinLoop(uint32(delta) * ticketSpinUnit)
+		spinLoop(uint32(delta) * unit)
 		rounds++
 		// Far from the head, or polling for a while: yield too, so
 		// oversubscribed runs let the holder (and closer waiters) run —

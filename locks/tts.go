@@ -10,14 +10,18 @@ import "sync/atomic"
 // decides who wins.
 type TTS struct {
 	state atomic.Uint32
+	tun   *Tuning
 	instr instr
 }
 
-// NewTTS builds a TTS lock.
-func NewTTS(opts ...Option) *TTS {
-	c := buildConfig(opts)
-	return &TTS{instr: instr{h: c.hooks}}
+func newTTS(c config) *TTS {
+	return &TTS{tun: c.tun, instr: instr{h: c.hooks}}
 }
+
+// NewTTS builds a TTS lock.
+//
+// Deprecated: use New(KindTTS, opts...) — the registry constructor.
+func NewTTS(opts ...Option) *TTS { return newTTS(buildConfig(opts)) }
 
 // Name implements Lock.
 func (l *TTS) Name() string { return string(KindTTS) }
@@ -29,7 +33,7 @@ func (l *TTS) Lock() {
 		l.instr.acquired(start)
 		return
 	}
-	var b backoff
+	b := l.tun.backoff()
 	for {
 		// Test phase: read-only polling keeps the line shared while the
 		// holder works (the test&TEST&set half).

@@ -1,0 +1,125 @@
+package locks
+
+import "sync/atomic"
+
+// The default delay parameters. The units are loop iterations, not
+// cycles: precision does not matter, growth does.
+const (
+	// defaultBackoffInitial/Cap seed and cap the exponential backoff of
+	// the TTS word-spin (and the adaptive lock's optimistic phase).
+	defaultBackoffInitial = 1 << 4
+	defaultBackoffCap     = 1 << 12
+	// defaultSpinAttempts bounds the adaptive lock's optimistic phase
+	// before a waiter gives up and joins the queue.
+	defaultSpinAttempts = 8
+	// defaultTicketUnit approximates one critical section's worth of
+	// spinning per queue position ahead of a ticket waiter.
+	defaultTicketUnit = 1 << 6
+
+	// Clamp bounds for Set: a zero seed would never back off, an absurd
+	// cap would park waiters for milliseconds, and more than 64 optimistic
+	// attempts is queue-avoidance, not optimism.
+	minBackoffInitial = 1
+	maxBackoffCap     = 1 << 20
+	maxSpinAttempts   = 64
+	maxTicketUnit     = 1 << 16
+)
+
+// TuningValues is a plain snapshot of the inserted-delay parameters —
+// what a controller writes into a Tuning and what artifacts record.
+type TuningValues struct {
+	// BackoffInitial seeds the capped exponential backoff (loop
+	// iterations); BackoffCap bounds it. These are the software rendering
+	// of the paper's delayed-response delay: how long a contended waiter
+	// stays away from the lock word between polls.
+	BackoffInitial uint32 `json:"backoff_initial"`
+	BackoffCap     uint32 `json:"backoff_cap"`
+	// SpinAttempts bounds the adaptive lock's optimistic word-spin phase
+	// before queueing (0 = queue immediately).
+	SpinAttempts uint32 `json:"spin_attempts"`
+	// TicketUnit is the ticket lock's per-queue-position spin quantum —
+	// the proportional-delay slope.
+	TicketUnit uint32 `json:"ticket_unit"`
+}
+
+// DefaultTuningValues returns the parameters locks use when no Tuning is
+// attached (and the initial state of NewTuning).
+func DefaultTuningValues() TuningValues {
+	return TuningValues{
+		BackoffInitial: defaultBackoffInitial,
+		BackoffCap:     defaultBackoffCap,
+		SpinAttempts:   defaultSpinAttempts,
+		TicketUnit:     defaultTicketUnit,
+	}
+}
+
+// clamp bounds the values to the sane operating range so a controller
+// bug cannot park waiters forever or disable backoff entirely.
+func (v TuningValues) clamp() TuningValues {
+	if v.BackoffInitial < minBackoffInitial {
+		v.BackoffInitial = minBackoffInitial
+	}
+	if v.BackoffCap > maxBackoffCap {
+		v.BackoffCap = maxBackoffCap
+	}
+	if v.BackoffCap < v.BackoffInitial {
+		v.BackoffCap = v.BackoffInitial
+	}
+	if v.SpinAttempts > maxSpinAttempts {
+		v.SpinAttempts = maxSpinAttempts
+	}
+	if v.TicketUnit > maxTicketUnit {
+		v.TicketUnit = maxTicketUnit
+	}
+	return v
+}
+
+// Tuning holds a lock's inserted-delay parameters in atomics, so a
+// controller goroutine can retune them while the lock is under live
+// traffic: the delay stops being a construction-time constant and
+// becomes a control output. One Tuning may be shared by many locks
+// (every shard guard of a service, every lock of a benchmark run); each
+// acquisition loads the current values once on entry, so a store here is
+// visible to the very next acquire with no locking anywhere.
+type Tuning struct {
+	backoffInitial atomic.Uint32
+	backoffCap     atomic.Uint32
+	spinAttempts   atomic.Uint32
+	ticketUnit     atomic.Uint32
+}
+
+// NewTuning returns a Tuning initialized to the defaults.
+func NewTuning() *Tuning {
+	t := &Tuning{}
+	t.Set(DefaultTuningValues())
+	return t
+}
+
+// Set publishes new delay parameters (clamped to the operating range).
+func (t *Tuning) Set(v TuningValues) {
+	v = v.clamp()
+	t.backoffInitial.Store(v.BackoffInitial)
+	t.backoffCap.Store(v.BackoffCap)
+	t.spinAttempts.Store(v.SpinAttempts)
+	t.ticketUnit.Store(v.TicketUnit)
+}
+
+// Values snapshots the current parameters.
+func (t *Tuning) Values() TuningValues {
+	return TuningValues{
+		BackoffInitial: t.backoffInitial.Load(),
+		BackoffCap:     t.backoffCap.Load(),
+		SpinAttempts:   t.spinAttempts.Load(),
+		TicketUnit:     t.ticketUnit.Load(),
+	}
+}
+
+// backoff starts one capped-exponential backoff sequence with the
+// current parameters.
+func (t *Tuning) backoff() backoff {
+	return backoff{seed: t.backoffInitial.Load(), cap: t.backoffCap.Load()}
+}
+
+// defaultTuning backs locks built without WithTuning. It is never
+// mutated (not reachable outside the package).
+var defaultTuning = NewTuning()
