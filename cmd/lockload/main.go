@@ -21,6 +21,14 @@
 // must match the best static policy in every phase by live-migrating
 // the hot shards. The artifact defaults to BENCH_adaptive.json.
 //
+// With -chaos the run is the network-fault campaign instead: every
+// fault kind in -chaos-kinds crossed with every seed in -chaos-seeds,
+// each run squeezing real resilient clients through a deterministic
+// fault-injecting proxy (internal/chaos) and asserting lease
+// conservation plus server-boundary linearizability. The artifact
+// defaults to BENCH_chaos.json and is byte-identical across runs of the
+// same seeds. Any invariant violation exits 1.
+//
 // Exit codes follow the repo convention (see README): 0 success, 1 run
 // failure, 2 unusable configuration.
 package main
@@ -32,6 +40,7 @@ import (
 	"os"
 	"time"
 
+	chaoslib "iqolb/internal/chaos"
 	"iqolb/internal/cliconfig"
 	"iqolb/internal/loadgen"
 )
@@ -51,7 +60,10 @@ func main() {
 		addr       = flag.String("addr", "", "external lockserve address (empty = in-process server per run)")
 		phases     = flag.Bool("phases", false, "run the phase-shifting workload (low→high→low) instead of flat signature replay")
 		ctrlEvery  = flag.Duration("adaptive-interval", 5*time.Millisecond, "controller sampling period for the adaptive mode (-phases)")
-		out        = flag.String("o", "", `artifact path (default BENCH_service.json, or BENCH_adaptive.json with -phases; "none" disables)`)
+		chaos      = flag.Bool("chaos", false, "run the network-fault campaign instead of a benchmark")
+		chaosKinds = flag.String("chaos-kinds", "all", `comma-separated fault kinds for -chaos ("all" = every kind; a "none" control row always runs)`)
+		chaosSeeds = flag.String("chaos-seeds", "1,2,3,4,5,6,7,8", "comma-separated seeds for -chaos")
+		out        = flag.String("o", "", `artifact path (default BENCH_service.json, BENCH_adaptive.json with -phases, or BENCH_chaos.json with -chaos; "none" disables)`)
 		jsonOut    = flag.Bool("json", false, "print the JSON artifact on stdout instead of the table")
 	)
 	flag.Parse()
@@ -61,13 +73,21 @@ func main() {
 	}
 	outPath := *out
 	if outPath == "" {
-		if *phases {
+		switch {
+		case *phases:
 			outPath = "BENCH_adaptive.json"
-		} else {
+		case *chaos:
+			outPath = "BENCH_chaos.json"
+		default:
 			outPath = "BENCH_service.json"
 		}
 	} else if outPath == "none" {
 		outPath = ""
+	}
+
+	if *chaos {
+		runChaos(*chaosKinds, *chaosSeeds, outPath, *jsonOut)
+		return
 	}
 
 	if *phases {
@@ -119,6 +139,50 @@ func main() {
 		return
 	}
 	fmt.Print(loadgen.Render(results))
+}
+
+// runChaos executes the network-fault campaign: (control + each kind)
+// × each seed, with per-run conservation and linearizability checks.
+// Invariant violations exit 1; a degraded classification alone does
+// not (it is a legal, typed way for a run to end).
+func runChaos(kindsFlag, seedsFlag, outPath string, jsonOut bool) {
+	kinds, err := chaoslib.ParseKinds(kindsFlag)
+	usage(err)
+	seedInts, err := cliconfig.PositiveInts(seedsFlag, "chaos seed")
+	usage(err)
+	seeds := make([]uint64, len(seedInts))
+	for i, s := range seedInts {
+		seeds[i] = uint64(s)
+	}
+
+	rep := chaoslib.RunCampaign(chaoslib.CampaignConfig{
+		Kinds: kinds,
+		Seeds: seeds,
+		OnRun: func(r chaoslib.RunResult) {
+			status := ""
+			if r.Failed() {
+				status = "  INVARIANT VIOLATION"
+			}
+			fmt.Fprintf(os.Stderr, "lockload: chaos %-13s seed %-3d %-10s%s\n", r.Kind, r.Seed, r.Outcome, status)
+		},
+	})
+
+	if outPath != "" {
+		if err := writeJSONFile(outPath, rep.WriteJSON); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "lockload: wrote %d chaos runs to %s\n", len(rep.Runs), outPath)
+	}
+	if jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if rep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "lockload: chaos campaign FAILED: %d runs violated invariants\n", rep.Failures)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lockload: chaos campaign clean: %d runs, outcomes %v\n", len(rep.Runs), rep.Outcomes)
 }
 
 // runPhased executes the phase-shifting comparison: every requested

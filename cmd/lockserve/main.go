@@ -19,9 +19,11 @@
 //
 // The bound address is printed on stdout ("listening on <addr>") so
 // harnesses can use :0 and scrape the port. SIGINT/SIGTERM shut down
-// gracefully: stop accepting, flush queued waiters with typed errors,
-// drain connection goroutines, then print a final counter snapshot to
-// stderr.
+// gracefully: stop accepting, flush queued waiters with the typed
+// draining verdict, give live leases -drain-grace to release (then
+// revoke stragglers), drain connection goroutines, and print a final
+// counter snapshot to stderr. -idle-timeout reaps half-open peers;
+// -retry-after attaches the anti-herd delay hint to wire-v2 refusals.
 //
 // Exit codes follow the repo convention (see README): 0 clean shutdown,
 // 1 runtime failure, 2 unusable configuration.
@@ -51,9 +53,12 @@ func main() {
 		ttl       = flag.Duration("ttl", 5*time.Second, "default lease TTL")
 		maxTTL    = flag.Duration("max-ttl", 60*time.Second, "maximum client-requested TTL")
 		starve    = flag.Duration("starvation-bound", 10*time.Second, "oldest-waiter age that degrades a shard (<0 disables)")
-		adapt     = flag.Bool("adaptive", false, "run the contention controller (live per-shard policy migration + lock tuning)")
-		ctrlEvery = flag.Duration("adaptive-interval", 25*time.Millisecond, "controller sampling period (with -adaptive)")
-		statsDump = flag.Bool("stats", true, "print a JSON counter snapshot to stderr on shutdown")
+		adapt      = flag.Bool("adaptive", false, "run the contention controller (live per-shard policy migration + lock tuning)")
+		ctrlEvery  = flag.Duration("adaptive-interval", 25*time.Millisecond, "controller sampling period (with -adaptive)")
+		drainGrace = flag.Duration("drain-grace", 2*time.Second, "graceful-drain window on SIGINT/SIGTERM: live leases get this long to release before revocation (0 = immediate close)")
+		idleConn   = flag.Duration("idle-timeout", 2*time.Minute, "reap connections idle this long (half-open peers included; 0 = never)")
+		retryAfter = flag.Duration("retry-after", 2*time.Millisecond, "retry-after hint attached to wire-v2 shed-class refusals (0 = no hint)")
+		statsDump  = flag.Bool("stats", true, "print a JSON counter snapshot to stderr on shutdown")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -90,7 +95,10 @@ func main() {
 	fmt.Printf("listening on %s\n", ln.Addr())
 	os.Stdout.Sync()
 
-	srv := service.NewServer(svc)
+	srv := service.NewServerWithOptions(svc, service.ServerOptions{
+		IdleTimeout: *idleConn,
+		RetryAfter:  *retryAfter,
+	})
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -105,8 +113,14 @@ func main() {
 		}
 	}
 
-	// Graceful: flush queued waiters (typed ErrClosed), close sockets,
-	// drain connection goroutines.
+	// Graceful: stop accepting, flush queued waiters (typed ErrDraining),
+	// give live leases the grace window to release, revoke stragglers,
+	// then close sockets and drain connection goroutines.
+	if *drainGrace > 0 {
+		if err := srv.Drain(*drainGrace); err != nil {
+			fail(err)
+		}
+	}
 	svc.Close()
 	if err := srv.Close(); err != nil {
 		fail(err)

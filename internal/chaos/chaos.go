@@ -1,0 +1,524 @@
+// Package chaos is a deterministic fault-injecting TCP proxy for the
+// lock-lease wire protocol, plus the campaign harness that drives the
+// serving path through it and checks lease conservation and
+// linearizability on the far side.
+//
+// Determinism is the whole design. The proxy is frame-aware: it relays
+// whole wire frames (4-byte header + payload, read with io.ReadFull),
+// and draws one injection decision per frame from a seeded
+// faults.Stream. Each (connection, direction) pair owns its own stream,
+// seeded from (plan seed, connection index, direction) — and because
+// one proxy serves exactly one client, connection indices are assigned
+// in dial order even across reconnects. A decision therefore depends
+// only on (seed, connection index, direction, frame index), never on
+// wall-clock time or cross-connection races: the same seed injects the
+// same faults at the same frames, run after run.
+//
+// Fault kinds cover the serving path's failure surface: added latency,
+// bandwidth caps, and partial writes (benign — the bytes all arrive);
+// frame truncation, connection resets, one-way stalls, and full
+// partitions (disruptive — the client must reconnect and re-validate
+// its leases by fencing token). Disruptive kinds are pinned to one
+// direction each so a single armed kind yields a fully deterministic
+// kill schedule: resets, stalls, and partitions strike the request
+// path, truncation strikes the response path — the lost-grant case
+// that only fencing tokens make safe.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"iqolb/internal/faults"
+)
+
+// Kind is one network fault kind.
+type Kind uint8
+
+const (
+	// Latency delays each injected frame by Plan.Latency before
+	// forwarding it (benign).
+	Latency Kind = iota
+	// Bandwidth paces injected frames as if squeezed through
+	// Plan.BandwidthBPS (benign).
+	Bandwidth
+	// PartialWrite forwards an injected frame in two writes with a gap
+	// between them — the bytes all arrive, but never in one read
+	// (benign).
+	PartialWrite
+	// Truncate forwards only a prefix of the frame and kills the
+	// connection — the peer observes a frame cut off mid-payload.
+	// Response direction: this is the lost-grant fault.
+	Truncate
+	// Reset kills the connection without forwarding the frame.
+	Reset
+	// Stall stops forwarding this direction (frames are read and
+	// discarded) until the peer gives up; the other direction keeps
+	// flowing — a one-way (half-open) failure.
+	Stall
+	// Partition kills the connection AND refuses the next
+	// Plan.PartitionDials reconnect attempts — a full, then healing,
+	// network partition.
+	Partition
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	"latency", "bandwidth", "partial-write", "truncate", "reset", "stall", "partition",
+}
+
+// String returns the kind's stable CLI/JSON name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Parse resolves a kind name.
+func Parse(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if s == n {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown fault kind %q (have %s)", s, strings.Join(kindNames[:], ", "))
+}
+
+// Kinds returns every fault kind in enum order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// ParseKinds resolves a comma-separated kind list; "all" (or "*")
+// selects every kind.
+func ParseKinds(s string) ([]Kind, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if s == "all" || s == "*" {
+		return Kinds(), nil
+	}
+	var out []Kind
+	for _, part := range strings.Split(s, ",") {
+		k, err := Parse(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// Relay directions. Disruptive kinds are pinned per direction so a
+// single-kind plan has a deterministic kill schedule (see the package
+// comment).
+const (
+	dirRequest  = 0 // client → server
+	dirResponse = 1 // server → client
+)
+
+// allowed reports whether kind may strike in direction dir.
+func (k Kind) allowed(dir int) bool {
+	switch k {
+	case Latency, Bandwidth, PartialWrite:
+		return true
+	case Truncate:
+		return dir == dirResponse
+	case Reset, Stall, Partition:
+		return dir == dirRequest
+	}
+	return false
+}
+
+// Plan is one proxy's deterministic fault schedule — pure data, like
+// faults.Plan. Zero optional fields select the documented defaults.
+type Plan struct {
+	// Seed drives every injection decision; equal seeds (and equal peer
+	// behavior) inject identically.
+	Seed uint64 `json:"seed"`
+	// Kinds lists the armed fault kinds; empty arms nothing (a clean
+	// relay, useful as the control run).
+	Kinds []Kind `json:"kinds,omitempty"`
+	// Rate is the per-frame injection probability in (0, 1]; 0 means 1.
+	// Campaigns use 1 with a MaxInjections cap, which makes the full
+	// fault schedule independent of frame counts beyond the cap.
+	Rate float64 `json:"rate,omitempty"`
+	// MaxInjections caps injections per direction across the proxy's
+	// whole life (0 = 4). Without a cap, rate-1 disruptive kinds would
+	// kill every reconnect forever.
+	MaxInjections uint64 `json:"max_injections,omitempty"`
+	// MaxSkip bounds each connection's clean warm-up: every (conn, dir)
+	// stream first draws skip ∈ [0, MaxSkip] frames to pass untouched,
+	// so faults also strike mid-session, with leases held (0 = 3).
+	MaxSkip int64 `json:"max_skip,omitempty"`
+	// Latency is the Latency kind's added delay (0 = 2ms).
+	Latency time.Duration `json:"latency,omitempty"`
+	// BandwidthBPS is the Bandwidth kind's simulated rate (0 = 20000).
+	BandwidthBPS int64 `json:"bandwidth_bps,omitempty"`
+	// PartitionDials is how many reconnect attempts each Partition
+	// refuses before healing (0 = 2). Counting dials instead of wall
+	// time keeps the healing point deterministic.
+	PartitionDials int `json:"partition_dials,omitempty"`
+}
+
+func (p Plan) rate() float64 {
+	if p.Rate == 0 {
+		return 1
+	}
+	return p.Rate
+}
+
+func (p Plan) maxInjections() uint64 {
+	if p.MaxInjections == 0 {
+		return 4
+	}
+	return p.MaxInjections
+}
+
+func (p Plan) maxSkip() int64 {
+	if p.MaxSkip == 0 {
+		return 3
+	}
+	return p.MaxSkip
+}
+
+func (p Plan) latency() time.Duration {
+	if p.Latency == 0 {
+		return 2 * time.Millisecond
+	}
+	return p.Latency
+}
+
+func (p Plan) bandwidthBPS() int64 {
+	if p.BandwidthBPS == 0 {
+		return 20_000
+	}
+	return p.BandwidthBPS
+}
+
+func (p Plan) partitionDials() int {
+	if p.PartitionDials == 0 {
+		return 2
+	}
+	return p.PartitionDials
+}
+
+// Validate rejects malformed plans.
+func (p Plan) Validate() error {
+	if p.Rate < 0 || p.Rate > 1 {
+		return fmt.Errorf("chaos: rate %v outside [0, 1]", p.Rate)
+	}
+	for _, k := range p.Kinds {
+		if int(k) >= int(numKinds) {
+			return fmt.Errorf("chaos: unknown kind %d in plan", uint8(k))
+		}
+	}
+	if p.MaxSkip < 0 || p.Latency < 0 || p.BandwidthBPS < 0 || p.PartitionDials < 0 {
+		return fmt.Errorf("chaos: negative knob in plan")
+	}
+	return nil
+}
+
+// wireHeaderLen mirrors the service wire framing (version, op, u16
+// length); duplicated here so chaos does not import the service.
+const wireHeaderLen = 4
+
+// session is one relayed connection pair; kill closes both ends exactly
+// once, which terminates both relay goroutines.
+type session struct {
+	client, server net.Conn
+	once           sync.Once
+}
+
+func (ss *session) kill() {
+	ss.once.Do(func() {
+		ss.client.Close()
+		ss.server.Close()
+	})
+}
+
+// Stats summarizes what a proxy did.
+type Stats struct {
+	// Conns counts served (relayed) connections; refused partition
+	// dials are not served and not counted.
+	Conns uint64 `json:"conns"`
+	// Injections aggregates injected faults by kind name (nil when
+	// nothing fired).
+	Injections map[string]uint64 `json:"injections,omitempty"`
+}
+
+// Total sums the injection counts.
+func (s Stats) Total() uint64 {
+	var n uint64
+	for _, c := range s.Injections {
+		n += c
+	}
+	return n
+}
+
+// Proxy is a deterministic fault-injecting TCP proxy between ONE client
+// and a lockserve target. One proxy per client is load-bearing: it
+// makes connection order equal dial order, which keeps stream seeding
+// deterministic across reconnects.
+type Proxy struct {
+	target string
+	plan   Plan
+	ln     net.Listener
+
+	mu        sync.Mutex
+	connIndex uint64
+	refuse    int // partition: dials left to refuse
+	perDir    [2]uint64
+	injected  map[string]uint64
+	conns     uint64
+	sessions  map[*session]struct{}
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy on an ephemeral localhost port relaying to target.
+func New(target string, plan Plan) (*Proxy, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		target:   target,
+		plan:     plan,
+		ln:       ln,
+		injected: make(map[string]uint64),
+		sessions: make(map[*session]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what the client dials.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats returns a copy of the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{Conns: p.conns}
+	if len(p.injected) > 0 {
+		st.Injections = make(map[string]uint64, len(p.injected))
+		for k, v := range p.injected {
+			st.Injections[k] = v
+		}
+	}
+	return st
+}
+
+// Close stops accepting, kills live sessions, and waits for every relay
+// goroutine.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	sessions := make([]*session, 0, len(p.sessions))
+	for ss := range p.sessions {
+		sessions = append(sessions, ss)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, ss := range sessions {
+		ss.kill()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// streamSeed mixes the plan seed with the connection index and
+// direction; faults.NewStream finalizes with splitmix64, so simple
+// odd-constant spreading suffices.
+func (p *Proxy) streamSeed(connIndex uint64, dir int) uint64 {
+	return p.plan.Seed ^ (connIndex+1)*0x9e3779b97f4a7c15 ^ uint64(dir+1)*0x94d049bb133111eb
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			return
+		}
+		if p.refuse > 0 {
+			// Partitioned: this dial is refused (and, unlike served
+			// connections, consumes no connection index).
+			p.refuse--
+			p.mu.Unlock()
+			c.Close()
+			continue
+		}
+		idx := p.connIndex
+		p.connIndex++
+		p.conns++
+		p.mu.Unlock()
+
+		s, err := net.Dial("tcp", p.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		ss := &session{client: c, server: s}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			ss.kill()
+			return
+		}
+		p.sessions[ss] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.relay(ss, idx, dirRequest, c, s)
+		go p.relay(ss, idx, dirResponse, s, c)
+	}
+}
+
+func (p *Proxy) dropSession(ss *session) {
+	ss.kill()
+	p.mu.Lock()
+	delete(p.sessions, ss)
+	p.mu.Unlock()
+}
+
+// tryInject atomically consumes one unit of dir's injection budget for
+// kind; it reports false when the budget is spent.
+func (p *Proxy) tryInject(dir int, kind Kind) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.perDir[dir] >= p.plan.maxInjections() {
+		return false
+	}
+	p.perDir[dir]++
+	p.injected[kind.String()]++
+	return true
+}
+
+func (p *Proxy) budgetLeft(dir int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.perDir[dir] < p.plan.maxInjections()
+}
+
+// relay forwards whole wire frames src→dst, drawing one injection
+// decision per frame from this (connection, direction)'s own stream.
+func (p *Proxy) relay(ss *session, connIndex uint64, dir int, src, dst net.Conn) {
+	defer p.wg.Done()
+	defer p.dropSession(ss)
+
+	var armed []Kind
+	for _, k := range p.plan.Kinds { // plan order; campaigns arm one kind
+		if k.allowed(dir) {
+			armed = append(armed, k)
+		}
+	}
+	str := faults.NewStream(p.streamSeed(connIndex, dir))
+	skip := int64(0)
+	if len(armed) > 0 {
+		skip = str.Intn(p.plan.maxSkip() + 1)
+	}
+
+	var hdr [wireHeaderLen]byte
+	buf := make([]byte, 0, 256)
+	for frame := int64(0); ; frame++ {
+		if _, err := io.ReadFull(src, hdr[:]); err != nil {
+			return
+		}
+		n := int(hdr[2])<<8 | int(hdr[3])
+		buf = append(buf[:0], hdr[:]...)
+		buf = buf[:wireHeaderLen+n]
+		if _, err := io.ReadFull(src, buf[wireHeaderLen:]); err != nil {
+			return
+		}
+
+		kind := numKinds // sentinel: no injection
+		if len(armed) > 0 && frame >= skip && p.budgetLeft(dir) && str.Chance(p.plan.rate()) {
+			k := armed[str.Intn(int64(len(armed)))]
+			if p.tryInject(dir, k) {
+				kind = k
+			}
+		}
+
+		switch kind {
+		case Latency:
+			time.Sleep(p.plan.latency())
+		case Bandwidth:
+			time.Sleep(time.Duration(int64(len(buf))) * time.Second / time.Duration(p.plan.bandwidthBPS()))
+		case PartialWrite:
+			half := len(buf) / 2
+			if half == 0 {
+				half = 1
+			}
+			if _, err := dst.Write(buf[:half]); err != nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+			if _, err := dst.Write(buf[half:]); err != nil {
+				return
+			}
+			continue
+		case Truncate:
+			// Cut the frame off mid-payload (or mid-header for empty
+			// payloads) and kill the session: the receiver sees an
+			// unexpected EOF inside a frame.
+			cut := wireHeaderLen + n/2
+			if n == 0 {
+				cut = wireHeaderLen / 2
+			}
+			dst.Write(buf[:cut])
+			return
+		case Reset:
+			return // kill without forwarding
+		case Stall:
+			// One-way stall: blackhole this direction's frames (still
+			// reading, so the peer's close is noticed) until the session
+			// dies.
+			for {
+				if _, err := io.ReadFull(src, hdr[:]); err != nil {
+					return
+				}
+				m := int(hdr[2])<<8 | int(hdr[3])
+				if _, err := io.CopyN(io.Discard, src, int64(m)); err != nil {
+					return
+				}
+			}
+		case Partition:
+			p.mu.Lock()
+			p.refuse += p.plan.partitionDials()
+			p.mu.Unlock()
+			return
+		}
+
+		if _, err := dst.Write(buf); err != nil {
+			return
+		}
+	}
+}

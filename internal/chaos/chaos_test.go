@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestKindParse(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := Parse(k.String())
+		if err != nil || got != k {
+			t.Fatalf("Parse(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := Parse("gremlins"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	ks, err := ParseKinds("all")
+	if err != nil || len(ks) != len(Kinds()) {
+		t.Fatalf("ParseKinds(all) = %v, %v", ks, err)
+	}
+	ks, err = ParseKinds("reset,truncate")
+	if err != nil || len(ks) != 2 || ks[0] != Reset || ks[1] != Truncate {
+		t.Fatalf("ParseKinds(reset,truncate) = %v, %v", ks, err)
+	}
+	if _, err := ParseKinds("reset,,"); err == nil {
+		t.Fatal("empty kind accepted")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{}).Validate(); err != nil {
+		t.Fatalf("zero plan invalid: %v", err)
+	}
+	if err := (Plan{Rate: 1.5}).Validate(); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if err := (Plan{Rate: -0.1}).Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+// frame builds a wire-shaped frame (the relay is frame-aware).
+func frame(payload []byte) []byte {
+	b := []byte{1, 9, byte(len(payload) >> 8), byte(len(payload))}
+	return append(b, payload...)
+}
+
+// TestProxyPassThrough proves a kind-less proxy is a faithful pipe for
+// framed traffic and injects nothing.
+func TestProxyPassThrough(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c) // echo
+		}
+	}()
+
+	p, err := New(ln.Addr().String(), Plan{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	for i := 0; i < 10; i++ {
+		msg := frame([]byte{byte(i), 0xab, 0xcd})
+		if _, err := conn.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("frame %d: got %x, want %x", i, got, msg)
+		}
+	}
+	st := p.Stats()
+	if st.Total() != 0 {
+		t.Fatalf("kind-less proxy injected %d faults: %v", st.Total(), st.Injections)
+	}
+	if st.Conns != 1 {
+		t.Fatalf("conns = %d, want 1", st.Conns)
+	}
+}
+
+// reportBytes runs a campaign and renders its artifact.
+func reportBytes(t *testing.T, cfg CampaignConfig) []byte {
+	t.Helper()
+	rep := RunCampaign(cfg)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignDeterminism is the artifact contract: the same seeds must
+// produce a byte-identical report across runs, retry timing and
+// scheduler jitter notwithstanding.
+func TestCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign runs real sockets and timeouts")
+	}
+	cfg := CampaignConfig{
+		Kinds:        []Kind{Latency, Truncate, Reset},
+		Seeds:        []uint64{1, 2},
+		Clients:      2,
+		OpsPerClient: 3,
+	}
+	a := reportBytes(t, cfg)
+	b := reportBytes(t, cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed campaigns differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestCampaignAllKinds runs every fault kind once and asserts the
+// invariants the campaign exists to check: every run classifies, lease
+// conservation holds, and every per-resource history linearizes.
+func TestCampaignAllKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign runs real sockets and timeouts")
+	}
+	rep := RunCampaign(CampaignConfig{
+		Seeds:        []uint64{7},
+		Clients:      2,
+		OpsPerClient: 3,
+	})
+	if want := len(Kinds()) + 1; len(rep.Runs) != want {
+		t.Fatalf("runs = %d, want %d", len(rep.Runs), want)
+	}
+	valid := map[string]bool{
+		OutcomeClean: true, OutcomeAbsorbed: true,
+		OutcomeRecovered: true, OutcomeDegraded: true,
+	}
+	for _, run := range rep.Runs {
+		if !valid[run.Outcome] {
+			t.Errorf("%s/%d: unclassified outcome %q", run.Kind, run.Seed, run.Outcome)
+		}
+		if run.Conservation != "ok" {
+			t.Errorf("%s/%d: conservation violated: %s", run.Kind, run.Seed, run.Conservation)
+		}
+		if !run.Linearizable {
+			t.Errorf("%s/%d: history not linearizable: %v", run.Kind, run.Seed, run.Failures)
+		}
+	}
+	if rep.Failures != 0 {
+		t.Errorf("report failures = %d, want 0", rep.Failures)
+	}
+}

@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The sequential lease model the campaign's linearizability check
+// replays server-boundary histories against. It mirrors the in-package
+// model of the service's own linearizability tests, extended with the
+// wire-v2 operations: resume (a reconnect re-validating a lease) and
+// the "fenced"/"draining" verdicts.
+//
+// Ops touch exactly one resource and the model keeps no cross-resource
+// state, so campaigns split each history per resource and check the
+// pieces independently — a product-machine decomposition that also
+// keeps each piece inside the checker's 64-op memoization bound.
+
+type acqIn struct{ Res string }
+
+type relIn struct {
+	Res   string
+	Token uint64
+}
+
+type resIn struct {
+	Res   string
+	Token uint64
+}
+
+type expIn struct {
+	Res   string
+	Token uint64
+}
+
+func (a acqIn) String() string { return fmt.Sprintf("acquire(%s)", a.Res) }
+func (r relIn) String() string { return fmt.Sprintf("release(%s,#%d)", r.Res, r.Token) }
+func (r resIn) String() string { return fmt.Sprintf("resume(%s,#%d)", r.Res, r.Token) }
+func (e expIn) String() string { return fmt.Sprintf("expire(%s,#%d)", e.Res, e.Token) }
+
+type modelState struct {
+	hold    map[string]uint64
+	expired map[uint64]bool
+	revoked map[uint64]bool
+}
+
+func (st modelState) clone() modelState {
+	n := modelState{
+		hold:    make(map[string]uint64, len(st.hold)),
+		expired: make(map[uint64]bool, len(st.expired)),
+		revoked: make(map[uint64]bool, len(st.revoked)),
+	}
+	for k, v := range st.hold {
+		n.hold[k] = v
+	}
+	for k := range st.expired {
+		n.expired[k] = true
+	}
+	for k := range st.revoked {
+		n.revoked[k] = true
+	}
+	return n
+}
+
+type leaseModel struct{}
+
+func (leaseModel) Init() any {
+	return modelState{hold: map[string]uint64{}, expired: map[uint64]bool{}, revoked: map[uint64]bool{}}
+}
+
+func (leaseModel) Step(state any, input, output any) (any, bool) {
+	st := state.(modelState)
+	switch in := input.(type) {
+	case acqIn:
+		switch out := output.(type) {
+		case uint64: // granted
+			if st.hold[in.Res] != 0 {
+				return state, false
+			}
+			n := st.clone()
+			n.hold[in.Res] = out
+			return n, true
+		case string:
+			switch out {
+			case "busy": // legal only while the resource is held
+				return state, st.hold[in.Res] != 0
+			case "timeout", "queuefull", "shed", "closed", "draining":
+				// Admission refusals, timeouts, and the drain verdict are
+				// legal no-ops: they depend on queue occupancy, timing, or
+				// lifecycle, which the sequential lease model does not
+				// track.
+				return state, true
+			}
+		}
+		return state, false
+	case relIn:
+		switch output.(string) {
+		case "ok":
+			if st.hold[in.Res] != in.Token {
+				return state, false
+			}
+			n := st.clone()
+			delete(n.hold, in.Res)
+			return n, true
+		case "notheld":
+			return state, st.hold[in.Res] != in.Token && !st.expired[in.Token] && !st.revoked[in.Token]
+		case "expired":
+			return state, st.expired[in.Token]
+		case "revoked":
+			return state, st.revoked[in.Token]
+		case "fenced":
+			// A fenced rejection proves the token does not hold the
+			// resource (a newer grant exists); the model does not track
+			// fence counters, so that is exactly the legality condition.
+			return state, st.hold[in.Res] != in.Token
+		}
+		return state, false
+	case resIn:
+		switch out := output.(type) {
+		case uint64: // re-validated: the token must still hold the resource
+			return state, out == in.Token && st.hold[in.Res] == in.Token
+		case string:
+			switch out {
+			case "notheld":
+				return state, st.hold[in.Res] != in.Token && !st.expired[in.Token] && !st.revoked[in.Token]
+			case "expired":
+				return state, st.expired[in.Token]
+			case "revoked":
+				return state, st.revoked[in.Token]
+			case "fenced":
+				return state, st.hold[in.Res] != in.Token
+			case "closed", "draining":
+				return state, true
+			}
+		}
+		return state, false
+	case expIn:
+		if st.hold[in.Res] != in.Token {
+			return state, false
+		}
+		n := st.clone()
+		delete(n.hold, in.Res)
+		n.expired[in.Token] = true
+		return n, true
+	}
+	return state, false
+}
+
+func (leaseModel) Key(state any) string {
+	st := state.(modelState)
+	var parts []string
+	for r, t := range st.hold {
+		parts = append(parts, fmt.Sprintf("h:%s=%d", r, t))
+	}
+	for t := range st.expired {
+		parts = append(parts, fmt.Sprintf("e:%d", t))
+	}
+	for t := range st.revoked {
+		parts = append(parts, fmt.Sprintf("r:%d", t))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// resourceOf extracts the resource an op touches, for per-resource
+// history splitting.
+func resourceOf(input any) string {
+	switch in := input.(type) {
+	case acqIn:
+		return in.Res
+	case relIn:
+		return in.Res
+	case resIn:
+		return in.Res
+	case expIn:
+		return in.Res
+	}
+	return ""
+}

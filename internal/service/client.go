@@ -5,18 +5,24 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Client is a lockserve wire-protocol client. It is safe for concurrent
 // use, but requests serialize on the single connection (one in flight),
 // matching the closed-loop clients of the load generator; open one
-// Client per concurrent actor.
+// Client per concurrent actor. It speaks wire v2 by default; see
+// SetVersion for talking to a v1-only server.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	conn   net.Conn
+	closed atomic.Bool
+
+	mu        sync.Mutex // serializes round trips
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	version   uint8
+	opTimeout time.Duration
 }
 
 // Dial connects to a lockserve address.
@@ -28,15 +34,56 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
-// NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+// DialTimeout connects with a bound on the dial itself.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error {
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		bw:      bufio.NewWriter(conn),
+		version: WireVersion2,
+	}
+}
+
+// SetVersion selects the wire version for subsequent requests
+// (WireVersion for a v1-only server, WireVersion2 by default).
+func (c *Client) SetVersion(v uint8) error {
+	if v != WireVersion && v != WireVersion2 {
+		return wireErrf("unknown client version %d", v)
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.version = v
+	c.mu.Unlock()
+	return nil
+}
+
+// SetOpTimeout bounds each subsequent round trip (write + read) with a
+// connection deadline, so a dead or partitioned peer surfaces as a
+// typed timeout instead of a hang. With wire v2 the same deadline is
+// propagated to the server inside acquire frames, which clamps its
+// queued wait to the client's remaining budget. 0 disables.
+func (c *Client) SetOpTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.opTimeout = d
+	c.mu.Unlock()
+}
+
+// Close closes the connection. It deliberately does NOT take the
+// round-trip mutex: a round trip blocked mid-read on a vanished peer
+// holds it indefinitely, and net.Conn.Close is safe to call
+// concurrently — it unblocks that pending read with net.ErrClosed.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	return c.conn.Close()
 }
 
@@ -44,6 +91,13 @@ func (c *Client) Close() error {
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return Response{}, net.ErrClosed
+	}
+	req.Version = c.version
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	}
 	frame, err := AppendRequest(nil, req)
 	if err != nil {
 		return Response{}, err
@@ -60,14 +114,20 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 // Acquire requests a lease over the wire; errors are the same typed
 // sentinels the in-process API returns.
 func (c *Client) Acquire(resource, owner string, opt AcquireOptions) (Lease, error) {
-	resp, err := c.roundTrip(Request{
+	req := Request{
 		Op:       OpAcquire,
 		Resource: resource,
 		Owner:    owner,
 		TTL:      opt.TTL,
 		MaxWait:  opt.MaxWait,
 		Wait:     opt.Wait,
-	})
+	}
+	c.mu.Lock()
+	if c.version == WireVersion2 && c.opTimeout > 0 {
+		req.Deadline = time.Now().Add(c.opTimeout).UnixNano()
+	}
+	c.mu.Unlock()
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return Lease{}, err
 	}
@@ -77,17 +137,24 @@ func (c *Client) Acquire(resource, owner string, opt AcquireOptions) (Lease, err
 			Resource: resource,
 			Owner:    owner,
 			Token:    resp.Token,
+			Fence:    resp.Fence,
 			Deadline: time.Unix(0, resp.Deadline),
 		}, nil
 	case OpError:
-		return Lease{}, codeError(resp.Code, resp.Msg)
+		return Lease{}, codeError(resp)
 	}
 	return Lease{}, fmt.Errorf("service: unexpected response op %d to acquire", resp.Op)
 }
 
 // Release ends a lease over the wire.
 func (c *Client) Release(resource string, token uint64) error {
-	resp, err := c.roundTrip(Request{Op: OpRelease, Resource: resource, Token: token})
+	return c.ReleaseFenced(resource, token, 0)
+}
+
+// ReleaseFenced ends a lease over the wire with its fencing token
+// (wire v2); fence 0 makes no fence claim.
+func (c *Client) ReleaseFenced(resource string, token, fence uint64) error {
+	resp, err := c.roundTrip(Request{Op: OpRelease, Resource: resource, Token: token, Fence: fence})
 	if err != nil {
 		return err
 	}
@@ -95,9 +162,31 @@ func (c *Client) Release(resource string, token uint64) error {
 	case OpOK:
 		return nil
 	case OpError:
-		return codeError(resp.Code, resp.Msg)
+		return codeError(resp)
 	}
 	return fmt.Errorf("service: unexpected response op %d to release", resp.Op)
+}
+
+// Resume re-validates a held lease after a reconnect (wire v2): the
+// live lease if the token still holds the resource, or the typed reason
+// it no longer does.
+func (c *Client) Resume(resource string, token, fence uint64) (Lease, error) {
+	resp, err := c.roundTrip(Request{Op: OpResume, Resource: resource, Token: token, Fence: fence})
+	if err != nil {
+		return Lease{}, err
+	}
+	switch resp.Op {
+	case OpGranted:
+		return Lease{
+			Resource: resource,
+			Token:    resp.Token,
+			Fence:    resp.Fence,
+			Deadline: time.Unix(0, resp.Deadline),
+		}, nil
+	case OpError:
+		return Lease{}, codeError(resp)
+	}
+	return Lease{}, fmt.Errorf("service: unexpected response op %d to resume", resp.Op)
 }
 
 // Ping round-trips a no-op frame.

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestResilientGiveUpTyped: a dead address exhausts the retry budget and
+// fails with the wrapped typed cause — never a hang, never a bare error.
+func TestResilientGiveUpTyped(t *testing.T) {
+	// Grab a port that refuses: listen, note the address, close.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	rc := NewResilient(addr, ResilientOptions{
+		OpTimeout: 100 * time.Millisecond,
+		Retry:     RetryPolicy{Initial: time.Millisecond, Cap: 2 * time.Millisecond, MaxAttempts: 3},
+		Seed:      1,
+	})
+	defer rc.Close()
+	start := time.Now()
+	err = rc.Ping()
+	if err == nil {
+		t.Fatal("ping succeeded against a dead address")
+	}
+	if !Retryable(err) {
+		t.Fatalf("give-up error lost its retryable cause: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("give-up took %v", elapsed)
+	}
+	st := rc.Stats()
+	if st.GaveUp != 1 {
+		t.Fatalf("stats = %+v, want GaveUp 1", st)
+	}
+	if st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 2 backoffs for 3 attempts", st)
+	}
+}
+
+// TestResilientFatalNotRetried: a typed fatal verdict returns immediately
+// without burning the retry budget.
+func TestResilientFatalNotRetried(t *testing.T) {
+	_, addr := startServerOpts(t, nil, ServerOptions{})
+	rc := NewResilient(addr, ResilientOptions{
+		OpTimeout: time.Second,
+		Retry:     RetryPolicy{Initial: time.Millisecond, Cap: 2 * time.Millisecond, MaxAttempts: 8},
+		Seed:      1,
+	})
+	defer rc.Close()
+	err := rc.Release(Lease{Resource: "r", Token: 999})
+	if !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("bogus release: %v, want ErrNotHeld", err)
+	}
+	if st := rc.Stats(); st.Retries != 0 || st.GaveUp != 0 {
+		t.Fatalf("fatal error consumed retries: %+v", st)
+	}
+}
+
+// cuttableRelay is a single-target TCP relay whose live connections can
+// be severed on demand — the minimal "network cable" for reconnect
+// tests.
+type cuttableRelay struct {
+	ln     net.Listener
+	target string
+	mu     sync.Mutex
+	conns  []net.Conn
+}
+
+func newCuttableRelay(t *testing.T, target string) *cuttableRelay {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &cuttableRelay{ln: ln, target: target}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", target)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			r.mu.Lock()
+			r.conns = append(r.conns, c, up)
+			r.mu.Unlock()
+			go func() { io.Copy(up, c); up.Close() }()
+			go func() { io.Copy(c, up); c.Close() }()
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); r.cut() })
+	return r
+}
+
+func (r *cuttableRelay) addr() string { return r.ln.Addr().String() }
+
+func (r *cuttableRelay) cut() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.conns {
+		c.Close()
+	}
+	r.conns = nil
+}
+
+// TestResilientReconnectResume: cut the network under a held lease; the
+// next operation reconnects, the resume re-validates the same lease
+// (same token, same fence), and the release completes against it.
+func TestResilientReconnectResume(t *testing.T) {
+	_, addr := startServerOpts(t, nil, ServerOptions{})
+	relay := newCuttableRelay(t, addr)
+	rc := NewResilient(relay.addr(), ResilientOptions{
+		OpTimeout: time.Second,
+		Retry:     RetryPolicy{Initial: time.Millisecond, Cap: 8 * time.Millisecond, MaxAttempts: 8},
+		Seed:      1,
+	})
+	defer rc.Close()
+	l, err := rc.Acquire("r", "o", AcquireOptions{TTL: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay.cut()
+	// The cut surfaces on the next op as a transport fault; the retry
+	// loop reconnects and resumes the held lease first.
+	if err := rc.Ping(); err != nil {
+		t.Fatalf("ping across the cut: %v", err)
+	}
+	st := rc.Stats()
+	if st.Reconnects == 0 || st.ResumedOK == 0 || st.ResumedLost != 0 {
+		t.Fatalf("stats = %+v, want a reconnect with a clean resume", st)
+	}
+	held := rc.Held()
+	if len(held) != 1 || held[0].Token != l.Token || held[0].Fence != l.Fence {
+		t.Fatalf("held after resume = %+v, want the original lease %+v", held, l)
+	}
+	if err := rc.Release(l); err != nil {
+		t.Fatalf("release after reconnect: %v", err)
+	}
+}

@@ -5,7 +5,38 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 )
+
+// Backend is what the network server needs from the lease service.
+// *Service implements it; the chaos campaigns wrap it to record the
+// server-boundary history the linearizability checker replays.
+type Backend interface {
+	Acquire(resource, owner string, opt AcquireOptions) (Lease, error)
+	ReleaseFenced(resource string, token, fence uint64) error
+	Resume(resource string, token, fence uint64) (Lease, error)
+	Drain(grace time.Duration) error
+	Close() error
+}
+
+// ServerOptions tune the network layer's robustness behavior; the zero
+// value reproduces the original permissive server.
+type ServerOptions struct {
+	// IdleTimeout reaps connections that go quiet between requests —
+	// including half-open peers that died mid-frame, which a bare TCP
+	// read would wait on forever (0 = never reap).
+	IdleTimeout time.Duration
+	// MaxWait caps the server-side queued wait of any acquire,
+	// regardless of what the client asked for, so an abandoned
+	// connection cannot pin its goroutine in the admission queue
+	// indefinitely (0 = honor the client's request unbounded).
+	MaxWait time.Duration
+	// RetryAfter, when positive, is attached to wire-v2 shed-class
+	// refusals (queue-full, shed, degraded, draining) as the retry-after
+	// hint: the server inserting a delay into the client's retry loop,
+	// which is the paper's anti-herd delay one layer up.
+	RetryAfter time.Duration
+}
 
 // Server serves the wire protocol over TCP, one goroutine per
 // connection with a strict one-request-in-flight-per-connection
@@ -13,25 +44,32 @@ import (
 // pipeline). Waiting acquires block the connection's request, which is
 // exactly the queued-waiter semantics of the in-process API.
 type Server struct {
-	svc *Service
+	svc Backend
+	opt ServerOptions
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
 }
 
-// NewServer wraps a service for network serving.
-func NewServer(svc *Service) *Server {
-	return &Server{svc: svc, conns: make(map[net.Conn]struct{})}
+// NewServer wraps a service for network serving with default options.
+func NewServer(svc Backend) *Server {
+	return NewServerWithOptions(svc, ServerOptions{})
 }
 
-// Serve accepts connections on ln until Close; it returns nil after a
-// clean Close and the accept error otherwise.
+// NewServerWithOptions wraps a service for network serving.
+func NewServerWithOptions(svc Backend, opt ServerOptions) *Server {
+	return &Server{svc: svc, opt: opt, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close or Drain; it returns nil
+// after a clean shutdown and the accept error otherwise.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		ln.Close()
 		return ErrClosed
@@ -42,15 +80,15 @@ func (s *Server) Serve(ln net.Listener) error {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopping := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopping {
 				return nil
 			}
 			return err
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
@@ -60,6 +98,27 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
+}
+
+// Drain is the graceful half of shutdown: stop accepting, then drain
+// the backend (flush queued waiters typed ErrDraining, grace-wait the
+// live leases, revoke stragglers). Existing connections stay up —
+// connected clients receive the typed CodeDraining verdict with a
+// retry-after hint on their next acquire and can still release or
+// resume — until the caller finishes with Close.
+func (s *Server) Drain(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	return s.svc.Drain(grace)
 }
 
 // Close stops accepting, closes every live connection, and waits for
@@ -82,6 +141,9 @@ func (s *Server) Close() error {
 	var err error
 	if ln != nil {
 		err = ln.Close()
+		if s.draining {
+			err = nil // the drain already closed the listener
+		}
 	}
 	s.wg.Wait()
 	return err
@@ -97,24 +159,31 @@ func (s *Server) dropConn(conn net.Conn) {
 
 // serveConn is the per-connection request loop. A malformed frame is
 // answered with a typed CodeBadFrame error and the connection is closed
-// — a misbehaving client cannot wedge the read loop.
+// — a misbehaving client cannot wedge the read loop. With IdleTimeout
+// set, a peer that goes quiet (or half-open) between requests is reaped
+// by the read deadline instead of pinning the goroutine forever.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.dropConn(conn)
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	var scratch []byte
 	for {
+		if s.opt.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opt.IdleTimeout))
+		}
 		req, err := ReadRequest(br)
 		if err != nil {
 			var werr *WireError
 			if errors.As(err, &werr) {
+				// Malformed frames are version-ambiguous; answer in v1,
+				// which every client decodes.
 				resp := Response{Op: OpError, Code: CodeBadFrame, Msg: werr.Msg}
 				if out, eerr := AppendResponse(scratch[:0], resp); eerr == nil {
 					bw.Write(out)
 					bw.Flush()
 				}
 			}
-			return // EOF, closed socket, or malformed frame
+			return // EOF, closed socket, idle deadline, or malformed frame
 		}
 		resp := s.dispatch(req)
 		out, err := AppendResponse(scratch[:0], resp)
@@ -131,26 +200,61 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// dispatch executes one request against the service.
+// errResp builds the typed error response for v, attaching the
+// retry-after hint to v2 shed-class refusals.
+func (s *Server) errResp(v uint8, err error) Response {
+	resp := Response{Version: v, Op: OpError, Code: errorCode(err), Msg: err.Error()}
+	if v == WireVersion2 && s.opt.RetryAfter > 0 && shedClass(resp.Code) {
+		resp.RetryAfter = s.opt.RetryAfter
+	}
+	return resp
+}
+
+// dispatch executes one request against the service, answering in the
+// version the request arrived in.
 func (s *Server) dispatch(req Request) Response {
+	v := req.Version
 	switch req.Op {
 	case OpAcquire:
-		lease, err := s.svc.Acquire(req.Resource, req.Owner, AcquireOptions{
-			TTL:     req.TTL,
-			Wait:    req.Wait,
-			MaxWait: req.MaxWait,
-		})
+		opt := AcquireOptions{TTL: req.TTL, Wait: req.Wait, MaxWait: req.MaxWait}
+		if s.opt.MaxWait > 0 && (opt.MaxWait <= 0 || opt.MaxWait > s.opt.MaxWait) {
+			opt.MaxWait = s.opt.MaxWait
+		}
+		if req.Deadline > 0 {
+			// Deadline propagation: clamp the queued wait to the client's
+			// remaining budget so a caller that has already given up
+			// cannot hold a queue slot (or this goroutine) past it.
+			remaining := time.Until(time.Unix(0, req.Deadline))
+			if remaining <= 0 {
+				return s.errResp(v, ErrWaitTimeout)
+			}
+			if opt.Wait && (opt.MaxWait <= 0 || opt.MaxWait > remaining) {
+				opt.MaxWait = remaining
+			}
+		}
+		lease, err := s.svc.Acquire(req.Resource, req.Owner, opt)
 		if err != nil {
-			return Response{Op: OpError, Code: errorCode(err), Msg: err.Error()}
+			return s.errResp(v, err)
 		}
-		return Response{Op: OpGranted, Token: lease.Token, Deadline: lease.Deadline.UnixNano()}
+		resp := Response{Version: v, Op: OpGranted, Token: lease.Token, Deadline: lease.Deadline.UnixNano()}
+		if v == WireVersion2 {
+			resp.Fence = lease.Fence
+		}
+		return resp
 	case OpRelease:
-		if err := s.svc.Release(req.Resource, req.Token); err != nil {
-			return Response{Op: OpError, Code: errorCode(err), Msg: err.Error()}
+		if err := s.svc.ReleaseFenced(req.Resource, req.Token, req.Fence); err != nil {
+			return s.errResp(v, err)
 		}
-		return Response{Op: OpOK}
+		return Response{Version: v, Op: OpOK}
+	case OpResume:
+		lease, err := s.svc.Resume(req.Resource, req.Token, req.Fence)
+		if err != nil {
+			return s.errResp(v, err)
+		}
+		resp := Response{Version: v, Op: OpGranted, Token: lease.Token, Deadline: lease.Deadline.UnixNano(), Fence: lease.Fence}
+		return resp
 	case OpPing:
-		return Response{Op: OpOK}
+		return Response{Version: v, Op: OpOK}
 	}
-	return Response{Op: OpError, Code: CodeBadFrame, Msg: "unknown op"}
+	return Response{Version: v, Op: OpError, Code: CodeBadFrame, Msg: "unknown op"}
 }

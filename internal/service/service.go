@@ -76,6 +76,13 @@ type Lease struct {
 	// address the lease by token, so a stale holder can never release a
 	// successor's lease.
 	Token uint64
+	// Fence is the resource's monotonic grant counter at this grant: the
+	// fencing token of the classic fencing argument. It survives the
+	// resource's table entry (the per-resource counter is never reset),
+	// so even after the bounded gone-ring forgets a dead token, a zombie
+	// client presenting a stale fence is rejected typed (ErrFenced)
+	// rather than mistaken for a never-granted claim.
+	Fence uint64
 	// Deadline is when the lease expires if not released.
 	Deadline time.Time
 }
@@ -284,11 +291,15 @@ type shard struct {
 	// max(enqueue, armedAt), so a discipline change gives the new
 	// policy a full StarvationBound to prove itself before the
 	// watchdog may degrade the shard.
-	armedAt   time.Time
-	res       map[string]*resource
-	queued    int
-	heap      leaseHeap
-	gone      map[uint64]error // token → ErrLeaseExpired / ErrRevoked
+	armedAt time.Time
+	res     map[string]*resource
+	queued  int
+	heap    leaseHeap
+	gone    map[uint64]error // token → ErrLeaseExpired / ErrRevoked
+	// fences holds each resource's monotonic grant counter. Entries
+	// deliberately outlive the resource's res entry (never deleted), so
+	// fencing verdicts survive resource GC.
+	fences    map[string]uint64
 	goneRing  [goneRingSize]uint64
 	goneNext  int
 	live      int
@@ -439,6 +450,9 @@ type Service struct {
 	shards []*shard
 	tokens atomic.Uint64
 	closed atomic.Bool
+	// draining refuses new acquires (typed ErrDraining) while existing
+	// leases run out their grace; see Drain.
+	draining atomic.Bool
 
 	// tun and ctrl exist only in adaptive mode: tun is the shared
 	// inserted-delay parameter cell every shard lock reads, ctrl the
@@ -489,6 +503,7 @@ func New(cfg Config) (*Service, error) {
 			policy: full.Policy,
 			res:    make(map[string]*resource),
 			gone:   make(map[uint64]error),
+			fences: make(map[string]uint64),
 		}
 	}
 	if !full.NoSweeper {
@@ -554,10 +569,12 @@ func (s *Service) runCallbacks() {
 
 // newLeaseLocked creates a live lease for r and schedules its expiry.
 func (s *Service) newLeaseLocked(sh *shard, r *resource, owner string, now time.Time, ttl time.Duration) Lease {
+	sh.fences[r.name]++
 	lease := Lease{
 		Resource: r.name,
 		Owner:    owner,
 		Token:    s.tokens.Add(1),
+		Fence:    sh.fences[r.name],
 		Deadline: now.Add(ttl),
 	}
 	r.holder = &leaseState{lease: lease, grantedAt: now}
@@ -659,6 +676,9 @@ func (s *Service) Acquire(resourceName, owner string, opt AcquireOptions) (Lease
 	if s.closed.Load() {
 		return Lease{}, ErrClosed
 	}
+	if s.draining.Load() {
+		return Lease{}, ErrDraining
+	}
 	ttl := s.clampTTL(opt.TTL)
 	sh := s.shardFor(resourceName)
 	now := s.clock.Now()
@@ -667,6 +687,12 @@ func (s *Service) Acquire(resourceName, owner string, opt AcquireOptions) (Lease
 	if s.closed.Load() {
 		sh.unlockShard(t)
 		return Lease{}, ErrClosed
+	}
+	if s.draining.Load() {
+		// Re-checked under the shard guard so no waiter can slip into the
+		// queue after Drain's flush pass.
+		sh.unlockShard(t)
+		return Lease{}, ErrDraining
 	}
 	sh.counters.Acquires++
 	expired := s.expireDueLocked(sh, now)
@@ -829,6 +855,19 @@ func removeWaiter(sh *shard, r *resource, w *waiter) bool {
 // lease reports ErrLeaseExpired, a revoked one ErrRevoked, anything else
 // ErrNotHeld.
 func (s *Service) Release(resourceName string, token uint64) error {
+	return s.release(resourceName, token, 0)
+}
+
+// ReleaseFenced ends a lease by token, additionally validated against
+// the lease's fencing token. Fence 0 makes no fence claim (identical to
+// Release). A non-zero stale fence is rejected ErrFenced — the typed
+// verdict a zombie client gets even after the gone-ring has forgotten
+// its token, because the per-resource fence counter is never reset.
+func (s *Service) ReleaseFenced(resourceName string, token, fence uint64) error {
+	return s.release(resourceName, token, fence)
+}
+
+func (s *Service) release(resourceName string, token, fence uint64) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
@@ -842,14 +881,24 @@ func (s *Service) Release(resourceName string, token uint64) error {
 	t = sh.watchdogLocked(t, now)
 	var err error
 	r := sh.res[resourceName]
-	if r == nil || r.holder == nil || r.holder.lease.Token != token {
+	switch {
+	case r == nil || r.holder == nil || r.holder.lease.Token != token:
 		if cause, ok := sh.gone[token]; ok {
 			err = cause
+		} else if fence != 0 && fence < sh.fences[resourceName] {
+			err = ErrFenced
+			sh.counters.FencedRejects++
 		} else {
 			err = ErrNotHeld
 		}
 		sh.counters.BadReleases++
-	} else {
+	case fence != 0 && r.holder.lease.Fence != fence:
+		// The token matches but the fence claim does not: a confused
+		// client must not release a lease it cannot prove is its own.
+		err = ErrFenced
+		sh.counters.FencedRejects++
+		sh.counters.BadReleases++
+	default:
 		sh.counters.Releases++
 		sh.hold.Add(uint64(now.Sub(r.holder.grantedAt)))
 		r.holder = nil
@@ -860,6 +909,54 @@ func (s *Service) Release(resourceName string, token uint64) error {
 	s.queueExpiryCallbacks(expired)
 	s.runCallbacks()
 	return err
+}
+
+// Resume re-validates a lease after a reconnect: if token still holds
+// the resource the live lease is returned and the client may carry on;
+// otherwise the typed reason it cannot — ErrLeaseExpired / ErrRevoked
+// while the gone-ring remembers the token, ErrFenced when the fence
+// claim is provably stale, ErrNotHeld otherwise. Resume never mutates
+// lease state: it is safe to call any number of times.
+func (s *Service) Resume(resourceName string, token, fence uint64) (Lease, error) {
+	if resourceName == "" {
+		return Lease{}, configErrf("empty resource name")
+	}
+	if s.closed.Load() {
+		return Lease{}, ErrClosed
+	}
+	sh := s.shardFor(resourceName)
+	now := s.clock.Now()
+
+	t := sh.lockShard()
+	// Expire first so a resume racing its own deadline sees the typed
+	// expiry, never a lease that is about to vanish.
+	expired := s.expireDueLocked(sh, now)
+	var lease Lease
+	var err error
+	r := sh.res[resourceName]
+	switch {
+	case r != nil && r.holder != nil && r.holder.lease.Token == token:
+		if fence != 0 && r.holder.lease.Fence != fence {
+			err = ErrFenced
+			sh.counters.FencedRejects++
+		} else {
+			lease = r.holder.lease
+			sh.counters.Resumes++
+		}
+	default:
+		if cause, ok := sh.gone[token]; ok {
+			err = cause
+		} else if fence != 0 && fence < sh.fences[resourceName] {
+			err = ErrFenced
+			sh.counters.FencedRejects++
+		} else {
+			err = ErrNotHeld
+		}
+	}
+	sh.unlockShard(t)
+	s.queueExpiryCallbacks(expired)
+	s.runCallbacks()
+	return lease, err
 }
 
 // Revoke force-releases a resource's current lease (administrative
@@ -943,6 +1040,94 @@ func (s *Service) sweeper() {
 			return
 		}
 	}
+}
+
+// Draining reports whether the service is refusing new acquires for
+// shutdown.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// liveLeaseCount sums live leases across shards.
+func (s *Service) liveLeaseCount() int {
+	total := 0
+	for _, sh := range s.shards {
+		t := sh.lockShard()
+		total += sh.live
+		sh.unlockShard(t)
+	}
+	return total
+}
+
+// Drain winds the service down gracefully: new acquires are refused
+// with ErrDraining, every queued waiter is flushed with ErrDraining
+// under the shard epoch fence (epoch++ so in-flight grant decisions
+// from before the drain cannot land after it), live leases get up to
+// grace to be released or to expire, and any straggler is then revoked
+// (a late Release of a revoked token reports ErrRevoked). Drain is
+// idempotent and leaves the service alive for Release/Resume traffic —
+// callers typically follow with Close.
+func (s *Service) Drain(grace time.Duration) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, sh := range s.shards {
+		t := sh.lockShard()
+		sh.epoch++
+		sh.flushWaitersLocked(ErrDraining)
+		sh.unlockShard(t)
+	}
+	s.runCallbacks()
+
+	// Grace: let holders release (or their leases expire) before the
+	// revoke pass. The deadline timer rides the service clock so
+	// FakeClock tests drive it with Advance; the poll nap is a real
+	// sleep, which is only pacing, not semantics.
+	if grace > 0 {
+		deadline := s.clock.NewTimer(grace)
+		for s.liveLeaseCount() > 0 {
+			s.SweepExpired()
+			if s.liveLeaseCount() == 0 {
+				break
+			}
+			fired := false
+			select {
+			case <-deadline.C():
+				fired = true
+			default:
+			}
+			if fired || s.closed.Load() {
+				break
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+		deadline.Stop()
+	}
+
+	// Revoke stragglers so the drained service ends with zero live
+	// leases; conservation stays intact (each straggler moves from Live
+	// to Revocations).
+	for _, sh := range s.shards {
+		t := sh.lockShard()
+		now := s.clock.Now()
+		expired := s.expireDueLocked(sh, now)
+		for _, r := range sh.res {
+			if r.holder == nil {
+				continue
+			}
+			lease := r.holder.lease
+			r.holder = nil
+			sh.live--
+			sh.rememberGone(lease.Token, ErrRevoked)
+			sh.counters.Revocations++
+			sh.gcLocked(r)
+		}
+		sh.unlockShard(t)
+		s.queueExpiryCallbacks(expired)
+	}
+	s.runCallbacks()
+	return nil
 }
 
 // Close shuts the service down: the sweeper stops and every queued

@@ -11,7 +11,9 @@ import (
 //
 // v2: per-shard live policy and epoch, migration/restore counters, and
 // the optional adaptive-controller state block.
-const SnapshotSchemaVersion = 2
+//
+// v3: resume and fenced-reject counters (wire-v2 reconnect fencing).
+const SnapshotSchemaVersion = 3
 
 // Counters are one shard's monotonic event counts. The broadcast-policy
 // fields quantify the thundering herd the hand-off policy avoids:
@@ -40,6 +42,11 @@ type Counters struct {
 	BadReleases    uint64 `json:"bad_releases"`
 	Expiries       uint64 `json:"expiries"`
 	Revocations    uint64 `json:"revocations"`
+	// Resumes: leases successfully re-validated after a reconnect.
+	// FencedRejects: stale-fence releases/resumes rejected typed — each
+	// one is a double-release the fencing tokens prevented.
+	Resumes       uint64 `json:"resumes"`
+	FencedRejects uint64 `json:"fenced_rejects"`
 	// Flushed: waiters failed with a typed error on degrade or close.
 	Flushed  uint64 `json:"flushed"`
 	Degrades uint64 `json:"degrades"`
@@ -66,6 +73,8 @@ func (c *Counters) add(o Counters) {
 	c.BadReleases += o.BadReleases
 	c.Expiries += o.Expiries
 	c.Revocations += o.Revocations
+	c.Resumes += o.Resumes
+	c.FencedRejects += o.FencedRejects
 	c.Flushed += o.Flushed
 	c.Degrades += o.Degrades
 	c.Migrations += o.Migrations

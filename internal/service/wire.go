@@ -8,22 +8,45 @@ import (
 	"time"
 )
 
-// The lockserve wire protocol, version 1. Every frame is:
+// The lockserve wire protocol. Every frame is:
 //
-//	byte 0      protocol version (WireVersion)
+//	byte 0      protocol version (WireVersion or WireVersion2)
 //	byte 1      op code
 //	bytes 2..3  big-endian payload length (≤ MaxPayload)
 //	bytes 4..   payload
 //
 // Strings are u16-length-prefixed UTF-8 (not validated as UTF-8; the
 // service treats names as opaque bytes). Durations travel as u32
-// milliseconds. The codec is strict: unknown versions, unknown ops,
-// oversized fields, and payloads whose length does not exactly match
-// their fields are all typed *WireError rejections — the fuzz target
-// (FuzzServiceWire) holds the codec to "parse exactly or reject, never
-// panic, and re-encode parsed frames byte-identically".
+// milliseconds, absolute deadlines as u64 UnixNano. The codec is
+// strict: unknown versions, unknown ops, oversized fields, and payloads
+// whose length does not exactly match their fields are all typed
+// *WireError rejections — the fuzz target (FuzzServiceWire) holds the
+// codec to "parse exactly or reject, never panic, and re-encode parsed
+// frames byte-identically".
+//
+// Version 2 adds the network-fault-tolerance fields:
+//
+//   - OpAcquire carries an absolute client deadline (deadline
+//     propagation: the server clamps its queued wait to the remaining
+//     budget, so an abandoned client cannot pin a server goroutine).
+//   - OpRelease carries the lease's fencing token, so a zombie holder's
+//     stale release is rejected with the typed ErrFenced instead of a
+//     generic ErrNotHeld.
+//   - OpResume (v2-only) re-validates a held lease after a reconnect:
+//     resource + token + fence in, the live lease or a typed loss
+//     verdict out.
+//   - OpGranted carries the lease's fencing token.
+//   - OpError carries a retry-after hint (milliseconds) on shed-class
+//     refusals — the server inserting a delay into the client's retry
+//     loop, which is the paper's delay-insertion argument applied to
+//     the re-arrival herd after a fault.
+//
+// A v2 server still accepts well-formed v1 frames (and answers them in
+// v1); malformed frames of either version are rejected typed, never
+// hung on.
 const (
-	WireVersion = 1
+	WireVersion  = 1
+	WireVersion2 = 2
 	// MaxPayload bounds one frame's payload; MaxResourceLen/MaxOwnerLen
 	// bound the name fields.
 	MaxPayload     = 1024
@@ -37,6 +60,10 @@ const (
 	OpAcquire uint8 = 1
 	OpRelease uint8 = 2
 	OpPing    uint8 = 3
+	// OpResume re-validates a lease over a fresh connection (wire v2
+	// only): the server answers OpGranted if the token still holds the
+	// resource, or the typed reason it no longer does.
+	OpResume uint8 = 4
 )
 
 // Response op codes.
@@ -60,6 +87,12 @@ const (
 	CodeRevoked   uint8 = 9
 	CodeBadFrame  uint8 = 10
 	CodeInternal  uint8 = 11
+	// CodeFenced: the release/resume named a lease that was fenced off —
+	// a newer lease has been granted on the resource since (wire v2).
+	CodeFenced uint8 = 12
+	// CodeDraining: the server is draining for shutdown and refuses new
+	// acquires; the retry-after hint says when to try elsewhere (wire v2).
+	CodeDraining uint8 = 13
 )
 
 // WireError is a malformed-frame rejection.
@@ -73,22 +106,45 @@ func wireErrf(format string, args ...any) error {
 
 // Request is one decoded client frame.
 type Request struct {
+	// Version is the frame's wire version; 0 encodes as v1 so existing
+	// construction sites are unchanged. ReadRequest always sets it.
+	Version  uint8
 	Op       uint8
 	Resource string
 	Owner    string        // OpAcquire
 	TTL      time.Duration // OpAcquire; millisecond granularity
 	MaxWait  time.Duration // OpAcquire; millisecond granularity
 	Wait     bool          // OpAcquire
-	Token    uint64        // OpRelease
+	Token    uint64        // OpRelease, OpResume
+	// Fence is the lease's fencing token (v2 OpRelease, OpResume).
+	Fence uint64
+	// Deadline is the client's absolute per-op deadline, UnixNano
+	// (v2 OpAcquire; 0 = none).
+	Deadline int64
 }
 
 // Response is one decoded server frame.
 type Response struct {
+	// Version mirrors Request.Version; servers answer in the version the
+	// request arrived in.
+	Version  uint8
 	Op       uint8
 	Token    uint64 // OpGranted
 	Deadline int64  // OpGranted; UnixNano
+	Fence    uint64 // OpGranted (v2)
 	Code     uint8  // OpError
 	Msg      string // OpError
+	// RetryAfter is the server's back-off hint on shed-class errors
+	// (v2 OpError; millisecond granularity, 0 = none).
+	RetryAfter time.Duration
+}
+
+// version resolves the 0-means-v1 default.
+func frameVersion(v uint8) uint8 {
+	if v == 0 {
+		return WireVersion
+	}
+	return v
 }
 
 // appendString encodes a u16-length-prefixed string.
@@ -125,8 +181,14 @@ func durMS(d time.Duration) uint32 {
 	return uint32(ms)
 }
 
-// AppendRequest encodes a request frame onto b.
+// AppendRequest encodes a request frame onto b. The frame's version is
+// req.Version (0 = v1); v2-only fields in a v1 request are an encoding
+// error, not silent truncation.
 func AppendRequest(b []byte, req Request) ([]byte, error) {
+	v := frameVersion(req.Version)
+	if v != WireVersion && v != WireVersion2 {
+		return nil, wireErrf("unknown request version %d", v)
+	}
 	if len(req.Resource) > MaxResourceLen {
 		return nil, wireErrf("resource length %d exceeds %d", len(req.Resource), MaxResourceLen)
 	}
@@ -145,23 +207,52 @@ func AppendRequest(b []byte, req Request) ([]byte, error) {
 			flags |= 1
 		}
 		payload = append(payload, flags)
+		if v == WireVersion2 {
+			if req.Deadline < 0 {
+				return nil, wireErrf("negative acquire deadline %d", req.Deadline)
+			}
+			payload = binary.BigEndian.AppendUint64(payload, uint64(req.Deadline))
+		} else if req.Deadline != 0 {
+			return nil, wireErrf("acquire deadline requires wire v2")
+		}
 	case OpRelease:
 		payload = appendString(payload, req.Resource)
 		payload = binary.BigEndian.AppendUint64(payload, req.Token)
+		if v == WireVersion2 {
+			payload = binary.BigEndian.AppendUint64(payload, req.Fence)
+		} else if req.Fence != 0 {
+			return nil, wireErrf("release fence requires wire v2")
+		}
+	case OpResume:
+		if v != WireVersion2 {
+			return nil, wireErrf("resume requires wire v2")
+		}
+		payload = appendString(payload, req.Resource)
+		payload = binary.BigEndian.AppendUint64(payload, req.Token)
+		payload = binary.BigEndian.AppendUint64(payload, req.Fence)
 	case OpPing:
 	default:
 		return nil, wireErrf("unknown request op %d", req.Op)
 	}
-	return appendFrame(b, req.Op, payload), nil
+	return appendFrame(b, v, req.Op, payload), nil
 }
 
 // AppendResponse encodes a response frame onto b.
 func AppendResponse(b []byte, resp Response) ([]byte, error) {
+	v := frameVersion(resp.Version)
+	if v != WireVersion && v != WireVersion2 {
+		return nil, wireErrf("unknown response version %d", v)
+	}
 	var payload []byte
 	switch resp.Op {
 	case OpGranted:
 		payload = binary.BigEndian.AppendUint64(payload, resp.Token)
 		payload = binary.BigEndian.AppendUint64(payload, uint64(resp.Deadline))
+		if v == WireVersion2 {
+			payload = binary.BigEndian.AppendUint64(payload, resp.Fence)
+		} else if resp.Fence != 0 {
+			return nil, wireErrf("granted fence requires wire v2")
+		}
 	case OpOK:
 	case OpError:
 		msg := resp.Msg
@@ -170,47 +261,60 @@ func AppendResponse(b []byte, resp Response) ([]byte, error) {
 		}
 		payload = append(payload, resp.Code)
 		payload = appendString(payload, msg)
+		if v == WireVersion2 {
+			payload = binary.BigEndian.AppendUint32(payload, durMS(resp.RetryAfter))
+		} else if resp.RetryAfter != 0 {
+			return nil, wireErrf("retry-after hint requires wire v2")
+		}
 	default:
 		return nil, wireErrf("unknown response op %d", resp.Op)
 	}
-	return appendFrame(b, resp.Op, payload), nil
+	return appendFrame(b, v, resp.Op, payload), nil
 }
 
-func appendFrame(b []byte, op uint8, payload []byte) []byte {
-	b = append(b, WireVersion, op)
+func appendFrame(b []byte, version, op uint8, payload []byte) []byte {
+	b = append(b, version, op)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(payload)))
 	return append(b, payload...)
 }
 
 // readFrame reads one frame header + payload from r.
-func readFrame(r io.Reader) (op uint8, payload []byte, err error) {
+func readFrame(r io.Reader) (version, op uint8, payload []byte, err error) {
 	var hdr [wireHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err // io.EOF between frames is a clean close
+		return 0, 0, nil, err // io.EOF between frames is a clean close
 	}
-	if hdr[0] != WireVersion {
-		return 0, nil, wireErrf("unknown protocol version %d", hdr[0])
+	if hdr[0] != WireVersion && hdr[0] != WireVersion2 {
+		return 0, 0, nil, wireErrf("unknown protocol version %d", hdr[0])
 	}
 	n := int(binary.BigEndian.Uint16(hdr[2:]))
 	if n > MaxPayload {
-		return 0, nil, wireErrf("payload length %d exceeds %d", n, MaxPayload)
+		return 0, 0, nil, wireErrf("payload length %d exceeds %d", n, MaxPayload)
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, wireErrf("truncated payload: %v", err)
+		// A mid-payload cut is a transport fault (the peer or the network
+		// died), not a protocol violation: wrap rather than convert to
+		// *WireError so it classifies retryable.
+		return 0, 0, nil, fmt.Errorf("service: wire: truncated payload: %w", err)
 	}
-	return hdr[1], payload, nil
+	return hdr[0], hdr[1], payload, nil
+}
+
+// takeU64 pops a big-endian u64; the caller has already length-checked.
+func takeU64(b []byte) (uint64, []byte) {
+	return binary.BigEndian.Uint64(b), b[8:]
 }
 
 // ReadRequest decodes one request frame from r. io.EOF (and only a
 // clean EOF at a frame boundary) passes through unchanged so servers
 // can distinguish a closed connection from a malformed frame.
 func ReadRequest(r io.Reader) (Request, error) {
-	op, payload, err := readFrame(r)
+	version, op, payload, err := readFrame(r)
 	if err != nil {
 		return Request{}, err
 	}
-	req := Request{Op: op}
+	req := Request{Version: version, Op: op}
 	switch op {
 	case OpAcquire:
 		var res, owner string
@@ -222,8 +326,12 @@ func ReadRequest(r io.Reader) (Request, error) {
 		if err != nil {
 			return Request{}, err
 		}
-		if len(payload) != 9 {
-			return Request{}, wireErrf("acquire payload has %d trailing bytes, want 9", len(payload))
+		want := 9
+		if version == WireVersion2 {
+			want = 17
+		}
+		if len(payload) != want {
+			return Request{}, wireErrf("acquire payload has %d trailing bytes, want %d", len(payload), want)
 		}
 		req.Resource = res
 		req.Owner = owner
@@ -234,20 +342,37 @@ func ReadRequest(r io.Reader) (Request, error) {
 			return Request{}, wireErrf("unknown acquire flags %#x", flags)
 		}
 		req.Wait = flags&1 != 0
+		if version == WireVersion2 {
+			d := binary.BigEndian.Uint64(payload[9:])
+			if d > uint64(1)<<63-1 {
+				return Request{}, wireErrf("acquire deadline %#x out of range", d)
+			}
+			req.Deadline = int64(d)
+		}
 		if req.Resource == "" {
 			return Request{}, wireErrf("empty resource")
 		}
-	case OpRelease:
+	case OpRelease, OpResume:
+		if op == OpResume && version != WireVersion2 {
+			return Request{}, wireErrf("resume requires wire v2")
+		}
 		var res string
 		res, payload, err = takeString(payload, MaxResourceLen, "resource")
 		if err != nil {
 			return Request{}, err
 		}
-		if len(payload) != 8 {
-			return Request{}, wireErrf("release payload has %d trailing bytes, want 8", len(payload))
+		want := 8
+		if version == WireVersion2 {
+			want = 16
+		}
+		if len(payload) != want {
+			return Request{}, wireErrf("%s payload has %d trailing bytes, want %d", opName(op), len(payload), want)
 		}
 		req.Resource = res
-		req.Token = binary.BigEndian.Uint64(payload)
+		req.Token, payload = takeU64(payload)
+		if version == WireVersion2 {
+			req.Fence, _ = takeU64(payload)
+		}
 		if req.Resource == "" {
 			return Request{}, wireErrf("empty resource")
 		}
@@ -261,20 +386,41 @@ func ReadRequest(r io.Reader) (Request, error) {
 	return req, nil
 }
 
+func opName(op uint8) string {
+	switch op {
+	case OpAcquire:
+		return "acquire"
+	case OpRelease:
+		return "release"
+	case OpPing:
+		return "ping"
+	case OpResume:
+		return "resume"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
 // ReadResponse decodes one response frame from r.
 func ReadResponse(r io.Reader) (Response, error) {
-	op, payload, err := readFrame(r)
+	version, op, payload, err := readFrame(r)
 	if err != nil {
 		return Response{}, err
 	}
-	resp := Response{Op: op}
+	resp := Response{Version: version, Op: op}
 	switch op {
 	case OpGranted:
-		if len(payload) != 16 {
-			return Response{}, wireErrf("granted payload has %d bytes, want 16", len(payload))
+		want := 16
+		if version == WireVersion2 {
+			want = 24
+		}
+		if len(payload) != want {
+			return Response{}, wireErrf("granted payload has %d bytes, want %d", len(payload), want)
 		}
 		resp.Token = binary.BigEndian.Uint64(payload)
 		resp.Deadline = int64(binary.BigEndian.Uint64(payload[8:]))
+		if version == WireVersion2 {
+			resp.Fence = binary.BigEndian.Uint64(payload[16:])
+		}
 	case OpOK:
 		if len(payload) != 0 {
 			return Response{}, wireErrf("ok payload has %d bytes, want 0", len(payload))
@@ -289,10 +435,15 @@ func ReadResponse(r io.Reader) (Response, error) {
 		if err != nil {
 			return Response{}, err
 		}
-		if len(rest) != 0 {
+		resp.Msg = msg
+		if version == WireVersion2 {
+			if len(rest) != 4 {
+				return Response{}, wireErrf("error payload has %d trailing bytes, want 4", len(rest))
+			}
+			resp.RetryAfter = time.Duration(binary.BigEndian.Uint32(rest)) * time.Millisecond
+		} else if len(rest) != 0 {
 			return Response{}, wireErrf("error payload has %d trailing bytes", len(rest))
 		}
-		resp.Msg = msg
 	default:
 		return Response{}, wireErrf("unknown response op %d", op)
 	}
@@ -320,34 +471,59 @@ func errorCode(err error) uint8 {
 		return CodeNoWait
 	case errors.Is(err, ErrRevoked):
 		return CodeRevoked
+	case errors.Is(err, ErrFenced):
+		return CodeFenced
+	case errors.Is(err, ErrDraining):
+		return CodeDraining
 	}
 	return CodeInternal
 }
 
-// codeError maps a wire code back to the typed service error; the
-// client side of errorCode.
-func codeError(code uint8, msg string) error {
+// shedClass reports whether a wire code names a load-shedding refusal
+// that deserves a retry-after hint.
+func shedClass(code uint8) bool {
 	switch code {
-	case CodeNotHeld:
-		return ErrNotHeld
-	case CodeExpired:
-		return ErrLeaseExpired
-	case CodeClosed:
-		return ErrClosed
-	case CodeQueueFull:
-		return ErrQueueFull
-	case CodeShed:
-		return ErrShed
-	case CodeDegraded:
-		return ErrDegraded
-	case CodeTimeout:
-		return ErrWaitTimeout
-	case CodeNoWait:
-		return ErrNoWait
-	case CodeRevoked:
-		return ErrRevoked
-	case CodeBadFrame:
-		return &WireError{Msg: msg}
+	case CodeQueueFull, CodeShed, CodeDegraded, CodeDraining:
+		return true
 	}
-	return fmt.Errorf("service: server error: %s", msg)
+	return false
+}
+
+// codeError maps a decoded error response back to the typed service
+// error; the client side of errorCode. A v2 retry-after hint is wrapped
+// around the sentinel (see RetryAfterHint).
+func codeError(resp Response) error {
+	var err error
+	switch resp.Code {
+	case CodeNotHeld:
+		err = ErrNotHeld
+	case CodeExpired:
+		err = ErrLeaseExpired
+	case CodeClosed:
+		err = ErrClosed
+	case CodeQueueFull:
+		err = ErrQueueFull
+	case CodeShed:
+		err = ErrShed
+	case CodeDegraded:
+		err = ErrDegraded
+	case CodeTimeout:
+		err = ErrWaitTimeout
+	case CodeNoWait:
+		err = ErrNoWait
+	case CodeRevoked:
+		err = ErrRevoked
+	case CodeFenced:
+		err = ErrFenced
+	case CodeDraining:
+		err = ErrDraining
+	case CodeBadFrame:
+		return &WireError{Msg: resp.Msg}
+	default:
+		return fmt.Errorf("service: server error: %s", resp.Msg)
+	}
+	if resp.RetryAfter > 0 {
+		return &RetryAfterError{Err: err, After: resp.RetryAfter}
+	}
+	return err
 }

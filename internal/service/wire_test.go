@@ -10,10 +10,17 @@ import (
 
 func TestRequestRoundTrip(t *testing.T) {
 	reqs := []Request{
-		{Op: OpAcquire, Resource: "db", Owner: "alice", TTL: 5 * time.Second, MaxWait: 250 * time.Millisecond, Wait: true},
-		{Op: OpAcquire, Resource: "r", Owner: "", TTL: 0, MaxWait: 0, Wait: false},
-		{Op: OpRelease, Resource: "db", Token: 0xdeadbeefcafe},
-		{Op: OpPing},
+		// v1 (Version 0 encodes as v1; the decoder reports 1).
+		{Version: 1, Op: OpAcquire, Resource: "db", Owner: "alice", TTL: 5 * time.Second, MaxWait: 250 * time.Millisecond, Wait: true},
+		{Version: 1, Op: OpAcquire, Resource: "r", Owner: "", TTL: 0, MaxWait: 0, Wait: false},
+		{Version: 1, Op: OpRelease, Resource: "db", Token: 0xdeadbeefcafe},
+		{Version: 1, Op: OpPing},
+		// v2: deadline propagation, fencing tokens, resume.
+		{Version: 2, Op: OpAcquire, Resource: "db", Owner: "alice", TTL: time.Second, MaxWait: 50 * time.Millisecond, Wait: true, Deadline: 1755550000000000000},
+		{Version: 2, Op: OpAcquire, Resource: "r", Owner: "o", TTL: time.Second},
+		{Version: 2, Op: OpRelease, Resource: "db", Token: 7, Fence: 3},
+		{Version: 2, Op: OpResume, Resource: "db", Token: 7, Fence: 3},
+		{Version: 2, Op: OpPing},
 	}
 	for _, req := range reqs {
 		b, err := AppendRequest(nil, req)
@@ -37,9 +44,13 @@ func TestRequestRoundTrip(t *testing.T) {
 
 func TestResponseRoundTrip(t *testing.T) {
 	resps := []Response{
-		{Op: OpGranted, Token: 42, Deadline: 123456789},
-		{Op: OpOK},
-		{Op: OpError, Code: CodeQueueFull, Msg: "queue full"},
+		{Version: 1, Op: OpGranted, Token: 42, Deadline: 123456789},
+		{Version: 1, Op: OpOK},
+		{Version: 1, Op: OpError, Code: CodeQueueFull, Msg: "queue full"},
+		{Version: 2, Op: OpGranted, Token: 42, Deadline: 123456789, Fence: 9},
+		{Version: 2, Op: OpOK},
+		{Version: 2, Op: OpError, Code: CodeShed, Msg: "shed", RetryAfter: 2 * time.Millisecond},
+		{Version: 2, Op: OpError, Code: CodeDraining, Msg: "draining"},
 	}
 	for _, resp := range resps {
 		b, err := AppendResponse(nil, resp)
@@ -53,6 +64,10 @@ func TestResponseRoundTrip(t *testing.T) {
 		if got != resp {
 			t.Fatalf("round trip: got %+v, want %+v", got, resp)
 		}
+		b2, err := AppendResponse(nil, got)
+		if err != nil || !bytes.Equal(b, b2) {
+			t.Fatalf("re-encode not canonical: %x vs %x (%v)", b, b2, err)
+		}
 	}
 }
 
@@ -64,11 +79,27 @@ func TestRequestEncodeBounds(t *testing.T) {
 	if _, err := AppendRequest(nil, Request{Op: 99}); err == nil {
 		t.Fatal("unknown op accepted")
 	}
+	// v2-only constructs must not encode into a v1 frame.
+	if _, err := AppendRequest(nil, Request{Version: 1, Op: OpResume, Resource: "r", Token: 1}); err == nil {
+		t.Fatal("v1 resume accepted")
+	}
+	if _, err := AppendRequest(nil, Request{Version: 1, Op: OpRelease, Resource: "r", Token: 1, Fence: 2}); err == nil {
+		t.Fatal("v1 fenced release accepted")
+	}
+	if _, err := AppendRequest(nil, Request{Version: 1, Op: OpAcquire, Resource: "r", Deadline: 5}); err == nil {
+		t.Fatal("v1 acquire with deadline accepted")
+	}
+	if _, err := AppendResponse(nil, Response{Version: 1, Op: OpGranted, Token: 1, Fence: 2}); err == nil {
+		t.Fatal("v1 granted with fence accepted")
+	}
+	if _, err := AppendResponse(nil, Response{Version: 1, Op: OpError, Code: CodeShed, RetryAfter: time.Millisecond}); err == nil {
+		t.Fatal("v1 error with retry-after accepted")
+	}
 }
 
 func TestMalformedFrames(t *testing.T) {
 	cases := map[string][]byte{
-		"bad version":       {2, OpPing, 0, 0},
+		"bad version":       {3, OpPing, 0, 0},
 		"oversized payload": {1, OpAcquire, 0xff, 0xff},
 		"unknown op":        {1, 77, 0, 0},
 		"ping with payload": {1, OpPing, 0, 1, 0},
@@ -82,6 +113,33 @@ func TestMalformedFrames(t *testing.T) {
 			return b
 		}(),
 		"truncated string": {1, OpRelease, 0, 3, 0, 9, 'r'},
+		// Cross-version shapes: each version's trailing lengths are exact,
+		// so a v1 body inside a v2 frame (and vice versa) must reject.
+		"v2 frame, v1 acquire body": func() []byte {
+			b, _ := AppendRequest(nil, Request{Op: OpAcquire, Resource: "r", Owner: "o", TTL: time.Second})
+			b[0] = 2
+			return b
+		}(),
+		"v1 frame, v2 acquire body": func() []byte {
+			b, _ := AppendRequest(nil, Request{Version: 2, Op: OpAcquire, Resource: "r", Owner: "o", TTL: time.Second})
+			b[0] = 1
+			return b
+		}(),
+		"v1 frame, resume op": func() []byte {
+			b, _ := AppendRequest(nil, Request{Version: 2, Op: OpResume, Resource: "r", Token: 1})
+			b[0] = 1
+			return b
+		}(),
+		"v1 frame, v2 release body": func() []byte {
+			b, _ := AppendRequest(nil, Request{Version: 2, Op: OpRelease, Resource: "r", Token: 1, Fence: 2})
+			b[0] = 1
+			return b
+		}(),
+		"v2 release missing fence": func() []byte {
+			b, _ := AppendRequest(nil, Request{Op: OpRelease, Resource: "r", Token: 1})
+			b[0] = 2
+			return b
+		}(),
 	}
 	for name, frame := range cases {
 		_, err := ReadRequest(bytes.NewReader(frame))
@@ -94,15 +152,30 @@ func TestMalformedFrames(t *testing.T) {
 	if _, err := ReadRequest(bytes.NewReader(nil)); err != io.EOF {
 		t.Fatalf("empty stream: %v, want io.EOF", err)
 	}
+	// A mid-payload cut is a transport fault, not a protocol violation:
+	// it must classify retryable, not *WireError.
+	full, _ := AppendRequest(nil, Request{Op: OpRelease, Resource: "res", Token: 1})
+	_, err := ReadRequest(bytes.NewReader(full[:len(full)-2]))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated payload: %v, want io.ErrUnexpectedEOF", err)
+	}
+	var we *WireError
+	if errors.As(err, &we) {
+		t.Fatalf("truncated payload typed as *WireError: %v", err)
+	}
+	if !Retryable(err) {
+		t.Fatalf("truncated payload not retryable: %v", err)
+	}
 }
 
 func TestErrorCodeBijection(t *testing.T) {
 	for _, err := range []error{
 		ErrNotHeld, ErrLeaseExpired, ErrClosed, ErrQueueFull, ErrShed,
-		ErrDegraded, ErrWaitTimeout, ErrNoWait, ErrRevoked,
+		ErrDegraded, ErrWaitTimeout, ErrNoWait, ErrRevoked, ErrFenced,
+		ErrDraining,
 	} {
 		code := errorCode(err)
-		back := codeError(code, err.Error())
+		back := codeError(Response{Op: OpError, Code: code, Msg: err.Error()})
 		if !errors.Is(back, err) {
 			t.Errorf("code %d: %v does not round-trip (got %v)", code, err, back)
 		}
@@ -112,12 +185,27 @@ func TestErrorCodeBijection(t *testing.T) {
 	}
 }
 
-// FuzzServiceWire fuzzes both directions of the codec. For any byte
-// stream the decoder must (a) never panic, (b) either parse a frame and
-// re-encode it byte-identically from the consumed prefix, or (c) reject
-// with a typed *WireError (EOF variants mean truncation, which is a
-// clean close at a boundary and a WireError mid-frame by construction
-// of readFrame).
+func TestRetryAfterHintRoundTrip(t *testing.T) {
+	resp := Response{Version: 2, Op: OpError, Code: CodeShed, Msg: "shed", RetryAfter: 3 * time.Millisecond}
+	err := codeError(resp)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("hinted error lost its sentinel: %v", err)
+	}
+	hint, ok := RetryAfterHint(err)
+	if !ok || hint != 3*time.Millisecond {
+		t.Fatalf("hint = %v, %v; want 3ms, true", hint, ok)
+	}
+	if _, ok := RetryAfterHint(ErrShed); ok {
+		t.Fatal("bare sentinel reported a hint")
+	}
+}
+
+// FuzzServiceWire fuzzes both directions of the codec across both wire
+// versions. For any byte stream the decoder must (a) never panic, (b)
+// either parse a frame and re-encode it byte-identically from the
+// consumed prefix, or (c) reject typed: a *WireError for protocol
+// violations, io.EOF for a clean close at a frame boundary, or a
+// wrapped io.ErrUnexpectedEOF for a mid-frame cut (a transport fault).
 func FuzzServiceWire(f *testing.F) {
 	seed := func(b []byte, err error) []byte {
 		if err != nil {
@@ -131,9 +219,26 @@ func FuzzServiceWire(f *testing.F) {
 	f.Add(seed(AppendResponse(nil, Response{Op: OpGranted, Token: 1, Deadline: 99})))
 	f.Add(seed(AppendResponse(nil, Response{Op: OpOK})))
 	f.Add(seed(AppendResponse(nil, Response{Op: OpError, Code: CodeShed, Msg: "shed"})))
-	f.Add([]byte{2, 1, 0, 0})          // bad version
+	// Wire v2 frames.
+	f.Add(seed(AppendRequest(nil, Request{Version: 2, Op: OpAcquire, Resource: "db", Owner: "alice", TTL: time.Second, MaxWait: 50 * time.Millisecond, Wait: true, Deadline: 1755550000000000000})))
+	f.Add(seed(AppendRequest(nil, Request{Version: 2, Op: OpRelease, Resource: "db", Token: 7, Fence: 3})))
+	f.Add(seed(AppendRequest(nil, Request{Version: 2, Op: OpResume, Resource: "db", Token: 7, Fence: 3})))
+	f.Add(seed(AppendResponse(nil, Response{Version: 2, Op: OpGranted, Token: 1, Deadline: 99, Fence: 4})))
+	f.Add(seed(AppendResponse(nil, Response{Version: 2, Op: OpError, Code: CodeDraining, Msg: "draining", RetryAfter: 2 * time.Millisecond})))
+	// Cross-version seeds: a valid body under the wrong version byte.
+	cross := func(req Request, v byte) []byte {
+		b := seed(AppendRequest(nil, req))
+		b[0] = v
+		return b
+	}
+	f.Add(cross(Request{Op: OpAcquire, Resource: "r", Owner: "o", TTL: time.Second}, 2))
+	f.Add(cross(Request{Version: 2, Op: OpAcquire, Resource: "r", Owner: "o", TTL: time.Second}, 1))
+	f.Add(cross(Request{Version: 2, Op: OpResume, Resource: "r", Token: 1}, 1))
+	f.Add(seed(AppendRequest(nil, Request{Version: 2, Op: OpPing})))
+	f.Add([]byte{3, 1, 0, 0})          // bad version
 	f.Add([]byte{1, 1, 0xff, 0xff})    // oversized
 	f.Add([]byte{1, 3, 0, 0, 1, 3, 0}) // ping then truncated frame
+	f.Add([]byte{2, 3, 0, 0, 2, 1, 0}) // v2 ping then truncated frame
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
@@ -172,5 +277,5 @@ func FuzzServiceWire(f *testing.F) {
 // contract's allowed rejections.
 func isCleanWireReject(err error) bool {
 	var we *WireError
-	return errors.As(err, &we) || err == io.EOF || err == io.ErrUnexpectedEOF
+	return errors.As(err, &we) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
