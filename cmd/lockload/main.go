@@ -21,6 +21,14 @@
 // must match the best static policy in every phase by live-migrating
 // the hot shards. The artifact defaults to BENCH_adaptive.json.
 //
+// With -throughput the run is the open-loop pipelined sweep instead:
+// every client count × -windows × -flush-delays cell hammers
+// acquire/release pairs with no think time, the (window=1, flush=0)
+// cell being the one-in-flight baseline the other rows' speedups are
+// computed against. The artifact defaults to BENCH_throughput.json and
+// shows the paper's trade directly: the coalescing flush delay buys
+// ops/s and costs p50.
+//
 // With -chaos the run is the network-fault campaign instead: every
 // fault kind in -chaos-kinds crossed with every seed in -chaos-seeds,
 // each run squeezing real resilient clients through a deterministic
@@ -63,6 +71,12 @@ func main() {
 		chaos      = flag.Bool("chaos", false, "run the network-fault campaign instead of a benchmark")
 		chaosKinds = flag.String("chaos-kinds", "all", `comma-separated fault kinds for -chaos ("all" = every kind; a "none" control row always runs)`)
 		chaosSeeds = flag.String("chaos-seeds", "1,2,3,4,5,6,7,8", "comma-separated seeds for -chaos")
+		chaosWin   = flag.Int("chaos-window", 1, "pipelining window for -chaos clients (1 = lock-step)")
+		tput       = flag.Bool("throughput", false, "run the open-loop pipelined throughput sweep instead of a benchmark")
+		windows    = flag.String("windows", "1,4,16,64", "comma-separated per-connection in-flight windows for -throughput (1 = lock-step baseline)")
+		flushList  = flag.String("flush-delays", "0s,50us,200us", "comma-separated write-coalescing flush delays for -throughput")
+		opsPer     = flag.Int("ops", 2000, "acquire+release pairs per connection for -throughput")
+		resources  = flag.Int("resources", 0, "shared resource pool for -throughput (0 = a private resource per worker: pure wire-path measurement)")
 		out        = flag.String("o", "", `artifact path (default BENCH_service.json, BENCH_adaptive.json with -phases, or BENCH_chaos.json with -chaos; "none" disables)`)
 		jsonOut    = flag.Bool("json", false, "print the JSON artifact on stdout instead of the table")
 	)
@@ -78,6 +92,8 @@ func main() {
 			outPath = "BENCH_adaptive.json"
 		case *chaos:
 			outPath = "BENCH_chaos.json"
+		case *tput:
+			outPath = "BENCH_throughput.json"
 		default:
 			outPath = "BENCH_service.json"
 		}
@@ -86,7 +102,12 @@ func main() {
 	}
 
 	if *chaos {
-		runChaos(*chaosKinds, *chaosSeeds, outPath, *jsonOut)
+		runChaos(*chaosKinds, *chaosSeeds, *chaosWin, outPath, *jsonOut)
+		return
+	}
+
+	if *tput {
+		runThroughput(*clientList, *windows, *flushList, *opsPer, *resources, *shards, *queue, *seed, *lockKind, *addr, *ttl, outPath, *jsonOut)
 		return
 	}
 
@@ -141,11 +162,66 @@ func main() {
 	fmt.Print(loadgen.Render(results))
 }
 
+// runThroughput executes the open-loop pipelined sweep: every client
+// count × window × flush delay, with the (window=1, flush=0) row as
+// the one-in-flight baseline each row's speedup is computed against.
+func runThroughput(clientList, windowList, flushListFlag string, opsPer, resources, shards, queue int, seed uint64, lockKind, addr string, ttl time.Duration, outPath string, jsonOut bool) {
+	clients, err := cliconfig.PositiveInts(clientList, "client count")
+	usage(err)
+	wins, err := cliconfig.PositiveInts(windowList, "window")
+	usage(err)
+	delays, err := cliconfig.Durations(flushListFlag, "flush delay")
+	usage(err)
+	kind, err := cliconfig.LockKind(lockKind)
+	usage(err)
+
+	var results []loadgen.ThroughputResult
+	for _, n := range clients {
+		for _, w := range wins {
+			for _, d := range delays {
+				res, err := loadgen.RunThroughput(loadgen.ThroughputConfig{
+					Clients:      n,
+					Window:       w,
+					FlushDelay:   d,
+					OpsPerClient: opsPer,
+					Resources:    resources,
+					Seed:         seed,
+					Addr:         addr,
+					Shards:       shards,
+					Lock:         kind,
+					QueueDepth:   queue,
+					TTL:          ttl,
+				})
+				if err != nil {
+					fail(err)
+				}
+				fmt.Fprintf(os.Stderr, "lockload: throughput clients=%d window=%-3d flush=%-6s %10.0f ops/s\n", n, w, d, res.Throughput)
+				results = append(results, res)
+			}
+		}
+	}
+
+	file := loadgen.NewThroughputFile(results)
+	if outPath != "" {
+		if err := writeJSONFile(outPath, file.WriteJSON); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "lockload: wrote %d throughput runs to %s\n", len(results), outPath)
+	}
+	if jsonOut {
+		if err := file.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Print(loadgen.RenderThroughput(file.Results))
+}
+
 // runChaos executes the network-fault campaign: (control + each kind)
 // × each seed, with per-run conservation and linearizability checks.
 // Invariant violations exit 1; a degraded classification alone does
 // not (it is a legal, typed way for a run to end).
-func runChaos(kindsFlag, seedsFlag, outPath string, jsonOut bool) {
+func runChaos(kindsFlag, seedsFlag string, window int, outPath string, jsonOut bool) {
 	kinds, err := chaoslib.ParseKinds(kindsFlag)
 	usage(err)
 	seedInts, err := cliconfig.PositiveInts(seedsFlag, "chaos seed")
@@ -156,8 +232,9 @@ func runChaos(kindsFlag, seedsFlag, outPath string, jsonOut bool) {
 	}
 
 	rep := chaoslib.RunCampaign(chaoslib.CampaignConfig{
-		Kinds: kinds,
-		Seeds: seeds,
+		Kinds:  kinds,
+		Seeds:  seeds,
+		Window: window,
 		OnRun: func(r chaoslib.RunResult) {
 			status := ""
 			if r.Failed() {

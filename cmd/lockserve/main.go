@@ -17,6 +17,13 @@
 // offered load shifts. The -policy flag then picks the starting policy,
 // and the shutdown snapshot includes a "controller" block.
 //
+// The serving hot path pipelines: wire-v3 clients carry up to -window
+// concurrent requests per connection, and -flush-delay holds each
+// response socket briefly so completions batch into one write syscall
+// (delay-inserted write coalescing — the paper's throughput-for-p50
+// trade on the transmit path). -pprof serves net/http/pprof for
+// profiling the hot path under load.
+//
 // The bound address is printed on stdout ("listening on <addr>") so
 // harnesses can use :0 and scrape the port. SIGINT/SIGTERM shut down
 // gracefully: stop accepting, flush queued waiters with the typed
@@ -34,6 +41,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof registers these handlers on the default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +67,9 @@ func main() {
 		drainGrace = flag.Duration("drain-grace", 2*time.Second, "graceful-drain window on SIGINT/SIGTERM: live leases get this long to release before revocation (0 = immediate close)")
 		idleConn   = flag.Duration("idle-timeout", 2*time.Minute, "reap connections idle this long (half-open peers included; 0 = never)")
 		retryAfter = flag.Duration("retry-after", 2*time.Millisecond, "retry-after hint attached to wire-v2 shed-class refusals (0 = no hint)")
+		flushDelay = flag.Duration("flush-delay", 0, "hold each connection's response socket up to this long to coalesce frames into one write syscall (0 = write through)")
+		window     = flag.Int("window", service.DefaultWindow, "max concurrently-executing pipelined (wire v3) requests per connection")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 		statsDump  = flag.Bool("stats", true, "print a JSON counter snapshot to stderr on shutdown")
 	)
 	flag.Parse()
@@ -95,9 +107,22 @@ func main() {
 	fmt.Printf("listening on %s\n", ln.Addr())
 	os.Stdout.Sync()
 
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "lockserve: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		// DefaultServeMux carries the net/http/pprof handlers via the
+		// blank import above.
+		go http.Serve(pln, nil)
+	}
+
 	srv := service.NewServerWithOptions(svc, service.ServerOptions{
 		IdleTimeout: *idleConn,
 		RetryAfter:  *retryAfter,
+		FlushDelay:  *flushDelay,
+		Window:      *window,
 	})
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

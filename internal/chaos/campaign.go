@@ -73,6 +73,13 @@ type CampaignConfig struct {
 	// DrainGrace is the graceful-drain window at the end of each run
 	// (default 150ms).
 	DrainGrace time.Duration
+	// Window, when ≥ 2, runs every client connection pipelined (wire
+	// v3) with that in-flight window, each client's ops spread across
+	// `Window` concurrent workers on the shared connection. The op
+	// schedule per resource is unchanged (worker w takes ops j with
+	// j mod Window = w), so each resource's history still fits the
+	// linearize checker's bound. ≤ 1 = lock-step clients.
+	Window int
 	// OnRun, when non-nil, observes each finished run (progress
 	// reporting).
 	OnRun func(RunResult)
@@ -341,6 +348,7 @@ func runOne(kindName string, kinds []Kind, seed uint64, cfg CampaignConfig) RunR
 		IdleTimeout: 2 * time.Second,
 		MaxWait:     250 * time.Millisecond,
 		RetryAfter:  2 * time.Millisecond,
+		Window:      cfg.Window,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -375,40 +383,50 @@ func runOne(kindName string, kinds []Kind, seed uint64, cfg CampaignConfig) RunR
 			DialTimeout: 250 * time.Millisecond,
 			Retry:       service.RetryPolicy{Initial: time.Millisecond, Cap: 16 * time.Millisecond, MaxAttempts: 12},
 			Seed:        seed*7919 + uint64(i),
+			Pipeline:    cfg.Window,
 		})
 	}
 
 	// The workload: closed-loop acquire/release pairs over shared
-	// resources, every op riding the retry loop.
+	// resources, every op riding the retry loop. With a pipelined
+	// window, each client's ops are striped across `window` workers
+	// sharing the one connection — same ops, same resources, genuinely
+	// concurrent frames.
+	workers := cfg.Window
+	if workers < 1 {
+		workers = 1
+	}
 	failureSet := make(map[string]bool)
 	var failMu sync.Mutex
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Clients; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			rc := clients[i]
-			owner := fmt.Sprintf("c%d", i)
-			for j := 0; j < cfg.OpsPerClient; j++ {
-				res := fmt.Sprintf("r%d", (i+j)%cfg.Resources)
-				lease, err := rc.Acquire(res, owner, service.AcquireOptions{
-					TTL:     cfg.TTL,
-					Wait:    true,
-					MaxWait: 150 * time.Millisecond,
-				})
-				if err != nil {
-					failMu.Lock()
-					failureSet[failureClass(err)] = true
-					failMu.Unlock()
-					continue
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(i, w int) {
+				defer wg.Done()
+				rc := clients[i]
+				owner := fmt.Sprintf("c%d", i)
+				for j := w; j < cfg.OpsPerClient; j += workers {
+					res := fmt.Sprintf("r%d", (i+j)%cfg.Resources)
+					lease, err := rc.Acquire(res, owner, service.AcquireOptions{
+						TTL:     cfg.TTL,
+						Wait:    true,
+						MaxWait: 150 * time.Millisecond,
+					})
+					if err != nil {
+						failMu.Lock()
+						failureSet[failureClass(err)] = true
+						failMu.Unlock()
+						continue
+					}
+					if err := rc.Release(lease); err != nil {
+						failMu.Lock()
+						failureSet[failureClass(err)] = true
+						failMu.Unlock()
+					}
 				}
-				if err := rc.Release(lease); err != nil {
-					failMu.Lock()
-					failureSet[failureClass(err)] = true
-					failMu.Unlock()
-				}
-			}
-		}(i)
+			}(i, w)
+		}
 	}
 	wg.Wait()
 

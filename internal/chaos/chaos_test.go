@@ -167,3 +167,54 @@ func TestCampaignAllKinds(t *testing.T) {
 		t.Errorf("report failures = %d, want 0", rep.Failures)
 	}
 }
+
+// TestCampaignPipelined is the pipelined chaos contract: with every
+// client connection running a wire-v3 window, faults that land mid-
+// batch — a truncation cutting several in-flight frames at once, a
+// reset with a full window outstanding — must still classify, conserve
+// leases, and linearize, and the artifact must stay deterministic.
+func TestCampaignPipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign runs real sockets and timeouts")
+	}
+	cfg := CampaignConfig{
+		Kinds:        []Kind{Truncate, Reset, Latency},
+		Seeds:        []uint64{3, 5},
+		Clients:      2,
+		OpsPerClient: 4,
+		Window:       4,
+	}
+	rep := RunCampaign(cfg)
+	valid := map[string]bool{
+		OutcomeClean: true, OutcomeAbsorbed: true,
+		OutcomeRecovered: true, OutcomeDegraded: true,
+	}
+	for _, run := range rep.Runs {
+		if !valid[run.Outcome] {
+			t.Errorf("%s/%d: unclassified outcome %q", run.Kind, run.Seed, run.Outcome)
+		}
+		if run.Conservation != "ok" {
+			t.Errorf("%s/%d: conservation violated: %s", run.Kind, run.Seed, run.Conservation)
+		}
+		if !run.Linearizable {
+			t.Errorf("%s/%d: history not linearizable: %v", run.Kind, run.Seed, run.Failures)
+		}
+	}
+	if rep.Failures != 0 {
+		t.Errorf("report failures = %d, want 0", rep.Failures)
+	}
+	// Truncation mid-batch must surface as a retryable transport fault
+	// the resilient layer absorbs or recovers from — never a degraded
+	// (budget-exhausted) run at these small scales.
+	for _, run := range rep.Runs {
+		if run.Kind == string(Truncate) && run.Outcome == OutcomeDegraded {
+			t.Errorf("truncate/%d: pipelined truncation degraded instead of recovering", run.Seed)
+		}
+	}
+	// And the pipelined artifact obeys the same byte-identity contract.
+	a := reportBytes(t, cfg)
+	b := reportBytes(t, cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed pipelined campaigns differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}

@@ -1,0 +1,35 @@
+package loadgen
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestThroughputProfile is a profiling harness, not a correctness test:
+// run with PROFILE_WINDOW set (and -cpuprofile) to capture the hot path.
+func TestThroughputProfile(t *testing.T) {
+	wenv := os.Getenv("PROFILE_WINDOW")
+	if wenv == "" {
+		t.Skip("set PROFILE_WINDOW to run")
+	}
+	w, _ := strconv.Atoi(wenv)
+	var delay time.Duration
+	if d := os.Getenv("PROFILE_FLUSH"); d != "" {
+		delay, _ = time.ParseDuration(d)
+	}
+	res, err := RunThroughput(ThroughputConfig{
+		Clients:      16,
+		Window:       w,
+		FlushDelay:   delay,
+		OpsPerClient: 8000,
+		Shards:       16,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("window=%d flush=%v ops=%d throughput=%.0f ops/s p50=%v",
+		w, delay, res.Ops, res.Throughput, time.Duration(res.OpP50))
+}

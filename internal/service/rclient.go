@@ -72,6 +72,15 @@ type ResilientOptions struct {
 	// Seed drives the jitter stream; equal seeds yield equal retry
 	// schedules, which is what keeps chaos campaigns reproducible.
 	Seed uint64
+	// Pipeline, when ≥ 2, runs the underlying connection in pipelined
+	// mode (wire v3) with that in-flight window, letting concurrent
+	// goroutines share this ResilientClient instead of serializing on
+	// one round trip. ≤ 1 keeps the lock-step connection.
+	Pipeline int
+	// FlushDelay coalesces the pipelined connection's request frames:
+	// the socket is held up to this long so concurrent ops batch into
+	// one write syscall (only meaningful with Pipeline ≥ 2).
+	FlushDelay time.Duration
 }
 
 // ResilientStats counts what the retry loop did; all monotonic.
@@ -86,8 +95,10 @@ type ResilientStats struct {
 
 // ResilientClient wraps the wire client with reconnect, typed
 // retryable-vs-fatal classification, jittered-delay backoff, and
-// fenced lease resumption. Operations serialize (one in flight), like
-// the underlying Client; open one per concurrent actor.
+// fenced lease resumption. It is safe for concurrent use: operations
+// run outside the client's mutex, so with Pipeline ≥ 2 many goroutines
+// genuinely share one pipelined connection; without it they serialize
+// on the underlying Client's round trip, like before.
 type ResilientClient struct {
 	addr string
 	opt  ResilientOptions
@@ -165,6 +176,12 @@ func (rc *ResilientClient) connectLocked() (*Client, error) {
 		return nil, err
 	}
 	cl.SetOpTimeout(rc.opt.OpTimeout)
+	if rc.opt.Pipeline >= 2 {
+		if err := cl.Pipeline(rc.opt.Pipeline, rc.opt.FlushDelay); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
 	rc.stats.Dials++
 	if rc.stats.Dials > 1 {
 		rc.stats.Reconnects++
@@ -196,20 +213,33 @@ func (rc *ResilientClient) resumeHeldLocked(cl *Client) {
 	}
 }
 
-// dropLocked discards a connection whose round trip failed at the
-// transport level.
-func (rc *ResilientClient) dropLocked() {
-	if rc.cl != nil {
-		rc.cl.Close()
-		rc.cl = nil
-	}
+// connect takes the mutex around connectLocked.
+func (rc *ResilientClient) connect() (*Client, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.connectLocked()
 }
 
-// backoffLocked inserts the retry delay for attempt: the server's
-// retry-after hint when it sent one, else the policy band, jittered to
-// [band/2, band) by the seeded stream. The mutex stays held — the
-// client is a single actor and its delay IS the operation's delay.
-func (rc *ResilientClient) backoffLocked(attempt int, hint time.Duration) {
+// drop discards a connection whose round trip failed at the transport
+// level — but only if it is still the current one; with concurrent
+// callers another goroutine may already have replaced it, and closing
+// the replacement would fail its in-flight ops for nothing.
+func (rc *ResilientClient) drop(cl *Client) {
+	rc.mu.Lock()
+	if rc.cl == cl {
+		rc.cl = nil
+	}
+	rc.mu.Unlock()
+	cl.Close()
+}
+
+// backoff inserts the retry delay for attempt: the server's retry-after
+// hint when it sent one, else the policy band, jittered to [band/2,
+// band) by the seeded stream. The sleep happens outside the mutex so
+// one backing-off goroutine never stalls the others; the jitter draw
+// itself is serialized, which keeps single-actor schedules (the chaos
+// campaigns) exactly reproducible.
+func (rc *ResilientClient) backoff(attempt int, hint time.Duration) {
 	band := rc.opt.Retry.band(attempt)
 	if hint > 0 {
 		band = hint
@@ -218,25 +248,28 @@ func (rc *ResilientClient) backoffLocked(attempt int, hint time.Duration) {
 	if half <= 0 {
 		half = 1
 	}
+	rc.mu.Lock()
 	d := half + time.Duration(rc.str.Intn(int64(half)))
+	rc.mu.Unlock()
 	time.Sleep(d)
+	rc.mu.Lock()
 	rc.stats.Retries++
+	rc.mu.Unlock()
 }
 
 // do runs one operation through the retry loop. op runs with a live
-// connection; transportRetried tells it whether an earlier attempt may
-// have reached the server (for release idempotence).
+// connection, outside the client mutex; transportRetried tells it
+// whether an earlier attempt may have reached the server (for release
+// idempotence).
 func (rc *ResilientClient) do(op func(cl *Client, transportRetried bool) error) error {
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
 	var lastErr error
 	transportRetried := false
 	for attempt := 0; attempt < rc.opt.Retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			hint, _ := RetryAfterHint(lastErr)
-			rc.backoffLocked(attempt-1, hint)
+			rc.backoff(attempt-1, hint)
 		}
-		cl, err := rc.connectLocked()
+		cl, err := rc.connect()
 		if err != nil {
 			if !Retryable(err) {
 				return err
@@ -250,7 +283,7 @@ func (rc *ResilientClient) do(op func(cl *Client, transportRetried bool) error) 
 		}
 		lastErr = err
 		if isTransport(err) {
-			rc.dropLocked()
+			rc.drop(cl)
 			transportRetried = true
 			continue
 		}
@@ -258,7 +291,9 @@ func (rc *ResilientClient) do(op func(cl *Client, transportRetried bool) error) 
 			return err
 		}
 	}
+	rc.mu.Lock()
 	rc.stats.GaveUp++
+	rc.mu.Unlock()
 	return fmt.Errorf("service: gave up after %d attempts: %w", rc.opt.Retry.MaxAttempts, lastErr)
 }
 
@@ -276,7 +311,9 @@ func (rc *ResilientClient) Acquire(resource, owner string, opt AcquireOptions) (
 			return err
 		}
 		lease = got
+		rc.mu.Lock()
 		rc.held[resource] = got
+		rc.mu.Unlock()
 		return nil
 	})
 	return lease, err

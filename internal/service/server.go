@@ -36,7 +36,22 @@ type ServerOptions struct {
 	// hint: the server inserting a delay into the client's retry loop,
 	// which is the paper's anti-herd delay one layer up.
 	RetryAfter time.Duration
+	// FlushDelay, when positive, holds each connection's response socket
+	// for up to this long so frames completing close together batch into
+	// one write syscall — delay-inserted write coalescing, the paper's
+	// throughput-for-p50 trade made explicit (0 = write through).
+	FlushDelay time.Duration
+	// Window caps the concurrently-executing pipelined (wire v3)
+	// requests per connection; once the window is full the connection's
+	// read loop stops pulling frames, pushing backpressure into the TCP
+	// window. v1/v2 connections stay strictly one-in-flight regardless
+	// (0 = DefaultWindow).
+	Window int
 }
+
+// DefaultWindow is the per-connection pipelining window when
+// ServerOptions.Window is zero.
+const DefaultWindow = 32
 
 // Server serves the wire protocol over TCP, one goroutine per
 // connection with a strict one-request-in-flight-per-connection
@@ -162,16 +177,38 @@ func (s *Server) dropConn(conn net.Conn) {
 // — a misbehaving client cannot wedge the read loop. With IdleTimeout
 // set, a peer that goes quiet (or half-open) between requests is reaped
 // by the read deadline instead of pinning the goroutine forever.
+//
+// v1/v2 frames dispatch serially in-line, preserving the strict
+// one-in-flight discipline those clients rely on. The first v3 frame
+// lazily starts the connection's pipeline: a fixed pool of `window`
+// workers fed by a window-deep channel, so at most `window` requests
+// execute concurrently and at most another window sit decoded awaiting
+// a worker; past that the read loop blocks (TCP backpressure) rather
+// than growing an unbounded queue. The buffer keeps the read loop
+// decoding while workers run instead of stalling on a synchronous
+// goroutine hand-off per frame. Responses leave through the shared
+// flushWriter in completion order; request IDs let the client reorder.
 func (s *Server) serveConn(conn net.Conn) {
-	defer s.dropConn(conn)
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	dec := NewDecoder()
+	// 32 KiB: coalesced peers deliver multi-frame batches (up to the
+	// 8 KiB flush threshold plus whatever lands while a read is parked),
+	// and the reader should swallow a batch in one syscall.
+	br := bufio.NewReaderSize(conn, 32<<10)
+	fw := newFlushWriter(conn, s.opt.FlushDelay)
+	var pl *connPipeline
+	defer func() {
+		if pl != nil {
+			pl.stop()
+		}
+		fw.Close()
+		s.dropConn(conn)
+	}()
 	var scratch []byte
 	for {
 		if s.opt.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opt.IdleTimeout))
 		}
-		req, err := ReadRequest(br)
+		req, err := dec.ReadRequest(br)
 		if err != nil {
 			var werr *WireError
 			if errors.As(err, &werr) {
@@ -179,11 +216,36 @@ func (s *Server) serveConn(conn net.Conn) {
 				// which every client decodes.
 				resp := Response{Op: OpError, Code: CodeBadFrame, Msg: werr.Msg}
 				if out, eerr := AppendResponse(scratch[:0], resp); eerr == nil {
-					bw.Write(out)
-					bw.Flush()
+					fw.WriteFrame(out)
 				}
 			}
 			return // EOF, closed socket, idle deadline, or malformed frame
+		}
+		if req.Version == WireVersion3 {
+			// Acquires can park in an admission queue, so they run on the
+			// window's worker pool. Everything else (release, resume, ping)
+			// only ever takes a shard lock briefly — dispatching those
+			// inline on the read loop skips a goroutine hand-off per op,
+			// which at pipelined rates is a top-line scheduler cost on few
+			// cores. Responses interleave by ID, so ordering is free.
+			if req.Op == OpAcquire {
+				if pl == nil {
+					pl = s.startPipeline(conn, fw)
+				}
+				pl.submit(req)
+				continue
+			}
+			resp := s.dispatch(req)
+			resp.ID = req.ID
+			out, err := AppendResponse(scratch[:0], resp)
+			if err != nil {
+				return
+			}
+			scratch = out
+			if err := fw.WriteFrame(out); err != nil {
+				return
+			}
+			continue
 		}
 		resp := s.dispatch(req)
 		out, err := AppendResponse(scratch[:0], resp)
@@ -191,20 +253,75 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		scratch = out
-		if _, err := bw.Write(out); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
+		if err := fw.WriteFrame(out); err != nil {
 			return
 		}
 	}
+}
+
+// connPipeline is one connection's v3 worker pool.
+type connPipeline struct {
+	reqs chan Request
+	wg   sync.WaitGroup
+}
+
+// startPipeline spins up the connection's pipelined dispatch workers.
+// Each worker owns its encode scratch; resource-level parallelism comes
+// from the service's shards, so workers for different resources really
+// do proceed concurrently while workers queued on one hot resource wait
+// in its shard's admission queue like any other waiter.
+func (s *Server) startPipeline(conn net.Conn, fw *flushWriter) *connPipeline {
+	window := s.opt.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	pl := &connPipeline{reqs: make(chan Request, window)}
+	pl.wg.Add(window)
+	for i := 0; i < window; i++ {
+		go func() {
+			defer pl.wg.Done()
+			var scratch []byte
+			failed := false
+			for req := range pl.reqs {
+				if failed {
+					continue // drain so submit never blocks without receivers
+				}
+				resp := s.dispatch(req)
+				resp.ID = req.ID
+				out, err := AppendResponse(scratch[:0], resp)
+				if err != nil {
+					failed = true
+					conn.Close()
+					continue
+				}
+				scratch = out
+				if err := fw.WriteFrame(out); err != nil {
+					failed = true
+					conn.Close()
+					continue
+				}
+			}
+		}()
+	}
+	return pl
+}
+
+// submit hands one request to the worker pool, blocking once the
+// window's worth of decoded requests is already waiting — bounded
+// buffering, then backpressure.
+func (pl *connPipeline) submit(req Request) { pl.reqs <- req }
+
+// stop ends intake and waits for in-flight dispatches to finish.
+func (pl *connPipeline) stop() {
+	close(pl.reqs)
+	pl.wg.Wait()
 }
 
 // errResp builds the typed error response for v, attaching the
 // retry-after hint to v2 shed-class refusals.
 func (s *Server) errResp(v uint8, err error) Response {
 	resp := Response{Version: v, Op: OpError, Code: errorCode(err), Msg: err.Error()}
-	if v == WireVersion2 && s.opt.RetryAfter > 0 && shedClass(resp.Code) {
+	if v >= WireVersion2 && s.opt.RetryAfter > 0 && shedClass(resp.Code) {
 		resp.RetryAfter = s.opt.RetryAfter
 	}
 	return resp
@@ -237,7 +354,7 @@ func (s *Server) dispatch(req Request) Response {
 			return s.errResp(v, err)
 		}
 		resp := Response{Version: v, Op: OpGranted, Token: lease.Token, Deadline: lease.Deadline.UnixNano()}
-		if v == WireVersion2 {
+		if v >= WireVersion2 {
 			resp.Fence = lease.Fence
 		}
 		return resp

@@ -10,7 +10,7 @@ import (
 
 // The lockserve wire protocol. Every frame is:
 //
-//	byte 0      protocol version (WireVersion or WireVersion2)
+//	byte 0      protocol version (WireVersion, WireVersion2, or WireVersion3)
 //	byte 1      op code
 //	bytes 2..3  big-endian payload length (≤ MaxPayload)
 //	bytes 4..   payload
@@ -32,7 +32,7 @@ import (
 //   - OpRelease carries the lease's fencing token, so a zombie holder's
 //     stale release is rejected with the typed ErrFenced instead of a
 //     generic ErrNotHeld.
-//   - OpResume (v2-only) re-validates a held lease after a reconnect:
+//   - OpResume (v2+) re-validates a held lease after a reconnect:
 //     resource + token + fence in, the live lease or a typed loss
 //     verdict out.
 //   - OpGranted carries the lease's fencing token.
@@ -41,18 +41,31 @@ import (
 //     loop, which is the paper's delay-insertion argument applied to
 //     the re-arrival herd after a fault.
 //
-// A v2 server still accepts well-formed v1 frames (and answers them in
-// v1); malformed frames of either version are rejected typed, never
-// hung on.
+// Version 3 adds pipelining: every v3 payload begins with a big-endian
+// u64 request ID, and responses echo the ID of the request they answer.
+// IDs are what let one connection carry a window of outstanding ops with
+// responses returning in completion order — the demultiplexing router in
+// Client matches them back up. The ID lives in the payload (not the
+// header) deliberately: the frame envelope is identical across versions,
+// so frame-aware middleboxes (the chaos proxy) relay v3 traffic without
+// changes. A v3 server answers each request in the version it arrived
+// in; v1/v2 connections keep their strict one-in-flight discipline.
+//
+// A v2+ server still accepts well-formed v1 frames (and answers them in
+// v1); malformed frames of any version are rejected typed, never hung
+// on.
 const (
 	WireVersion  = 1
 	WireVersion2 = 2
+	WireVersion3 = 3
 	// MaxPayload bounds one frame's payload; MaxResourceLen/MaxOwnerLen
 	// bound the name fields.
 	MaxPayload     = 1024
 	MaxResourceLen = 256
 	MaxOwnerLen    = 128
 	wireHeaderLen  = 4
+	// wireIDLen is the v3 request-ID prefix inside the payload.
+	wireIDLen = 8
 )
 
 // Request op codes.
@@ -60,8 +73,8 @@ const (
 	OpAcquire uint8 = 1
 	OpRelease uint8 = 2
 	OpPing    uint8 = 3
-	// OpResume re-validates a lease over a fresh connection (wire v2
-	// only): the server answers OpGranted if the token still holds the
+	// OpResume re-validates a lease over a fresh connection (wire v2+):
+	// the server answers OpGranted if the token still holds the
 	// resource, or the typed reason it no longer does.
 	OpResume uint8 = 4
 )
@@ -116,11 +129,15 @@ type Request struct {
 	MaxWait  time.Duration // OpAcquire; millisecond granularity
 	Wait     bool          // OpAcquire
 	Token    uint64        // OpRelease, OpResume
-	// Fence is the lease's fencing token (v2 OpRelease, OpResume).
+	// Fence is the lease's fencing token (v2+ OpRelease, OpResume).
 	Fence uint64
 	// Deadline is the client's absolute per-op deadline, UnixNano
-	// (v2 OpAcquire; 0 = none).
+	// (v2+ OpAcquire; 0 = none).
 	Deadline int64
+	// ID is the pipelining request ID (wire v3 only); the response to
+	// this request echoes it. 0 is a legal ID (the lock-step clients use
+	// it), but pipelined clients assign IDs from 1 upward.
+	ID uint64
 }
 
 // Response is one decoded server frame.
@@ -131,12 +148,14 @@ type Response struct {
 	Op       uint8
 	Token    uint64 // OpGranted
 	Deadline int64  // OpGranted; UnixNano
-	Fence    uint64 // OpGranted (v2)
+	Fence    uint64 // OpGranted (v2+)
 	Code     uint8  // OpError
 	Msg      string // OpError
 	// RetryAfter is the server's back-off hint on shed-class errors
-	// (v2 OpError; millisecond granularity, 0 = none).
+	// (v2+ OpError; millisecond granularity, 0 = none).
 	RetryAfter time.Duration
+	// ID echoes the request's pipelining ID (wire v3 only).
+	ID uint64
 }
 
 // version resolves the 0-means-v1 default.
@@ -153,20 +172,22 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
-// takeString decodes a u16-length-prefixed string bounded by max.
-func takeString(b []byte, max int, what string) (string, []byte, error) {
+// takeBytes decodes a u16-length-prefixed field bounded by max. The
+// returned slice aliases b (the decoder's scratch); callers must copy or
+// intern before the next frame is read.
+func takeBytes(b []byte, max int, what string) ([]byte, []byte, error) {
 	if len(b) < 2 {
-		return "", nil, wireErrf("truncated %s length", what)
+		return nil, nil, wireErrf("truncated %s length", what)
 	}
 	n := int(binary.BigEndian.Uint16(b))
 	b = b[2:]
 	if n > max {
-		return "", nil, wireErrf("%s length %d exceeds %d", what, n, max)
+		return nil, nil, wireErrf("%s length %d exceeds %d", what, n, max)
 	}
 	if len(b) < n {
-		return "", nil, wireErrf("truncated %s", what)
+		return nil, nil, wireErrf("truncated %s", what)
 	}
-	return string(b[:n]), b[n:], nil
+	return b[:n], b[n:], nil
 }
 
 // durMS bounds a duration to the u32-millisecond wire range.
@@ -182,12 +203,16 @@ func durMS(d time.Duration) uint32 {
 }
 
 // AppendRequest encodes a request frame onto b. The frame's version is
-// req.Version (0 = v1); v2-only fields in a v1 request are an encoding
-// error, not silent truncation.
+// req.Version (0 = v1); fields a version does not carry are an encoding
+// error, not silent truncation. The encode is allocation-free when b has
+// capacity: fields append in place and the length is patched afterward.
 func AppendRequest(b []byte, req Request) ([]byte, error) {
 	v := frameVersion(req.Version)
-	if v != WireVersion && v != WireVersion2 {
+	if v != WireVersion && v != WireVersion2 && v != WireVersion3 {
 		return nil, wireErrf("unknown request version %d", v)
+	}
+	if req.ID != 0 && v != WireVersion3 {
+		return nil, wireErrf("request id requires wire v3")
 	}
 	if len(req.Resource) > MaxResourceLen {
 		return nil, wireErrf("resource length %d exceeds %d", len(req.Resource), MaxResourceLen)
@@ -195,61 +220,73 @@ func AppendRequest(b []byte, req Request) ([]byte, error) {
 	if len(req.Owner) > MaxOwnerLen {
 		return nil, wireErrf("owner length %d exceeds %d", len(req.Owner), MaxOwnerLen)
 	}
-	var payload []byte
+	start := len(b)
+	b = append(b, v, req.Op, 0, 0)
+	if v == WireVersion3 {
+		b = binary.BigEndian.AppendUint64(b, req.ID)
+	}
 	switch req.Op {
 	case OpAcquire:
-		payload = appendString(payload, req.Resource)
-		payload = appendString(payload, req.Owner)
-		payload = binary.BigEndian.AppendUint32(payload, durMS(req.TTL))
-		payload = binary.BigEndian.AppendUint32(payload, durMS(req.MaxWait))
+		b = appendString(b, req.Resource)
+		b = appendString(b, req.Owner)
+		b = binary.BigEndian.AppendUint32(b, durMS(req.TTL))
+		b = binary.BigEndian.AppendUint32(b, durMS(req.MaxWait))
 		var flags uint8
 		if req.Wait {
 			flags |= 1
 		}
-		payload = append(payload, flags)
-		if v == WireVersion2 {
+		b = append(b, flags)
+		if v >= WireVersion2 {
 			if req.Deadline < 0 {
 				return nil, wireErrf("negative acquire deadline %d", req.Deadline)
 			}
-			payload = binary.BigEndian.AppendUint64(payload, uint64(req.Deadline))
+			b = binary.BigEndian.AppendUint64(b, uint64(req.Deadline))
 		} else if req.Deadline != 0 {
 			return nil, wireErrf("acquire deadline requires wire v2")
 		}
 	case OpRelease:
-		payload = appendString(payload, req.Resource)
-		payload = binary.BigEndian.AppendUint64(payload, req.Token)
-		if v == WireVersion2 {
-			payload = binary.BigEndian.AppendUint64(payload, req.Fence)
+		b = appendString(b, req.Resource)
+		b = binary.BigEndian.AppendUint64(b, req.Token)
+		if v >= WireVersion2 {
+			b = binary.BigEndian.AppendUint64(b, req.Fence)
 		} else if req.Fence != 0 {
 			return nil, wireErrf("release fence requires wire v2")
 		}
 	case OpResume:
-		if v != WireVersion2 {
+		if v < WireVersion2 {
 			return nil, wireErrf("resume requires wire v2")
 		}
-		payload = appendString(payload, req.Resource)
-		payload = binary.BigEndian.AppendUint64(payload, req.Token)
-		payload = binary.BigEndian.AppendUint64(payload, req.Fence)
+		b = appendString(b, req.Resource)
+		b = binary.BigEndian.AppendUint64(b, req.Token)
+		b = binary.BigEndian.AppendUint64(b, req.Fence)
 	case OpPing:
 	default:
 		return nil, wireErrf("unknown request op %d", req.Op)
 	}
-	return appendFrame(b, v, req.Op, payload), nil
+	return finishFrame(b, start)
 }
 
-// AppendResponse encodes a response frame onto b.
+// AppendResponse encodes a response frame onto b, allocation-free when b
+// has capacity.
 func AppendResponse(b []byte, resp Response) ([]byte, error) {
 	v := frameVersion(resp.Version)
-	if v != WireVersion && v != WireVersion2 {
+	if v != WireVersion && v != WireVersion2 && v != WireVersion3 {
 		return nil, wireErrf("unknown response version %d", v)
 	}
-	var payload []byte
+	if resp.ID != 0 && v != WireVersion3 {
+		return nil, wireErrf("response id requires wire v3")
+	}
+	start := len(b)
+	b = append(b, v, resp.Op, 0, 0)
+	if v == WireVersion3 {
+		b = binary.BigEndian.AppendUint64(b, resp.ID)
+	}
 	switch resp.Op {
 	case OpGranted:
-		payload = binary.BigEndian.AppendUint64(payload, resp.Token)
-		payload = binary.BigEndian.AppendUint64(payload, uint64(resp.Deadline))
-		if v == WireVersion2 {
-			payload = binary.BigEndian.AppendUint64(payload, resp.Fence)
+		b = binary.BigEndian.AppendUint64(b, resp.Token)
+		b = binary.BigEndian.AppendUint64(b, uint64(resp.Deadline))
+		if v >= WireVersion2 {
+			b = binary.BigEndian.AppendUint64(b, resp.Fence)
 		} else if resp.Fence != 0 {
 			return nil, wireErrf("granted fence requires wire v2")
 		}
@@ -259,46 +296,102 @@ func AppendResponse(b []byte, resp Response) ([]byte, error) {
 		if len(msg) > MaxResourceLen {
 			msg = msg[:MaxResourceLen]
 		}
-		payload = append(payload, resp.Code)
-		payload = appendString(payload, msg)
-		if v == WireVersion2 {
-			payload = binary.BigEndian.AppendUint32(payload, durMS(resp.RetryAfter))
+		b = append(b, resp.Code)
+		b = appendString(b, msg)
+		if v >= WireVersion2 {
+			b = binary.BigEndian.AppendUint32(b, durMS(resp.RetryAfter))
 		} else if resp.RetryAfter != 0 {
 			return nil, wireErrf("retry-after hint requires wire v2")
 		}
 	default:
 		return nil, wireErrf("unknown response op %d", resp.Op)
 	}
-	return appendFrame(b, v, resp.Op, payload), nil
+	return finishFrame(b, start)
 }
 
-func appendFrame(b []byte, version, op uint8, payload []byte) []byte {
-	b = append(b, version, op)
-	b = binary.BigEndian.AppendUint16(b, uint16(len(payload)))
-	return append(b, payload...)
+// finishFrame patches the frame's length field once the payload is in
+// place.
+func finishFrame(b []byte, start int) ([]byte, error) {
+	n := len(b) - start - wireHeaderLen
+	if n > MaxPayload {
+		return nil, wireErrf("payload length %d exceeds %d", n, MaxPayload)
+	}
+	binary.BigEndian.PutUint16(b[start+2:], uint16(n))
+	return b, nil
 }
 
-// readFrame reads one frame header + payload from r.
-func readFrame(r io.Reader) (version, op uint8, payload []byte, err error) {
-	var hdr [wireHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// Decoder reads wire frames with zero steady-state allocations: the
+// payload is read into a reusable scratch buffer and name strings are
+// interned in a bounded per-decoder table (repeat names — the hot path —
+// hit the map without allocating; Go elides the []byte→string conversion
+// in map lookups). A Decoder is what every long-lived connection should
+// read through; it is not safe for concurrent use. The zero value is
+// ready.
+type Decoder struct {
+	scratch []byte
+	names   map[string]string
+}
+
+// NewDecoder returns a connection-lifetime frame decoder.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// maxInternedNames bounds each decoder's name table so an adversarial
+// peer streaming unique names cannot grow it without bound; names past
+// the cap still decode, they just allocate.
+const maxInternedNames = 4096
+
+// intern maps field bytes to a stable string, allocation-free once the
+// name has been seen.
+func (d *Decoder) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := d.names[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if d.names == nil {
+		d.names = make(map[string]string)
+	}
+	if len(d.names) < maxInternedNames {
+		d.names[s] = s
+	}
+	return s
+}
+
+// readFrame reads one frame header + payload from r into the decoder's
+// scratch buffer; the returned payload aliases it.
+func (d *Decoder) readFrame(r io.Reader) (version, op uint8, payload []byte, err error) {
+	// The header reads through the scratch buffer too: a stack array
+	// would escape through the io.Reader interface and cost one heap
+	// allocation per frame.
+	if cap(d.scratch) < wireHeaderLen {
+		d.scratch = make([]byte, 0, MaxPayload)
+	}
+	hdr := d.scratch[:wireHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, 0, nil, err // io.EOF between frames is a clean close
 	}
-	if hdr[0] != WireVersion && hdr[0] != WireVersion2 {
+	if hdr[0] < WireVersion || hdr[0] > WireVersion3 {
 		return 0, 0, nil, wireErrf("unknown protocol version %d", hdr[0])
 	}
+	version, op = hdr[0], hdr[1]
 	n := int(binary.BigEndian.Uint16(hdr[2:]))
 	if n > MaxPayload {
 		return 0, 0, nil, wireErrf("payload length %d exceeds %d", n, MaxPayload)
 	}
-	payload = make([]byte, n)
+	if cap(d.scratch) < n {
+		d.scratch = make([]byte, 0, MaxPayload)
+	}
+	// Overwrites the header bytes; they are already parsed into locals.
+	payload = d.scratch[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		// A mid-payload cut is a transport fault (the peer or the network
 		// died), not a protocol violation: wrap rather than convert to
 		// *WireError so it classifies retryable.
 		return 0, 0, nil, fmt.Errorf("service: wire: truncated payload: %w", err)
 	}
-	return hdr[0], hdr[1], payload, nil
+	return version, op, payload, nil
 }
 
 // takeU64 pops a big-endian u64; the caller has already length-checked.
@@ -306,35 +399,48 @@ func takeU64(b []byte) (uint64, []byte) {
 	return binary.BigEndian.Uint64(b), b[8:]
 }
 
+// takeID strips the v3 request-ID prefix; other versions carry none.
+func takeID(version uint8, payload []byte) (uint64, []byte, error) {
+	if version != WireVersion3 {
+		return 0, payload, nil
+	}
+	if len(payload) < wireIDLen {
+		return 0, nil, wireErrf("truncated request id")
+	}
+	id, rest := takeU64(payload)
+	return id, rest, nil
+}
+
 // ReadRequest decodes one request frame from r. io.EOF (and only a
 // clean EOF at a frame boundary) passes through unchanged so servers
 // can distinguish a closed connection from a malformed frame.
-func ReadRequest(r io.Reader) (Request, error) {
-	version, op, payload, err := readFrame(r)
+func (d *Decoder) ReadRequest(r io.Reader) (Request, error) {
+	version, op, payload, err := d.readFrame(r)
 	if err != nil {
 		return Request{}, err
 	}
 	req := Request{Version: version, Op: op}
+	if req.ID, payload, err = takeID(version, payload); err != nil {
+		return Request{}, err
+	}
 	switch op {
 	case OpAcquire:
-		var res, owner string
-		res, payload, err = takeString(payload, MaxResourceLen, "resource")
+		var res, owner []byte
+		res, payload, err = takeBytes(payload, MaxResourceLen, "resource")
 		if err != nil {
 			return Request{}, err
 		}
-		owner, payload, err = takeString(payload, MaxOwnerLen, "owner")
+		owner, payload, err = takeBytes(payload, MaxOwnerLen, "owner")
 		if err != nil {
 			return Request{}, err
 		}
 		want := 9
-		if version == WireVersion2 {
+		if version >= WireVersion2 {
 			want = 17
 		}
 		if len(payload) != want {
 			return Request{}, wireErrf("acquire payload has %d trailing bytes, want %d", len(payload), want)
 		}
-		req.Resource = res
-		req.Owner = owner
 		req.TTL = time.Duration(binary.BigEndian.Uint32(payload)) * time.Millisecond
 		req.MaxWait = time.Duration(binary.BigEndian.Uint32(payload[4:])) * time.Millisecond
 		flags := payload[8]
@@ -342,40 +448,42 @@ func ReadRequest(r io.Reader) (Request, error) {
 			return Request{}, wireErrf("unknown acquire flags %#x", flags)
 		}
 		req.Wait = flags&1 != 0
-		if version == WireVersion2 {
-			d := binary.BigEndian.Uint64(payload[9:])
-			if d > uint64(1)<<63-1 {
-				return Request{}, wireErrf("acquire deadline %#x out of range", d)
+		if version >= WireVersion2 {
+			dl := binary.BigEndian.Uint64(payload[9:])
+			if dl > uint64(1)<<63-1 {
+				return Request{}, wireErrf("acquire deadline %#x out of range", dl)
 			}
-			req.Deadline = int64(d)
+			req.Deadline = int64(dl)
 		}
-		if req.Resource == "" {
+		if len(res) == 0 {
 			return Request{}, wireErrf("empty resource")
 		}
+		req.Resource = d.intern(res)
+		req.Owner = d.intern(owner)
 	case OpRelease, OpResume:
-		if op == OpResume && version != WireVersion2 {
+		if op == OpResume && version < WireVersion2 {
 			return Request{}, wireErrf("resume requires wire v2")
 		}
-		var res string
-		res, payload, err = takeString(payload, MaxResourceLen, "resource")
+		var res []byte
+		res, payload, err = takeBytes(payload, MaxResourceLen, "resource")
 		if err != nil {
 			return Request{}, err
 		}
 		want := 8
-		if version == WireVersion2 {
+		if version >= WireVersion2 {
 			want = 16
 		}
 		if len(payload) != want {
 			return Request{}, wireErrf("%s payload has %d trailing bytes, want %d", opName(op), len(payload), want)
 		}
-		req.Resource = res
 		req.Token, payload = takeU64(payload)
-		if version == WireVersion2 {
+		if version >= WireVersion2 {
 			req.Fence, _ = takeU64(payload)
 		}
-		if req.Resource == "" {
+		if len(res) == 0 {
 			return Request{}, wireErrf("empty resource")
 		}
+		req.Resource = d.intern(res)
 	case OpPing:
 		if len(payload) != 0 {
 			return Request{}, wireErrf("ping payload has %d bytes, want 0", len(payload))
@@ -401,16 +509,19 @@ func opName(op uint8) string {
 }
 
 // ReadResponse decodes one response frame from r.
-func ReadResponse(r io.Reader) (Response, error) {
-	version, op, payload, err := readFrame(r)
+func (d *Decoder) ReadResponse(r io.Reader) (Response, error) {
+	version, op, payload, err := d.readFrame(r)
 	if err != nil {
 		return Response{}, err
 	}
 	resp := Response{Version: version, Op: op}
+	if resp.ID, payload, err = takeID(version, payload); err != nil {
+		return Response{}, err
+	}
 	switch op {
 	case OpGranted:
 		want := 16
-		if version == WireVersion2 {
+		if version >= WireVersion2 {
 			want = 24
 		}
 		if len(payload) != want {
@@ -418,7 +529,7 @@ func ReadResponse(r io.Reader) (Response, error) {
 		}
 		resp.Token = binary.BigEndian.Uint64(payload)
 		resp.Deadline = int64(binary.BigEndian.Uint64(payload[8:]))
-		if version == WireVersion2 {
+		if version >= WireVersion2 {
 			resp.Fence = binary.BigEndian.Uint64(payload[16:])
 		}
 	case OpOK:
@@ -430,13 +541,12 @@ func ReadResponse(r io.Reader) (Response, error) {
 			return Response{}, wireErrf("error payload empty")
 		}
 		resp.Code = payload[0]
-		var msg string
-		msg, rest, err := takeString(payload[1:], MaxResourceLen, "message")
+		msg, rest, err := takeBytes(payload[1:], MaxResourceLen, "message")
 		if err != nil {
 			return Response{}, err
 		}
-		resp.Msg = msg
-		if version == WireVersion2 {
+		resp.Msg = string(msg)
+		if version >= WireVersion2 {
 			if len(rest) != 4 {
 				return Response{}, wireErrf("error payload has %d trailing bytes, want 4", len(rest))
 			}
@@ -448,6 +558,21 @@ func ReadResponse(r io.Reader) (Response, error) {
 		return Response{}, wireErrf("unknown response op %d", op)
 	}
 	return resp, nil
+}
+
+// ReadRequest decodes one request frame from r with a throwaway decoder;
+// long-lived connections should hold a Decoder instead (zero-alloc
+// steady state).
+func ReadRequest(r io.Reader) (Request, error) {
+	var d Decoder
+	return d.ReadRequest(r)
+}
+
+// ReadResponse decodes one response frame from r with a throwaway
+// decoder; long-lived connections should hold a Decoder instead.
+func ReadResponse(r io.Reader) (Response, error) {
+	var d Decoder
+	return d.ReadResponse(r)
 }
 
 // errorCode maps a typed service error to its wire code.

@@ -21,6 +21,13 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Version: 2, Op: OpRelease, Resource: "db", Token: 7, Fence: 3},
 		{Version: 2, Op: OpResume, Resource: "db", Token: 7, Fence: 3},
 		{Version: 2, Op: OpPing},
+		// v3: pipelining request IDs prefixed onto the v2 body shapes.
+		{Version: 3, Op: OpAcquire, Resource: "db", Owner: "alice", TTL: time.Second, MaxWait: 50 * time.Millisecond, Wait: true, Deadline: 1755550000000000000, ID: 1},
+		{Version: 3, Op: OpAcquire, Resource: "r", Owner: "o", TTL: time.Second, ID: 0xffffffffffffffff},
+		{Version: 3, Op: OpRelease, Resource: "db", Token: 7, Fence: 3, ID: 42},
+		{Version: 3, Op: OpResume, Resource: "db", Token: 7, Fence: 3, ID: 43},
+		{Version: 3, Op: OpPing, ID: 44},
+		{Version: 3, Op: OpPing}, // ID 0 is legal
 	}
 	for _, req := range reqs {
 		b, err := AppendRequest(nil, req)
@@ -51,6 +58,9 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Version: 2, Op: OpOK},
 		{Version: 2, Op: OpError, Code: CodeShed, Msg: "shed", RetryAfter: 2 * time.Millisecond},
 		{Version: 2, Op: OpError, Code: CodeDraining, Msg: "draining"},
+		{Version: 3, Op: OpGranted, Token: 42, Deadline: 123456789, Fence: 9, ID: 7},
+		{Version: 3, Op: OpOK, ID: 8},
+		{Version: 3, Op: OpError, Code: CodeShed, Msg: "shed", RetryAfter: 2 * time.Millisecond, ID: 9},
 	}
 	for _, resp := range resps {
 		b, err := AppendResponse(nil, resp)
@@ -95,11 +105,19 @@ func TestRequestEncodeBounds(t *testing.T) {
 	if _, err := AppendResponse(nil, Response{Version: 1, Op: OpError, Code: CodeShed, RetryAfter: time.Millisecond}); err == nil {
 		t.Fatal("v1 error with retry-after accepted")
 	}
+	// Request IDs are a v3 construct.
+	if _, err := AppendRequest(nil, Request{Version: 2, Op: OpPing, ID: 1}); err == nil {
+		t.Fatal("v2 request with id accepted")
+	}
+	if _, err := AppendResponse(nil, Response{Version: 1, Op: OpOK, ID: 1}); err == nil {
+		t.Fatal("v1 response with id accepted")
+	}
 }
 
 func TestMalformedFrames(t *testing.T) {
 	cases := map[string][]byte{
-		"bad version":       {3, OpPing, 0, 0},
+		"bad version":       {9, OpPing, 0, 0},
+		"v3 truncated id":   {3, OpPing, 0, 4, 0, 0, 0, 1}, // v3 payload shorter than the 8-byte ID prefix
 		"oversized payload": {1, OpAcquire, 0xff, 0xff},
 		"unknown op":        {1, 77, 0, 0},
 		"ping with payload": {1, OpPing, 0, 1, 0},
@@ -137,6 +155,18 @@ func TestMalformedFrames(t *testing.T) {
 		}(),
 		"v2 release missing fence": func() []byte {
 			b, _ := AppendRequest(nil, Request{Op: OpRelease, Resource: "r", Token: 1})
+			b[0] = 2
+			return b
+		}(),
+		// A v2 body inside a v3 frame would eat the body's first 8 bytes
+		// as an ID and fail the exact-length check.
+		"v3 frame, v2 release body": func() []byte {
+			b, _ := AppendRequest(nil, Request{Version: 2, Op: OpRelease, Resource: "r", Token: 1, Fence: 2})
+			b[0] = 3
+			return b
+		}(),
+		"v2 frame, v3 acquire body": func() []byte {
+			b, _ := AppendRequest(nil, Request{Version: 3, Op: OpAcquire, Resource: "r", Owner: "o", TTL: time.Second, ID: 5})
 			b[0] = 2
 			return b
 		}(),
@@ -200,6 +230,52 @@ func TestRetryAfterHintRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDecoderStream drives one Decoder across an interleaved pipelined
+// stream: scratch reuse must not let a later frame corrupt an earlier
+// decode, and interned names must be stable across frames.
+func TestDecoderStream(t *testing.T) {
+	reqs := []Request{
+		{Version: 3, Op: OpAcquire, Resource: "db", Owner: "alice", TTL: time.Second, Wait: true, ID: 1},
+		{Version: 3, Op: OpAcquire, Resource: "cache", Owner: "bob", TTL: time.Second, ID: 2},
+		{Version: 3, Op: OpRelease, Resource: "db", Token: 5, Fence: 1, ID: 3},
+		{Version: 3, Op: OpAcquire, Resource: "db", Owner: "alice", TTL: time.Second, Wait: true, ID: 4},
+		{Version: 3, Op: OpPing, ID: 5},
+		{Version: 2, Op: OpResume, Resource: "db", Token: 5, Fence: 1}, // mixed versions on one stream
+	}
+	var stream []byte
+	for _, req := range reqs {
+		b, err := AppendRequest(stream, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = b
+	}
+	d := NewDecoder()
+	r := bytes.NewReader(stream)
+	var got []Request
+	for {
+		req, err := d.ReadRequest(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, req)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got[i], reqs[i])
+		}
+	}
+	if got[0].Resource != "db" || got[3].Resource != "db" {
+		t.Fatal("interned resource mismatch")
+	}
+}
+
 // FuzzServiceWire fuzzes both directions of the codec across both wire
 // versions. For any byte stream the decoder must (a) never panic, (b)
 // either parse a frame and re-encode it byte-identically from the
@@ -235,10 +311,40 @@ func FuzzServiceWire(f *testing.F) {
 	f.Add(cross(Request{Version: 2, Op: OpAcquire, Resource: "r", Owner: "o", TTL: time.Second}, 1))
 	f.Add(cross(Request{Version: 2, Op: OpResume, Resource: "r", Token: 1}, 1))
 	f.Add(seed(AppendRequest(nil, Request{Version: 2, Op: OpPing})))
-	f.Add([]byte{3, 1, 0, 0})          // bad version
-	f.Add([]byte{1, 1, 0xff, 0xff})    // oversized
-	f.Add([]byte{1, 3, 0, 0, 1, 3, 0}) // ping then truncated frame
-	f.Add([]byte{2, 3, 0, 0, 2, 1, 0}) // v2 ping then truncated frame
+	// Wire v3 frames: pipelined request IDs.
+	f.Add(seed(AppendRequest(nil, Request{Version: 3, Op: OpAcquire, Resource: "db", Owner: "alice", TTL: time.Second, Wait: true, ID: 1})))
+	f.Add(seed(AppendRequest(nil, Request{Version: 3, Op: OpRelease, Resource: "db", Token: 7, Fence: 3, ID: 2})))
+	f.Add(seed(AppendRequest(nil, Request{Version: 3, Op: OpResume, Resource: "db", Token: 7, Fence: 3, ID: 3})))
+	f.Add(seed(AppendResponse(nil, Response{Version: 3, Op: OpGranted, Token: 1, Deadline: 99, Fence: 4, ID: 3})))
+	f.Add(seed(AppendResponse(nil, Response{Version: 3, Op: OpError, Code: CodeShed, Msg: "shed", RetryAfter: time.Millisecond, ID: 2})))
+	f.Add(cross(Request{Version: 3, Op: OpPing, ID: 9}, 2))
+	f.Add(cross(Request{Version: 2, Op: OpRelease, Resource: "r", Token: 1, Fence: 2}, 3))
+	// Pipelined/interleaved corpora: several v3 frames with distinct IDs
+	// back to back, and out-of-order response IDs (the demux router's
+	// input shape).
+	interleaved := func(frames ...[]byte) []byte {
+		var b []byte
+		for _, f := range frames {
+			b = append(b, f...)
+		}
+		return b
+	}
+	f.Add(interleaved(
+		seed(AppendRequest(nil, Request{Version: 3, Op: OpAcquire, Resource: "a", Owner: "o", TTL: time.Second, ID: 1})),
+		seed(AppendRequest(nil, Request{Version: 3, Op: OpAcquire, Resource: "b", Owner: "o", TTL: time.Second, ID: 2})),
+		seed(AppendRequest(nil, Request{Version: 3, Op: OpRelease, Resource: "a", Token: 5, ID: 3})),
+		seed(AppendRequest(nil, Request{Version: 3, Op: OpPing, ID: 4})),
+	))
+	f.Add(interleaved(
+		seed(AppendResponse(nil, Response{Version: 3, Op: OpGranted, Token: 5, Deadline: 9, Fence: 1, ID: 2})),
+		seed(AppendResponse(nil, Response{Version: 3, Op: OpOK, ID: 3})),
+		seed(AppendResponse(nil, Response{Version: 3, Op: OpGranted, Token: 6, Deadline: 9, Fence: 2, ID: 1})),
+	))
+	f.Add([]byte{9, 1, 0, 0})             // bad version
+	f.Add([]byte{1, 1, 0xff, 0xff})       // oversized
+	f.Add([]byte{1, 3, 0, 0, 1, 3, 0})    // ping then truncated frame
+	f.Add([]byte{2, 3, 0, 0, 2, 1, 0})    // v2 ping then truncated frame
+	f.Add([]byte{3, 3, 0, 4, 0, 0, 0, 1}) // v3 payload shorter than its ID prefix
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
